@@ -1,0 +1,145 @@
+#pragma once
+// Shared drivers for the Appendix B figures: N-body and PIC scalability and
+// performance-budget sweeps, parameterized by machine profile and cost
+// model so the Paragon and T3D binaries are one call each.
+
+#include <iostream>
+#include <vector>
+
+#include "mesh/machine.hpp"
+#include "nbody/parallel.hpp"
+#include "perf/budget.hpp"
+#include "perf/report.hpp"
+#include "pic/parallel.hpp"
+
+namespace wavehpc::benchdriver {
+
+inline const std::vector<std::size_t> kProcSweep{1, 2, 4, 8, 16, 32};
+
+// ------------------------------------------------------------------ N-body
+
+inline void nbody_scaling(std::ostream& os, const mesh::MachineProfile& profile,
+                          const nbody::NbodyCostModel& model,
+                          const std::vector<std::size_t>& sizes) {
+    for (std::size_t n : sizes) {
+        const auto initial = nbody::interacting_galaxies(n);
+        std::vector<double> seconds;
+        for (std::size_t p : kProcSweep) {
+            mesh::Machine machine(profile);
+            nbody::ParallelNbodyConfig cfg;
+            const auto res =
+                nbody::parallel_nbody(machine, initial, cfg, p, model);
+            seconds.push_back(res.seconds);
+        }
+        const auto table = perf::speedup_table(kProcSweep, seconds, seconds.front());
+        perf::print_speedup_series(
+            os, std::to_string(n) + " bodies (" + profile.name + "):", table);
+        os << '\n';
+    }
+}
+
+inline void nbody_budgets(std::ostream& os, const mesh::MachineProfile& profile,
+                          const nbody::NbodyCostModel& model,
+                          const std::vector<std::size_t>& sizes,
+                          const std::vector<std::size_t>& procs) {
+    for (std::size_t n : sizes) {
+        const auto initial = nbody::interacting_galaxies(n);
+        os << "performance budget, " << n << " bodies (" << profile.name << "):\n";
+        perf::TableWriter tw({"procs", "seconds", "useful", "comm", "redundancy",
+                              "imbalance", "other"});
+        for (std::size_t p : procs) {
+            mesh::Machine machine(profile);
+            nbody::ParallelNbodyConfig cfg;
+            const auto res = nbody::parallel_nbody(machine, initial, cfg, p, model);
+            perf::print_budget_row(tw, std::to_string(p),
+                                   perf::budget_from_run(res.run));
+        }
+        tw.print(os);
+        os << '\n';
+    }
+}
+
+// --------------------------------------------------------------------- PIC
+
+inline double pic_run_seconds(const mesh::MachineProfile& profile,
+                              const pic::PicCostModel& model, std::size_t np,
+                              std::size_t p, pic::GsumKind gsum,
+                              mesh::Machine::RunResult* run_out = nullptr) {
+    mesh::Machine machine(profile);
+    pic::ParallelPicConfig cfg;
+    cfg.pic.grid_n = model.grid_n;
+    cfg.gsum = gsum;
+    cfg.gather_result = false;  // time the iteration loop, not verification
+    const auto initial = pic::uniform_plasma(np, model.grid_n);
+    const auto res = pic::parallel_pic(machine, initial, cfg, p, model);
+    if (run_out != nullptr) *run_out = res.run;
+    return res.seconds;
+}
+
+/// Speedup series against the *extrapolated* (non-paged) uniprocessor time,
+/// as in the paper's figures 7-8 and 19-20.
+inline void pic_scaling(std::ostream& os, const mesh::MachineProfile& profile,
+                        const pic::PicCostModel& model,
+                        const std::vector<std::size_t>& particle_counts) {
+    for (std::size_t np : particle_counts) {
+        std::vector<double> seconds;
+        for (std::size_t p : kProcSweep) {
+            seconds.push_back(pic_run_seconds(profile, model, np, p,
+                                              pic::GsumKind::Prefix));
+        }
+        // The model's un-paged uniprocessor estimate (the paper
+        // extrapolated it the same way for 1M/2M particles).
+        const double t1 = model.seconds(np);
+        const auto table = perf::speedup_table(kProcSweep, seconds, t1);
+        perf::print_speedup_series(os,
+                                   std::to_string(np / 1024) + "K particles, m=" +
+                                       std::to_string(model.grid_n) + " (" +
+                                       profile.name + "):",
+                                   table);
+        os << '\n';
+    }
+}
+
+inline void pic_budgets(std::ostream& os, const mesh::MachineProfile& profile,
+                        const pic::PicCostModel& model,
+                        const std::vector<std::size_t>& particle_counts,
+                        const std::vector<std::size_t>& procs) {
+    for (std::size_t np : particle_counts) {
+        os << "performance budget, " << np / 1024 << "K particles, m="
+           << model.grid_n << " (" << profile.name << "):\n";
+        perf::TableWriter tw({"procs", "seconds", "useful", "comm", "redundancy",
+                              "imbalance", "other"});
+        for (std::size_t p : procs) {
+            mesh::Machine::RunResult run;
+            (void)pic_run_seconds(profile, model, np, p, pic::GsumKind::Prefix, &run);
+            perf::print_budget_row(tw, std::to_string(p), perf::budget_from_run(run));
+        }
+        tw.print(os);
+        os << '\n';
+    }
+}
+
+/// Average vs maximum per-rank communication time (figures 10 and 21):
+/// worker-worker PIC communication is balanced.
+inline void pic_comm_balance(std::ostream& os, const mesh::MachineProfile& profile,
+                             const pic::PicCostModel& model, std::size_t np) {
+    os << "PIC communication balance, " << np / 1024 << "K particles, m="
+       << model.grid_n << " (" << profile.name << "):\n";
+    perf::TableWriter tw({"procs", "avg comm (s)", "max comm (s)", "max/avg"});
+    for (std::size_t p : {2U, 4U, 8U, 16U, 32U}) {
+        mesh::Machine::RunResult run;
+        (void)pic_run_seconds(profile, model, np, p, pic::GsumKind::Prefix, &run);
+        double sum = 0.0;
+        double mx = 0.0;
+        for (const auto& st : run.stats) {
+            sum += st.comm_seconds;
+            mx = std::max(mx, st.comm_seconds);
+        }
+        const double avg = sum / static_cast<double>(run.stats.size());
+        tw.add_row({std::to_string(p), perf::TableWriter::num(avg),
+                    perf::TableWriter::num(mx), perf::TableWriter::num(mx / avg, 2)});
+    }
+    tw.print(os);
+}
+
+}  // namespace wavehpc::benchdriver

@@ -1,0 +1,13 @@
+// Paper Figure 7: Paragon performance for filter size 2, 4 decomposition
+// levels. The most communication-bound configuration: worst speedup of the
+// three ("with best results seen at one level of decomposition and worst at
+// 4 levels").
+
+#include "paragon_scaling.hpp"
+
+int main() {
+    // Table 1: 2.78 s on 1 proc, 0.6623 s on 32 -> speedup 4.20.
+    wavehpc::benchdriver::run_paragon_figure(
+        {"Figure 7", 2, 4, 2.78 / 0.6623});
+    return 0;
+}

@@ -1,0 +1,112 @@
+// Regenerates the rationale of the paper's figures 3 and 4:
+//   Figure 3 — striping vs block decomposition: stripes need one guard-zone
+//              exchange (south) per level; blocks need two (east + south).
+//   Figure 4 — snake vs naive stripe placement: the snake keeps every
+//              exchange one mesh hop with zero route conflicts; the naive
+//              row-major placement sends wrap-around messages across whole
+//              mesh rows, which collide under dimension-ordered routing.
+// Prints analytic message counts/volumes for fig 3 and a measured
+// guard-phase contention sweep for fig 4.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/cost_model.hpp"
+#include "core/synthetic.hpp"
+#include "perf/report.hpp"
+#include "wavelet/mesh_dwt.hpp"
+#include "wavelet/mesh_dwt_block.hpp"
+
+namespace {
+
+using wavehpc::core::MappingPolicy;
+using wavehpc::perf::TableWriter;
+
+}  // namespace
+
+int main() {
+    const auto img512 = wavehpc::core::landsat_tm_like(512, 512, 1996);
+    const auto fp8 = wavehpc::core::FilterPair::daubechies(8);
+
+    std::cout << "=== Figure 3: stripes vs blocks, measured (guard traffic only) "
+                 "===\n"
+              << "512x512 image, 8-tap filter, 1 level; scatter/gather excluded.\n\n";
+    {
+        TableWriter tw({"p", "grid", "stripe msgs", "stripe t (s)", "block msgs",
+                        "block t (s)"});
+        const std::pair<std::size_t, std::size_t> grids[] = {
+            {2, 2}, {2, 4}, {4, 4}, {4, 8}};
+        for (const auto& [gr, gc] : grids) {
+            const std::size_t p = gr * gc;
+            wavehpc::mesh::Machine m1(wavehpc::mesh::MachineProfile::paragon_pvm());
+            wavehpc::wavelet::MeshDwtConfig scfg;
+            scfg.levels = 1;
+            scfg.scatter_gather = false;
+            const auto stripes = wavehpc::wavelet::mesh_decompose(
+                m1, img512, fp8, scfg, p,
+                wavehpc::core::SequentialCostModel::paragon_node());
+
+            wavehpc::mesh::Machine m2(wavehpc::mesh::MachineProfile::paragon_pvm());
+            wavehpc::wavelet::BlockDwtConfig bcfg;
+            bcfg.levels = 1;
+            bcfg.grid_rows = gr;  // tiles arranged tall: gc <= 4 mesh columns
+            bcfg.grid_cols = gc > 4 ? 4 : gc;
+            bcfg.grid_rows = p / bcfg.grid_cols;
+            bcfg.scatter_gather = false;
+            const auto blocks = wavehpc::wavelet::block_decompose(
+                m2, img512, fp8, bcfg,
+                wavehpc::core::SequentialCostModel::paragon_node());
+
+            tw.add_row({std::to_string(p),
+                        std::to_string(bcfg.grid_rows) + "x" +
+                            std::to_string(bcfg.grid_cols),
+                        std::to_string(stripes.run.messages),
+                        TableWriter::num(stripes.seconds, 4),
+                        std::to_string(blocks.run.messages),
+                        TableWriter::num(blocks.seconds, 4)});
+        }
+        tw.print(std::cout);
+        std::cout << "Striping halves the guard transaction count (one south exchange\n"
+                     "per level instead of east + south) — the paper's reason for\n"
+                     "distributing stripes rather than blocks.\n\n";
+    }
+
+    std::cout << "=== Figure 4 rationale: snake vs naive placement (guard phase only) "
+                 "===\n"
+              << "scatter/gather excluded so only mapping-sensitive traffic is "
+                 "timed.\n\n";
+    const auto img = wavehpc::core::landsat_tm_like(512, 512, 1996);
+    const auto fp = wavehpc::core::FilterPair::daubechies(8);
+    TableWriter tw({"p", "naive conflicts (s)", "snake conflicts (s)",
+                    "naive t (s)", "snake t (s)"});
+    for (std::size_t p : {2U, 4U, 8U, 16U, 32U}) {
+        double conflict[2];
+        double seconds[2];
+        int i = 0;
+        for (auto mapping : {MappingPolicy::Naive, MappingPolicy::Snake}) {
+            wavehpc::mesh::Machine machine(wavehpc::mesh::MachineProfile::paragon_pvm());
+            wavehpc::wavelet::MeshDwtConfig cfg;
+            cfg.levels = 1;
+            cfg.mapping = mapping;
+            cfg.scatter_gather = false;
+            const auto res = wavehpc::wavelet::mesh_decompose(
+                machine, img, fp, cfg, p,
+                wavehpc::core::SequentialCostModel::paragon_node());
+            conflict[i] = res.run.contention_delay;
+            seconds[i] = res.seconds;
+            ++i;
+        }
+        tw.add_row({std::to_string(p), TableWriter::num(conflict[0], 5),
+                    TableWriter::num(conflict[1], 5), TableWriter::num(seconds[0], 4),
+                    TableWriter::num(seconds[1], 4)});
+    }
+    tw.print(std::cout);
+    std::cout
+        << "\nPaper shape: at p <= 4 (one mesh row) the mappings coincide; beyond\n"
+           "4 the naive mapping's row-wrap messages conflict with in-row guard\n"
+           "traffic (non-zero conflict column) while the snake stays conflict-free.\n"
+           "The published *magnitude* (hard speedup plateau at 4) additionally\n"
+           "reflects PVM's pathological behaviour under contention on the real\n"
+           "machine; see EXPERIMENTS.md.\n";
+    return 0;
+}

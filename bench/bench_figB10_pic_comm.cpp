@@ -1,0 +1,16 @@
+// Appendix B Figure 10: average vs maximum per-node communication time for
+// PIC on the Paragon. Paper shape: "there is not much difference between
+// average and maximum times ... communication activities are well balanced,
+// due to the worker-worker model."
+
+#include "appendix_b_common.hpp"
+
+int main() {
+    std::cout << "=== Appendix B Figure 10: PIC communication balance (Paragon) "
+                 "===\n\n";
+    wavehpc::benchdriver::pic_comm_balance(std::cout,
+                                           wavehpc::mesh::MachineProfile::paragon_nx(),
+                                           wavehpc::pic::PicCostModel::paragon(32),
+                                           262144);
+    return 0;
+}

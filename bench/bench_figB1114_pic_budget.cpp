@@ -1,0 +1,20 @@
+// Appendix B Figures 11-14: PIC performance budgets on the Paragon for
+// {256K, 2M} particles x {32^3, 64^3} grids. Paper shape: communication
+// grows with grid size and dominates when the particle count is small;
+// 8x more particles amortize it (fig 11 vs 12, fig 13 vs 14); redundancy
+// is "not substantial".
+
+#include "appendix_b_common.hpp"
+
+int main() {
+    std::cout << "=== Appendix B Figures 11-14: PIC performance budget (Paragon) "
+                 "===\n\n";
+    const auto profile = wavehpc::mesh::MachineProfile::paragon_nx();
+    wavehpc::benchdriver::pic_budgets(std::cout, profile,
+                                      wavehpc::pic::PicCostModel::paragon(32),
+                                      {262144, 2097152}, {4, 8, 16, 32});
+    wavehpc::benchdriver::pic_budgets(std::cout, profile,
+                                      wavehpc::pic::PicCostModel::paragon(64),
+                                      {262144, 2097152}, {4, 8, 16, 32});
+    return 0;
+}

@@ -1,0 +1,17 @@
+// Appendix B Figures 15-18: N-body on the Cray T3D — scalability plus
+// performance budgets. Paper shape: despite the faster torus, scalability
+// is no better than the Paragon's because the Alpha runs the integer-heavy
+// tree code ~8x faster, shrinking the computation/communication ratio; the
+// useful-work share of the budget is smaller than on the Paragon.
+
+#include "appendix_b_common.hpp"
+
+int main() {
+    std::cout << "=== Appendix B Figures 15-18: N-body on the Cray T3D ===\n\n";
+    const auto profile = wavehpc::mesh::MachineProfile::cray_t3d_pvm();
+    const auto& model = wavehpc::nbody::NbodyCostModel::t3d();
+    wavehpc::benchdriver::nbody_scaling(std::cout, profile, model, {1024, 4096, 32768});
+    wavehpc::benchdriver::nbody_budgets(std::cout, profile, model, {1024, 4096, 32768},
+                                        {4, 8, 16, 32});
+    return 0;
+}

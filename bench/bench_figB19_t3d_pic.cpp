@@ -1,0 +1,28 @@
+// Appendix B Figures 19-25: PIC on the Cray T3D — scalability for both
+// grids, communication balance, and performance budgets. Paper shape:
+// iteration time ~30% of the Paragon's; scalability governed by the
+// communication share; smaller useful-work fractions than the Paragon
+// ("showing the negative effect of PVM"); balanced communication.
+
+#include "appendix_b_common.hpp"
+
+int main() {
+    std::cout << "=== Appendix B Figures 19-25: PIC on the Cray T3D ===\n\n";
+    const auto profile = wavehpc::mesh::MachineProfile::cray_t3d_pvm();
+    wavehpc::benchdriver::pic_scaling(std::cout, profile,
+                                      wavehpc::pic::PicCostModel::t3d(32),
+                                      {262144, 1048576, 2097152});
+    wavehpc::benchdriver::pic_scaling(std::cout, profile,
+                                      wavehpc::pic::PicCostModel::t3d(64),
+                                      {262144, 1048576});
+    wavehpc::benchdriver::pic_comm_balance(std::cout, profile,
+                                           wavehpc::pic::PicCostModel::t3d(32), 262144);
+    std::cout << '\n';
+    wavehpc::benchdriver::pic_budgets(std::cout, profile,
+                                      wavehpc::pic::PicCostModel::t3d(32),
+                                      {262144, 2097152}, {4, 16, 32});
+    wavehpc::benchdriver::pic_budgets(std::cout, profile,
+                                      wavehpc::pic::PicCostModel::t3d(64),
+                                      {262144, 2097152}, {4, 16, 32});
+    return 0;
+}

@@ -1,0 +1,19 @@
+// Appendix B Figures 4-6: N-body performance budget on the Paragon at 1K,
+// 4K and 32K bodies. Paper shape: communication and imbalance overheads
+// grow with processor count and are amortized by larger data sets;
+// redundancy stays minimal.
+
+#include "appendix_b_common.hpp"
+
+int main() {
+    std::cout << "=== Appendix B Figures 4-6: N-body performance budget (Paragon) "
+                 "===\n\n";
+    wavehpc::benchdriver::nbody_budgets(std::cout,
+                                        wavehpc::mesh::MachineProfile::paragon_nx(),
+                                        wavehpc::nbody::NbodyCostModel::paragon(),
+                                        {1024, 4096, 32768}, {2, 4, 8, 16, 32});
+    std::cout << "Paper shape: overhead shares shrink from figure 4 (1K) to figure 6\n"
+                 "(32K) as the parallel force phase grows; \"redundancy overhead ...\n"
+                 "has been minimal in all cases\".\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+// google-benchmark microbenchmarks of the host wavelet kernels: sequential
+// vs thread-pool decomposition, per filter size, plus the primitive passes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/convolve.hpp"
+#include "core/synthetic.hpp"
+#include "wavelet/threads_dwt.hpp"
+
+namespace {
+
+using wavehpc::core::BoundaryMode;
+using wavehpc::core::FilterPair;
+using wavehpc::core::ImageF;
+
+const ImageF& scene512() {
+    static const ImageF img = wavehpc::core::landsat_tm_like(512, 512, 1996);
+    return img;
+}
+
+void BM_RowPass(benchmark::State& state) {
+    const FilterPair fp = FilterPair::daubechies(static_cast<int>(state.range(0)));
+    const ImageF& img = scene512();
+    ImageF out;
+    for (auto _ : state) {
+        wavehpc::core::convolve_decimate_rows(img, fp.low(), out, BoundaryMode::Periodic);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(img.size() / 2));
+}
+BENCHMARK(BM_RowPass)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ColPass(benchmark::State& state) {
+    const FilterPair fp = FilterPair::daubechies(static_cast<int>(state.range(0)));
+    const ImageF& img = scene512();
+    ImageF out;
+    for (auto _ : state) {
+        wavehpc::core::convolve_decimate_cols(img, fp.low(), out, BoundaryMode::Periodic);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_ColPass)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SequentialDecompose(benchmark::State& state) {
+    const FilterPair fp = FilterPair::daubechies(static_cast<int>(state.range(0)));
+    const int levels = static_cast<int>(state.range(1));
+    const ImageF& img = scene512();
+    for (auto _ : state) {
+        auto pyr = wavehpc::core::decompose(img, fp, levels);
+        benchmark::DoNotOptimize(pyr);
+    }
+}
+BENCHMARK(BM_SequentialDecompose)->Args({8, 1})->Args({4, 2})->Args({2, 4});
+
+void BM_ThreadedDecompose(benchmark::State& state) {
+    const FilterPair fp = FilterPair::daubechies(static_cast<int>(state.range(0)));
+    const int levels = static_cast<int>(state.range(1));
+    const ImageF& img = scene512();
+    wavehpc::runtime::ThreadPool pool;
+    for (auto _ : state) {
+        auto pyr = wavehpc::wavelet::decompose_parallel(img, fp, levels,
+                                                        BoundaryMode::Periodic, pool);
+        benchmark::DoNotOptimize(pyr);
+    }
+}
+BENCHMARK(BM_ThreadedDecompose)->Args({8, 1})->Args({4, 2})->Args({2, 4});
+
+void BM_Reconstruct(benchmark::State& state) {
+    const FilterPair fp = FilterPair::daubechies(8);
+    const auto pyr = wavehpc::core::decompose(scene512(), fp, 2);
+    for (auto _ : state) {
+        auto img = wavehpc::core::reconstruct(pyr, fp);
+        benchmark::DoNotOptimize(img);
+    }
+}
+BENCHMARK(BM_Reconstruct);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Regenerates Appendix B Tables 1 and 2: serial execution seconds per
+// iteration for PIC (m=32, m=64) and N-body on the Paragon and the T3D.
+// PIC times come from the calibrated linear model (two points fitted, the
+// rest predicted); N-body times from measured tree/interaction counts of
+// our Barnes-Hut implementation through the anchored cost model.
+
+#include <iostream>
+
+#include "nbody/model.hpp"
+#include "perf/report.hpp"
+#include "pic/serial.hpp"
+
+namespace {
+
+using wavehpc::perf::TableWriter;
+
+void pic_rows(TableWriter& tw, const wavehpc::pic::PicCostModel& model,
+              const wavehpc::pic::PicSerialReference::Point (&pts)[3],
+              const char* label) {
+    for (const auto& pt : pts) {
+        tw.add_row({label, std::to_string(pt.np / 1024) + "K",
+                    TableWriter::num(model.seconds(pt.np), 2),
+                    TableWriter::num(pt.seconds, 2),
+                    pt.extrapolated ? "paper-extrapolated" : "measured"});
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "=== Appendix B Tables 1 & 2: serial seconds per iteration ===\n\n";
+
+    std::cout << "PIC:\n";
+    TableWriter pic({"machine/grid", "particles", "model", "paper", "note"});
+    pic_rows(pic, wavehpc::pic::PicCostModel::paragon(32),
+             wavehpc::pic::PicSerialReference::paragon_m32, "Paragon m=32");
+    pic_rows(pic, wavehpc::pic::PicCostModel::paragon(64),
+             wavehpc::pic::PicSerialReference::paragon_m64, "Paragon m=64");
+    pic_rows(pic, wavehpc::pic::PicCostModel::t3d(32),
+             wavehpc::pic::PicSerialReference::t3d_m32, "T3D m=32");
+    pic_rows(pic, wavehpc::pic::PicCostModel::t3d(64),
+             wavehpc::pic::PicSerialReference::t3d_m64, "T3D m=64");
+    pic.print(std::cout);
+
+    std::cout << "\nPIC 1M-particle runs that hit paging on the Paragon (32 MB "
+                 "nodes):\n";
+    TableWriter paged({"machine/grid", "model (paged)", "paper (real)"});
+    paged.add_row({"Paragon m=32",
+                   TableWriter::num(
+                       wavehpc::pic::PicCostModel::paragon(32).seconds_paged(1048576), 1),
+                   "249.20"});
+    paged.add_row({"Paragon m=64",
+                   TableWriter::num(
+                       wavehpc::pic::PicCostModel::paragon(64).seconds_paged(1048576), 1),
+                   "820.41"});
+    paged.print(std::cout);
+
+    std::cout << "\nN-body (measured Barnes-Hut counts through the anchored model; "
+                 "the 32K row is\nthe calibration anchor, 1K and 8K are "
+                 "predictions):\n";
+    TableWriter nb({"bodies", "Paragon model", "Paragon paper", "T3D model",
+                    "T3D paper"});
+    for (const auto& pt : wavehpc::nbody::NbodySerialReference::points) {
+        auto bodies = wavehpc::nbody::interacting_galaxies(pt.n);
+        const auto stats = wavehpc::nbody::serial_step(bodies, wavehpc::nbody::SimConfig{});
+        nb.add_row(
+            {std::to_string(pt.n),
+             TableWriter::num(
+                 wavehpc::nbody::NbodyCostModel::paragon().seconds(stats, pt.n), 2),
+             TableWriter::num(pt.paragon_seconds, 2),
+             TableWriter::num(wavehpc::nbody::NbodyCostModel::t3d().seconds(stats, pt.n),
+                              2),
+             TableWriter::num(pt.t3d_seconds, 2)});
+    }
+    nb.print(std::cout);
+    std::cout << "\nShape checks: N-body speeds up ~10x moving i860 -> Alpha "
+                 "(integer-heavy tree\ncode); PIC only ~2.4x (memory-bound "
+                 "deposition/gather) — Appendix B section 4.\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+// Regenerates Appendix C Tables 1-4: the section 4.1 example benchmark
+// suite analysed with both techniques — the parallelism-matrix Frobenius
+// difference and the parallel-instruction vector-space (centroid)
+// similarity. WL1/WL2 are exactly the paper's tables; the remaining tables
+// are garbled in the surviving source text and completed here, so the
+// checkable artifact is the worked example of section 3.3 (Sim = 0.738),
+// which is verified below, and the qualitative contrast of Table 4.
+
+#include <iostream>
+
+#include "perf/report.hpp"
+#include "workload/kernels.hpp"
+#include "workload/matrix.hpp"
+
+namespace {
+
+using wavehpc::perf::TableWriter;
+using wavehpc::workload::centroid_of;
+using wavehpc::workload::ParallelismMatrix;
+using wavehpc::workload::similarity;
+
+}  // namespace
+
+int main() {
+    const auto suite = wavehpc::workload::example_suite();
+
+    std::cout << "=== Appendix C §4.1 example suite ===\n\nTable-2-style centroids "
+                 "(MEM, FP, INT):\n";
+    std::vector<wavehpc::workload::Centroid> centroids;
+    std::vector<ParallelismMatrix> matrices;
+    TableWriter tc({"workload", "MEM", "FP", "INT"});
+    for (const auto& wl : suite) {
+        const auto c = centroid_of(wl.pis);
+        centroids.push_back(c);
+        std::vector<std::pair<std::size_t, std::vector<int>>> ipis;
+        for (const auto& wp : wl.pis) {
+            std::vector<int> key;
+            for (double v : wp.ops) key.push_back(static_cast<int>(v));
+            ipis.emplace_back(wp.count, std::move(key));
+        }
+        matrices.push_back(ParallelismMatrix::from_pis(ipis));
+        tc.add_row({wl.name, TableWriter::num(c[0], 3), TableWriter::num(c[1], 3),
+                    TableWriter::num(c[2], 3)});
+    }
+    tc.print(std::cout);
+
+    std::cout << "\nTable-4-style pairwise comparison (0 = identical):\n";
+    TableWriter tp({"pair", "parallelism-matrix", "centroid similarity"});
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        for (std::size_t j = i + 1; j < suite.size(); ++j) {
+            tp.add_row({std::string(suite[i].name) + " & " + suite[j].name,
+                        TableWriter::num(matrices[i].difference(matrices[j]), 3),
+                        TableWriter::num(similarity(centroids[i], centroids[j]), 3)});
+        }
+    }
+    tp.print(std::cout);
+
+    std::cout << "\nPaper's worked example (section 3.3): Sim over centroids "
+                 "(3.12, 2.71, 0.412)\nvs (0.883, 0.589, 0.824) = ";
+    const double worked = similarity({3.12, 2.71, 0.412}, {0.883, 0.589, 0.824});
+    std::cout << TableWriter::num(worked, 3) << "   (paper: 0.738)\n";
+
+    std::cout << "\nPaper shape: the matrix technique saturates — pairs without\n"
+                 "identical PIs all land near the same value — while the centroid\n"
+                 "similarity scales with how differently the workloads would\n"
+                 "exercise a machine (compare WL4 vs WL6 rows above: same matrix\n"
+                 "difference class, very different centroid distances).\n";
+    return 0;
+}

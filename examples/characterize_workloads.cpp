@@ -1,0 +1,80 @@
+// The report in one binary: its Appendix C workload-characterization
+// methodology applied to its own Appendix A application. We trace the
+// Mallat decomposition for the paper's three (filter, levels)
+// configurations, schedule the traces on the oracle model, and place the
+// wavelet workload among the NAS kernels by centroid similarity — answering
+// "what kind of machine does wavelet decomposition want?", which is exactly
+// the question the MasPar-vs-Paragon comparison settled empirically.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "workload/kernels.hpp"
+#include "workload/matrix.hpp"
+
+namespace {
+
+namespace wl = wavehpc::workload;
+
+void print_centroid_row(const char* name, const wl::Centroid& c, double pavg,
+                        double smooth) {
+    std::printf("  %-10s %8.2f %8.2f %8.2f %8.2f %8.2f %9.1f %8.3f\n", name, c[0], c[1],
+                c[2], c[3], c[4], pavg, smooth);
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "=== characterizing the wavelet decomposition with the "
+                 "parallel-instruction model ===\n\n"
+              << "  workload     Intops   Memops    FPops  Ctrlops  Brchops     "
+                 "P_avg   smooth\n"
+              << "  ---------------------------------------------------------------"
+                 "---------\n";
+
+    struct Cfg {
+        const char* name;
+        int taps;
+        int levels;
+    };
+    const Cfg cfgs[] = {{"dwt-F8/L1", 8, 1}, {"dwt-F4/L2", 4, 2}, {"dwt-F2/L4", 2, 4}};
+
+    std::vector<std::pair<std::string, wl::Centroid>> entries;
+    for (const auto& cfg : cfgs) {
+        const auto trace = wl::make_wavelet_trace(32, 32, cfg.taps, cfg.levels);
+        const auto sched = wl::oracle_schedule(trace);
+        const auto c = wl::centroid_of(sched);
+        const auto sm = wl::smoothability(trace);
+        print_centroid_row(cfg.name, c, sched.average_parallelism(), sm.smoothability);
+        entries.emplace_back(cfg.name, c);
+    }
+    for (auto k : wl::kAllKernels) {
+        const auto trace = wl::make_kernel(k, 4);
+        const auto sched = wl::oracle_schedule(trace);
+        const auto c = wl::centroid_of(sched);
+        const auto sm = wl::smoothability(trace);
+        print_centroid_row(wl::kernel_name(k), c, sched.average_parallelism(),
+                           sm.smoothability);
+        entries.emplace_back(wl::kernel_name(k), c);
+    }
+
+    // Which NAS kernel does the wavelet most resemble?
+    std::cout << "\nnearest NAS kernels to dwt-F8/L1 (centroid similarity, 0 = "
+                 "identical):\n";
+    std::vector<std::pair<double, std::string>> ranked;
+    for (std::size_t i = 3; i < entries.size(); ++i) {
+        ranked.emplace_back(wl::similarity(entries[0].second, entries[i].second),
+                            entries[i].first);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    for (const auto& [sim, name] : ranked) {
+        std::printf("  %-10s %6.3f\n", name.c_str(), sim);
+    }
+
+    std::cout << "\nReading: the wavelet trace is wide (P_avg in the hundreds), "
+                 "smooth, and\nFP/Memops heavy — precisely the data-parallel profile "
+                 "a 16K-PE SIMD array\nexploits, which is why Table 1 shows the "
+                 "MasPar two orders of magnitude\nahead of the workstation.\n";
+    return 0;
+}

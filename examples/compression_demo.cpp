@@ -1,0 +1,56 @@
+// Wavelet image compression — the application driving the paper's speed
+// requirements ("managing remotely sensed data whose already massive amount
+// will grow even bigger with ... NASA's Earth Observing System").
+//
+// A rate/distortion sweep over the coefficient-retention fraction using the
+// core compression API, plus a quantization line showing the entropy
+// estimate of the coded size.
+//
+//   ./compression_demo [levels] [taps]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/compress.hpp"
+#include "core/metrics.hpp"
+#include "core/synthetic.hpp"
+
+int main(int argc, char** argv) {
+    using namespace wavehpc::core;
+
+    const int levels = (argc > 1) ? std::atoi(argv[1]) : 4;
+    const int taps = (argc > 2) ? std::atoi(argv[2]) : 8;
+
+    const ImageF scene = landsat_tm_like(512, 512, 1996, TmBand::NearIr);
+    const FilterPair fp = FilterPair::daubechies(taps);
+
+    std::cout << "wavelet compression sweep (" << levels << " levels, " << taps
+              << "-tap filter, 512x512 near-IR scene)\n\n"
+              << "  keep%   stored coeffs   compression   PSNR (dB)   entropy "
+                 "(bits/coef)\n"
+              << "  ----------------------------------------------------------------"
+                 "-----\n";
+    for (double keep : {0.50, 0.20, 0.10, 0.05, 0.02, 0.01}) {
+        const CompressionReport rep = compress_report(scene, fp, levels, keep);
+        std::printf("  %5.1f%%   %13zu   %10.1fx   %9.2f   %10.3f\n", 100.0 * keep,
+                    rep.stored_coefficients, rep.compression_ratio, rep.psnr_db,
+                    rep.entropy_bits);
+    }
+
+    std::cout << "\nquantization line (all coefficients kept, uniform step):\n"
+              << "  step   PSNR (dB)   entropy (bits/coef)\n"
+              << "  --------------------------------------\n";
+    for (float step : {0.5F, 1.0F, 2.0F, 4.0F, 8.0F}) {
+        Pyramid pyr = decompose(scene, fp, levels, BoundaryMode::Periodic);
+        quantize_details(pyr, step);
+        const double bits = detail_entropy_bits(pyr, step);
+        const ImageF back = reconstruct(pyr, fp);
+        std::printf("  %4.1f   %9.2f   %10.3f\n", step, psnr(scene, back), bits);
+    }
+
+    std::cout << "\nDetail coefficients of natural terrain are sparse: a few percent\n"
+                 "of them reconstruct the scene at high PSNR — why EOSDIS-scale\n"
+                 "archives wanted fast wavelet codecs in 1996.\n";
+    return 0;
+}

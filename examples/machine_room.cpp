@@ -1,0 +1,111 @@
+// The evaluation study in a box: decompose the same scene on every machine
+// this suite models — MasPar MP-2 (SIMD), Intel Paragon (MIMD mesh, with a
+// processor sweep and performance budget), the DEC 5000 cost model, and the
+// real host through the thread pool — and print one comparative report.
+//
+//   ./machine_room [taps] [levels]
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/cost_model.hpp"
+#include "core/metrics.hpp"
+#include "core/synthetic.hpp"
+#include "maspar/maspar_dwt.hpp"
+#include "perf/report.hpp"
+#include "wavelet/mesh_dwt.hpp"
+#include "wavelet/threads_dwt.hpp"
+
+int main(int argc, char** argv) {
+    using namespace wavehpc;
+
+    const int taps = (argc > 1) ? std::atoi(argv[1]) : 8;
+    const int levels = (argc > 2) ? std::atoi(argv[2]) : 1;
+
+    const auto img = core::landsat_tm_like(512, 512, 1996);
+    const auto fp = core::FilterPair::daubechies(taps);
+
+    std::cout << "=== machine room: F" << taps << "/L" << levels
+              << " decomposition of a 512x512 scene ===\n\n";
+
+    // --- MasPar MP-2 ---------------------------------------------------
+    const auto mp2 = maspar::maspar_decompose(
+        maspar::MasParProfile::mp2_16k(), img, fp, levels,
+        maspar::Algorithm::Systolic, maspar::Virtualization::Hierarchical);
+    std::cout << "MasPar MP-2 (16K PEs, systolic/hierarchical): " << mp2.seconds
+              << " s  (" << 1.0 / mp2.seconds << " images/s)\n";
+
+    // --- DEC 5000 baseline ----------------------------------------------
+    const auto work = core::WaveletWork::analyze(512, 512, taps, levels);
+    std::cout << "DEC 5000 workstation (calibrated model):      "
+              << core::SequentialCostModel::dec5000().seconds(work) << " s\n";
+
+    // --- Host, sequential and threaded -----------------------------------
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto seq = core::decompose(img, fp, levels);
+    const auto t1 = std::chrono::steady_clock::now();
+    runtime::ThreadPool pool;
+    const auto par = wavelet::decompose_parallel(img, fp, levels,
+                                                 core::BoundaryMode::Periodic, pool);
+    const auto t2 = std::chrono::steady_clock::now();
+    const double host_seq = std::chrono::duration<double>(t1 - t0).count();
+    const double host_par = std::chrono::duration<double>(t2 - t1).count();
+    std::cout << "this host, sequential:                        " << host_seq << " s\n"
+              << "this host, " << pool.workers()
+              << "-thread pool:                     " << host_par << " s\n";
+    if (!(par.approx == seq.approx)) {
+        std::cerr << "backend mismatch!\n";
+        return 1;
+    }
+
+    // --- Paragon sweep with budget ---------------------------------------
+    std::cout << "\nIntel Paragon (PVM, snake mapping) processor sweep:\n";
+    perf::TableWriter tw({"procs", "seconds", "speedup", "useful", "comm",
+                          "redundancy", "imbalance"});
+    double t_1 = 0.0;
+    for (std::size_t p : {1U, 4U, 16U, 32U}) {
+        mesh::Machine machine(mesh::MachineProfile::paragon_pvm());
+        wavelet::MeshDwtConfig cfg;
+        cfg.levels = levels;
+        const auto res = wavelet::mesh_decompose(machine, img, fp, cfg, p,
+                                                 core::SequentialCostModel::paragon_node());
+        if (p == 1) t_1 = res.seconds;
+        const auto b = perf::budget_from_run(res.run);
+        tw.add_row({std::to_string(p), perf::TableWriter::num(res.seconds),
+                    perf::TableWriter::num(t_1 / res.seconds, 2),
+                    perf::TableWriter::pct(b.useful), perf::TableWriter::pct(b.comm),
+                    perf::TableWriter::pct(b.redundancy),
+                    perf::TableWriter::pct(b.imbalance)});
+        if (!(res.pyramid.approx == core::decompose(img, fp, levels,
+                                                    cfg.mode).approx)) {
+            std::cerr << "paragon backend mismatch!\n";
+            return 1;
+        }
+    }
+    tw.print(std::cout);
+
+    // --- What-if: the Cray T3D (the wavelet paper never ran it) ----------
+    // Appendix B calibrated the T3D at ~7.7x the Paragon node on
+    // integer/tree code and ~2.4x on memory-bound particle code; dense
+    // single-precision filtering sits in between — use 3x as a documented
+    // what-if.
+    {
+        mesh::Machine t3d(mesh::MachineProfile::cray_t3d_pvm());
+        wavelet::MeshDwtConfig cfg;
+        cfg.levels = levels;
+        const core::SequentialCostModel alpha_node(
+            "t3d-alpha-node", core::SequentialCostModel::paragon_node().per_output() / 3.0,
+            core::SequentialCostModel::paragon_node().per_mac() / 3.0,
+            core::SequentialCostModel::paragon_node().per_level() / 3.0);
+        const auto res =
+            wavelet::mesh_decompose(t3d, img, fp, cfg, 32, alpha_node);
+        std::cout << "\nextension what-if — Cray T3D (32 PEs, PVM, 3x-Paragon node "
+                     "model): "
+                  << perf::TableWriter::num(res.seconds) << " s\n";
+    }
+
+    std::cout << "\nEvery backend produced identical coefficients; the timings span\n"
+                 "three decades of machine design.\n";
+    return 0;
+}

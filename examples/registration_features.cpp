@@ -1,0 +1,113 @@
+// Multi-resolution feature extraction for image registration — the
+// co-author's (Le Moigne) application area cited in the paper's
+// introduction. Detail-band magnitude maxima form a feature pyramid;
+// registering coarse-to-fine turns a global search into a few local ones.
+//
+// Here we extract features from a scene and a translated copy, then recover
+// the translation by matching feature histograms level by level.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/dwt.hpp"
+#include "core/synthetic.hpp"
+
+namespace {
+
+using namespace wavehpc::core;
+
+// Shift a scene periodically by (dr, dc).
+ImageF shifted(const ImageF& img, std::size_t dr, std::size_t dc) {
+    ImageF out(img.rows(), img.cols());
+    for (std::size_t r = 0; r < img.rows(); ++r) {
+        for (std::size_t c = 0; c < img.cols(); ++c) {
+            out(r, c) = img((r + dr) % img.rows(), (c + dc) % img.cols());
+        }
+    }
+    return out;
+}
+
+// Edge-energy map of one pyramid level: |LH| + |HL| + |HH|.
+ImageF edge_map(const DetailBands& d) {
+    ImageF out(d.lh.rows(), d.lh.cols());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out.flat()[i] = std::abs(d.lh.flat()[i]) + std::abs(d.hl.flat()[i]) +
+                        std::abs(d.hh.flat()[i]);
+    }
+    return out;
+}
+
+// Best periodic alignment of two edge maps inside a +/-radius window around
+// a prior estimate, by maximizing correlation.
+std::pair<std::size_t, std::size_t> align(const ImageF& a, const ImageF& b,
+                                          std::size_t prior_r, std::size_t prior_c,
+                                          std::size_t radius) {
+    double best = -1.0;
+    std::pair<std::size_t, std::size_t> arg{0, 0};
+    for (std::size_t dr = prior_r - radius; dr <= prior_r + radius; ++dr) {
+        for (std::size_t dc = prior_c - radius; dc <= prior_c + radius; ++dc) {
+            const std::size_t mr = (dr + a.rows()) % a.rows();
+            const std::size_t mc = (dc + a.cols()) % a.cols();
+            double corr = 0.0;
+            for (std::size_t r = 0; r < a.rows(); ++r) {
+                for (std::size_t c = 0; c < a.cols(); ++c) {
+                    corr += static_cast<double>(a((r + mr) % a.rows(),
+                                                  (c + mc) % a.cols())) *
+                            b(r, c);
+                }
+            }
+            if (corr > best) {
+                best = corr;
+                arg = {mr, mc};
+            }
+        }
+    }
+    return arg;
+}
+
+}  // namespace
+
+int main() {
+    // The decimated DWT is shift-covariant only for shifts that are
+    // multiples of 2^levels; real registration pipelines handle fractional
+    // shifts with redundant transforms or level-wise re-decomposition. This
+    // demo keeps the shift aligned so the coarse-to-fine logic is exact.
+    constexpr std::size_t kTrueDr = 16;
+    constexpr std::size_t kTrueDc = 24;
+    constexpr int kLevels = 3;
+
+    const ImageF reference = landsat_tm_like(256, 256, 77, TmBand::Visible);
+    const ImageF sensed = shifted(reference, kTrueDr, kTrueDc);
+
+    const FilterPair fp = FilterPair::daubechies(4);
+    const Pyramid pref = decompose(reference, fp, kLevels, BoundaryMode::Periodic);
+    const Pyramid psen = decompose(sensed, fp, kLevels, BoundaryMode::Periodic);
+
+    std::cout << "coarse-to-fine registration via wavelet edge features\n"
+              << "true shift: (" << kTrueDr << ", " << kTrueDc << ")\n\n";
+
+    // Start at the coarsest level with an exhaustive search, then refine.
+    std::size_t est_r = 0;
+    std::size_t est_c = 0;
+    for (int level = kLevels - 1; level >= 0; --level) {
+        const ImageF ea = edge_map(pref.levels[static_cast<std::size_t>(level)]);
+        const ImageF eb = edge_map(psen.levels[static_cast<std::size_t>(level)]);
+        const std::size_t radius =
+            (level == kLevels - 1) ? ea.rows() / 2 - 1 : 2;  // full search only once
+        const auto [r, c] = align(ea, eb, est_r + ea.rows(), est_c + ea.cols(), radius);
+        std::cout << "  level " << level << " (" << ea.rows() << "x" << ea.cols()
+                  << "): shift estimate (" << r << ", " << c << ") in level pixels\n";
+        // Upsample the estimate: to the next finer level's band grid, or —
+        // after level 0 — from the band grid to image pixels (level-0 bands
+        // are decimated once relative to the image).
+        est_r = 2 * r;
+        est_c = 2 * c;
+    }
+    std::cout << "\nrecovered shift: (" << est_r << ", " << est_c << ")  "
+              << ((est_r == kTrueDr && est_c == kTrueDc) ? "[exact]" : "[approximate]")
+              << "\n"
+              << "Each refinement searched a 5x5 window instead of the full plane:\n"
+              << "the multi-resolution pyramid is what makes registration fast.\n";
+    return 0;
+}

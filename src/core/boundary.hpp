@@ -1,0 +1,42 @@
+#pragma once
+// Signal-extension policies for filtering near image edges.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wavehpc::core {
+
+enum class BoundaryMode : std::uint8_t {
+    Periodic,   ///< circular extension — the only mode with exact reconstruction
+    Symmetric,  ///< half-sample reflection: x[-1] = x[0]
+    ZeroPad,    ///< values outside the signal are zero
+};
+
+/// Map a possibly out-of-range index `i` (may be negative when passed as a
+/// signed value, here encoded as ptrdiff_t) into [0, n) under `mode`.
+/// Returns n for ZeroPad when the sample is outside (callers must treat
+/// index == n as "value 0").
+[[nodiscard]] inline std::size_t extend_index(std::ptrdiff_t i, std::size_t n,
+                                              BoundaryMode mode) noexcept {
+    const auto sn = static_cast<std::ptrdiff_t>(n);
+    if (i >= 0 && i < sn) return static_cast<std::size_t>(i);
+    switch (mode) {
+        case BoundaryMode::Periodic: {
+            std::ptrdiff_t m = i % sn;
+            if (m < 0) m += sn;
+            return static_cast<std::size_t>(m);
+        }
+        case BoundaryMode::Symmetric: {
+            // Half-sample symmetry has period 2n: ... 1 0 | 0 1 ... n-1 | n-1 ...
+            std::ptrdiff_t m = i % (2 * sn);
+            if (m < 0) m += 2 * sn;
+            if (m >= sn) m = 2 * sn - 1 - m;
+            return static_cast<std::size_t>(m);
+        }
+        case BoundaryMode::ZeroPad:
+            return n;
+    }
+    return n;  // unreachable; keeps -Wreturn-type quiet
+}
+
+}  // namespace wavehpc::core

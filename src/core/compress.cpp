@@ -1,0 +1,113 @@
+#include "core/compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "core/metrics.hpp"
+
+namespace wavehpc::core {
+
+namespace {
+
+template <typename Fn>
+void for_each_detail_band(Pyramid& pyr, Fn&& fn) {
+    for (auto& d : pyr.levels) {
+        fn(d.lh);
+        fn(d.hl);
+        fn(d.hh);
+    }
+}
+
+template <typename Fn>
+void for_each_detail_band(const Pyramid& pyr, Fn&& fn) {
+    for (const auto& d : pyr.levels) {
+        fn(d.lh);
+        fn(d.hl);
+        fn(d.hh);
+    }
+}
+
+}  // namespace
+
+std::size_t threshold_pyramid(Pyramid& pyr, float threshold) {
+    if (threshold < 0.0F) {
+        throw std::invalid_argument("threshold_pyramid: threshold must be >= 0");
+    }
+    std::size_t kept = pyr.approx.size();
+    for_each_detail_band(pyr, [&](ImageF& band) {
+        for (float& v : band.flat()) {
+            if (std::abs(v) <= threshold) {
+                v = 0.0F;
+            } else {
+                ++kept;
+            }
+        }
+    });
+    return kept;
+}
+
+std::size_t keep_largest(Pyramid& pyr, double keep_fraction) {
+    if (keep_fraction <= 0.0 || keep_fraction > 1.0) {
+        throw std::invalid_argument("keep_largest: fraction must be in (0, 1]");
+    }
+    std::vector<float> mags;
+    for_each_detail_band(static_cast<const Pyramid&>(pyr), [&](const ImageF& band) {
+        for (float v : band.flat()) mags.push_back(std::abs(v));
+    });
+    if (mags.empty()) return pyr.approx.size();
+    const auto keep = static_cast<std::size_t>(
+        keep_fraction * static_cast<double>(mags.size()));
+    if (keep >= mags.size()) return pyr.approx.size() + mags.size();
+    auto nth = mags.begin() + static_cast<std::ptrdiff_t>(mags.size() - 1 - keep);
+    std::nth_element(mags.begin(), nth, mags.end());
+    return threshold_pyramid(pyr, *nth);
+}
+
+void quantize_details(Pyramid& pyr, float step) {
+    if (step <= 0.0F) throw std::invalid_argument("quantize_details: step must be > 0");
+    for_each_detail_band(pyr, [&](ImageF& band) {
+        for (float& v : band.flat()) {
+            v = step * static_cast<float>(std::lround(v / step));
+        }
+    });
+}
+
+double detail_entropy_bits(const Pyramid& pyr, float step) {
+    if (step <= 0.0F) {
+        throw std::invalid_argument("detail_entropy_bits: step must be > 0");
+    }
+    std::map<long, std::size_t> histogram;
+    std::size_t total = 0;
+    for_each_detail_band(pyr, [&](const ImageF& band) {
+        for (float v : band.flat()) {
+            ++histogram[std::lround(v / step)];
+            ++total;
+        }
+    });
+    if (total == 0) return 0.0;
+    double bits = 0.0;
+    for (const auto& [symbol, count] : histogram) {
+        const double p = static_cast<double>(count) / static_cast<double>(total);
+        bits -= p * std::log2(p);
+    }
+    return bits;
+}
+
+CompressionReport compress_report(const ImageF& img, const FilterPair& fp, int levels,
+                                  double keep_fraction) {
+    Pyramid pyr = decompose(img, fp, levels, BoundaryMode::Periodic);
+    CompressionReport rep;
+    rep.total_coefficients = img.size();
+    rep.stored_coefficients = keep_largest(pyr, keep_fraction);
+    rep.compression_ratio = static_cast<double>(rep.total_coefficients) /
+                            static_cast<double>(std::max<std::size_t>(
+                                1, rep.stored_coefficients));
+    rep.entropy_bits = detail_entropy_bits(pyr, 1.0F);
+    const ImageF back = reconstruct(pyr, fp);
+    rep.psnr_db = psnr(img, back);
+    return rep;
+}
+
+}  // namespace wavehpc::core

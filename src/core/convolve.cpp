@@ -1,0 +1,189 @@
+#include "core/convolve.hpp"
+
+#include <stdexcept>
+
+namespace wavehpc::core {
+
+namespace {
+
+void require_even(std::size_t n, const char* what) {
+    if (n == 0 || n % 2 != 0) {
+        throw std::invalid_argument(std::string("convolve: ") + what +
+                                    " must be even and non-zero");
+    }
+}
+
+// True when all taps of the window starting at 2k stay inside [0, n) —
+// the fast path that needs no boundary mapping.
+[[nodiscard]] inline bool interior(std::size_t k, std::size_t taps, std::size_t n) noexcept {
+    return 2 * k + taps <= n;
+}
+
+}  // namespace
+
+void convolve_decimate_1d(std::span<const float> x, std::span<const float> f,
+                          std::span<float> y, BoundaryMode mode) {
+    require_even(x.size(), "signal length");
+    const std::size_t half = x.size() / 2;
+    if (y.size() != half) {
+        throw std::invalid_argument("convolve_decimate_1d: output size must be n/2");
+    }
+    const std::size_t taps = f.size();
+    for (std::size_t k = 0; k < half; ++k) {
+        float acc = 0.0F;
+        if (interior(k, taps, x.size())) {
+            const float* base = x.data() + 2 * k;
+            for (std::size_t n = 0; n < taps; ++n) acc += f[n] * base[n];
+        } else {
+            for (std::size_t n = 0; n < taps; ++n) {
+                const std::size_t idx =
+                    extend_index(static_cast<std::ptrdiff_t>(2 * k + n), x.size(), mode);
+                if (idx < x.size()) acc += f[n] * x[idx];
+            }
+        }
+        y[k] = acc;
+    }
+}
+
+void convolve_decimate_rows(const ImageF& in, std::span<const float> f, ImageF& out,
+                            BoundaryMode mode) {
+    require_even(in.cols(), "column count");
+    const std::size_t half = in.cols() / 2;
+    if (out.rows() != in.rows() || out.cols() != half) {
+        out = ImageF(in.rows(), half);
+    }
+    for (std::size_t r = 0; r < in.rows(); ++r) {
+        convolve_decimate_1d(in.row(r), f, out.row(r), mode);
+    }
+}
+
+void convolve_decimate_cols(const ImageF& in, std::span<const float> f, ImageF& out,
+                            BoundaryMode mode) {
+    require_even(in.rows(), "row count");
+    const std::size_t half = in.rows() / 2;
+    const std::size_t taps = f.size();
+    if (out.rows() != half || out.cols() != in.cols()) {
+        out = ImageF(half, in.cols());
+    }
+    // Process whole rows in the inner loop to stay cache-friendly.
+    for (std::size_t k = 0; k < half; ++k) {
+        auto dst = out.row(k);
+        for (auto& v : dst) v = 0.0F;
+        for (std::size_t n = 0; n < taps; ++n) {
+            const std::size_t idx =
+                extend_index(static_cast<std::ptrdiff_t>(2 * k + n), in.rows(), mode);
+            if (idx >= in.rows()) continue;  // ZeroPad outside
+            const float w = f[n];
+            auto src = in.row(idx);
+            for (std::size_t c = 0; c < in.cols(); ++c) dst[c] += w * src[c];
+        }
+    }
+}
+
+void synthesize_rows(const ImageF& low, const ImageF& high, std::span<const float> lowf,
+                     std::span<const float> highf, ImageF& out) {
+    if (low.rows() != high.rows() || low.cols() != high.cols()) {
+        throw std::invalid_argument("synthesize_rows: band shapes differ");
+    }
+    const std::size_t half = low.cols();
+    const std::size_t n = 2 * half;
+    const std::size_t taps = lowf.size();
+    if (out.rows() != low.rows() || out.cols() != n) {
+        out = ImageF(low.rows(), n);
+    }
+    for (std::size_t r = 0; r < low.rows(); ++r) {
+        const auto lo = low.row(r);
+        const auto hi = high.row(r);
+        auto dst = out.row(r);
+        for (std::size_t m = 0; m < n; ++m) {
+            float acc = 0.0F;
+            for (std::size_t j = m % 2; j < taps; j += 2) {
+                std::ptrdiff_t d = static_cast<std::ptrdiff_t>(m) -
+                                   static_cast<std::ptrdiff_t>(j);
+                d %= static_cast<std::ptrdiff_t>(n);
+                if (d < 0) d += static_cast<std::ptrdiff_t>(n);
+                const auto k = static_cast<std::size_t>(d) / 2;
+                acc += lowf[j] * lo[k];
+                acc += highf[j] * hi[k];
+            }
+            dst[m] = acc;
+        }
+    }
+}
+
+void synthesize_col_row(std::size_t m, std::size_t half_rows,
+                        std::span<const float> lowf, std::span<const float> highf,
+                        const std::function<std::span<const float>(std::size_t)>& low_row,
+                        const std::function<std::span<const float>(std::size_t)>& high_row,
+                        std::span<float> out) {
+    const std::size_t n = 2 * half_rows;
+    const std::size_t taps = lowf.size();
+    for (auto& v : out) v = 0.0F;
+    for (std::size_t j = m % 2; j < taps; j += 2) {
+        std::ptrdiff_t d = static_cast<std::ptrdiff_t>(m) - static_cast<std::ptrdiff_t>(j);
+        d %= static_cast<std::ptrdiff_t>(n);
+        if (d < 0) d += static_cast<std::ptrdiff_t>(n);
+        const auto k = static_cast<std::size_t>(d) / 2;
+        const float wl = lowf[j];
+        const float wh = highf[j];
+        const auto lo = low_row(k);
+        const auto hi = high_row(k);
+        for (std::size_t c = 0; c < out.size(); ++c) {
+            out[c] += wl * lo[c];
+            out[c] += wh * hi[c];
+        }
+    }
+}
+
+void synthesize_cols(const ImageF& low, const ImageF& high, std::span<const float> lowf,
+                     std::span<const float> highf, ImageF& out) {
+    if (low.rows() != high.rows() || low.cols() != high.cols()) {
+        throw std::invalid_argument("synthesize_cols: band shapes differ");
+    }
+    const std::size_t half = low.rows();
+    const std::size_t n = 2 * half;
+    if (out.rows() != n || out.cols() != low.cols()) {
+        out = ImageF(n, low.cols());
+    }
+    for (std::size_t m = 0; m < n; ++m) {
+        synthesize_col_row(
+            m, half, lowf, highf, [&](std::size_t k) { return low.row(k); },
+            [&](std::size_t k) { return high.row(k); }, out.row(m));
+    }
+}
+
+void upsample_accumulate_rows(const ImageF& in, std::span<const float> f, ImageF& out) {
+    const std::size_t n = 2 * in.cols();
+    if (out.rows() != in.rows() || out.cols() != n) {
+        throw std::invalid_argument("upsample_accumulate_rows: bad output shape");
+    }
+    const std::size_t taps = f.size();
+    for (std::size_t r = 0; r < in.rows(); ++r) {
+        auto src = in.row(r);
+        auto dst = out.row(r);
+        for (std::size_t k = 0; k < in.cols(); ++k) {
+            const float v = src[k];
+            for (std::size_t j = 0; j < taps; ++j) {
+                dst[(2 * k + j) % n] += f[j] * v;
+            }
+        }
+    }
+}
+
+void upsample_accumulate_cols(const ImageF& in, std::span<const float> f, ImageF& out) {
+    const std::size_t n = 2 * in.rows();
+    if (out.rows() != n || out.cols() != in.cols()) {
+        throw std::invalid_argument("upsample_accumulate_cols: bad output shape");
+    }
+    const std::size_t taps = f.size();
+    for (std::size_t k = 0; k < in.rows(); ++k) {
+        auto src = in.row(k);
+        for (std::size_t j = 0; j < taps; ++j) {
+            const float w = f[j];
+            auto dst = out.row((2 * k + j) % n);
+            for (std::size_t c = 0; c < in.cols(); ++c) dst[c] += w * src[c];
+        }
+    }
+}
+
+}  // namespace wavehpc::core

@@ -1,0 +1,71 @@
+#pragma once
+// Filtering + dyadic decimation primitives of the Mallat algorithm
+// (steps 1-4 of the paper's section 2), plus the adjoint upsample+filter
+// primitives used by reconstruction (figure 2).
+//
+// Analysis convention, along a length-N signal x with filter f of length F:
+//     y[k] = sum_{n=0}^{F-1} f[n] * x~[2k + n],  k in [0, N/2)
+// where x~ is x extended per BoundaryMode. Synthesis is the exact adjoint
+//     x[m] += sum_{k : 0 <= m-2k < F} f[m-2k] * y[k]
+// (computed with periodic wrap-around), so an orthonormal QMF pair gives
+// perfect reconstruction under BoundaryMode::Periodic.
+
+#include <functional>
+#include <span>
+
+#include "core/boundary.hpp"
+#include "core/image.hpp"
+
+namespace wavehpc::core {
+
+/// Filter every row of `in` with `f` and keep every second output column.
+/// Output shape: (in.rows(), in.cols()/2). in.cols() must be even.
+void convolve_decimate_rows(const ImageF& in, std::span<const float> f, ImageF& out,
+                            BoundaryMode mode);
+
+/// Filter every column of `in` with `f` and keep every second output row.
+/// Output shape: (in.rows()/2, in.cols()). in.rows() must be even.
+void convolve_decimate_cols(const ImageF& in, std::span<const float> f, ImageF& out,
+                            BoundaryMode mode);
+
+/// Adjoint of convolve_decimate_rows under periodic extension: upsample the
+/// columns of `in` by 2 and filter; result is accumulated into `out`
+/// (callers zero `out` first). Output shape: (in.rows(), 2*in.cols()).
+void upsample_accumulate_rows(const ImageF& in, std::span<const float> f, ImageF& out);
+
+/// Adjoint of convolve_decimate_cols under periodic extension.
+/// Output shape: (2*in.rows(), in.cols()).
+void upsample_accumulate_cols(const ImageF& in, std::span<const float> f, ImageF& out);
+
+/// 1-D analysis step used by unit tests and by the stripe kernels:
+/// y[k] = sum f[n] x~[2k+n] for k in [0, x.size()/2).
+void convolve_decimate_1d(std::span<const float> x, std::span<const float> f,
+                          std::span<float> y, BoundaryMode mode);
+
+/// Gather-form synthesis along rows (periodic): each output sample is
+/// evaluated independently —
+///   out(r, m) = sum_{j in [0,taps), j ≡ m (mod 2)}
+///                 lowf[j]*low(r, k) + highf[j]*high(r, k),
+///   k = (m - j)/2 mod low.cols().
+/// Mathematically equal to the two upsample_accumulate_* calls but with a
+/// per-output accumulation order, which is what the parallel reconstruction
+/// backends need (each rank owns whole outputs). Output: (rows, 2*cols).
+void synthesize_rows(const ImageF& low, const ImageF& high,
+                     std::span<const float> lowf, std::span<const float> highf,
+                     ImageF& out);
+
+/// Gather-form synthesis along columns; output: (2*rows, cols).
+void synthesize_cols(const ImageF& low, const ImageF& high,
+                     std::span<const float> lowf, std::span<const float> highf,
+                     ImageF& out);
+
+/// One output row of synthesize_cols, exposed for the distributed backend:
+/// computes global output row m from coefficient rows of the half-size
+/// bands accessed through `coeff_row(k)` (k already wrapped to [0, half)).
+void synthesize_col_row(std::size_t m, std::size_t half_rows,
+                        std::span<const float> lowf, std::span<const float> highf,
+                        const std::function<std::span<const float>(std::size_t)>& low_row,
+                        const std::function<std::span<const float>(std::size_t)>& high_row,
+                        std::span<float> out);
+
+}  // namespace wavehpc::core

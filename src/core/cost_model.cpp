@@ -1,0 +1,115 @@
+#include "core/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wavehpc::core {
+
+std::size_t WaveletWork::outputs() const noexcept {
+    std::size_t n = 0;
+    for (const auto& lw : per_level) n += lw.outputs;
+    return n;
+}
+
+std::size_t WaveletWork::macs() const noexcept {
+    std::size_t n = 0;
+    for (const auto& lw : per_level) n += lw.macs;
+    return n;
+}
+
+WaveletWork WaveletWork::analyze(std::size_t rows, std::size_t cols, int taps, int levels) {
+    if (taps <= 0 || levels <= 0) {
+        throw std::invalid_argument("WaveletWork::analyze: taps and levels must be positive");
+    }
+    WaveletWork w;
+    std::size_t r = rows;
+    std::size_t c = cols;
+    for (int k = 0; k < levels; ++k) {
+        LevelWork lw;
+        lw.outputs = 2 * r * c;  // row pass R*C samples + column pass R*C samples
+        lw.macs = lw.outputs * static_cast<std::size_t>(taps);
+        w.per_level.push_back(lw);
+        r /= 2;
+        c /= 2;
+    }
+    return w;
+}
+
+SequentialCostModel::SequentialCostModel(std::string name, double per_output,
+                                         double per_mac, double per_level)
+    : name_(std::move(name)),
+      per_output_(per_output),
+      per_mac_(per_mac),
+      per_level_(per_level) {}
+
+SequentialCostModel SequentialCostModel::fit(std::string name, std::size_t rows,
+                                             std::size_t cols,
+                                             const std::array<CalibrationPoint, 3>& pts) {
+    // Assemble the 3x3 system  A * [per_output, per_mac, per_level]^T = t.
+    double A[3][3];
+    double t[3];
+    for (int i = 0; i < 3; ++i) {
+        const WaveletWork w =
+            WaveletWork::analyze(rows, cols, pts[static_cast<std::size_t>(i)].taps,
+                                 pts[static_cast<std::size_t>(i)].levels);
+        A[i][0] = static_cast<double>(w.outputs());
+        A[i][1] = static_cast<double>(w.macs());
+        A[i][2] = pts[static_cast<std::size_t>(i)].levels;
+        t[i] = pts[static_cast<std::size_t>(i)].seconds;
+    }
+
+    // Cramer's rule — the system is tiny and the determinant check doubles
+    // as the singularity guard.
+    const auto det3 = [](const double m[3][3]) {
+        return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+               m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+               m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    };
+    const double det = det3(A);
+    if (std::abs(det) < 1e-12) {
+        throw std::runtime_error("SequentialCostModel::fit: singular calibration system");
+    }
+    double coeff[3];
+    for (int j = 0; j < 3; ++j) {
+        double B[3][3];
+        for (int i = 0; i < 3; ++i) {
+            for (int k = 0; k < 3; ++k) B[i][k] = A[i][k];
+            B[i][j] = t[i];
+        }
+        coeff[j] = det3(B) / det;
+    }
+    if (coeff[0] <= 0.0 || coeff[1] <= 0.0 || coeff[2] <= 0.0) {
+        throw std::runtime_error(
+            "SequentialCostModel::fit: unphysical (non-positive) coefficient");
+    }
+    return {std::move(name), coeff[0], coeff[1], coeff[2]};
+}
+
+const SequentialCostModel& SequentialCostModel::paragon_node() {
+    static const SequentialCostModel model =
+        fit("paragon-i860-node", 512, 512, Table1Reference::paragon_1proc);
+    return model;
+}
+
+const SequentialCostModel& SequentialCostModel::dec5000() {
+    static const SequentialCostModel model =
+        fit("dec5000", 512, 512, Table1Reference::dec5000);
+    return model;
+}
+
+double SequentialCostModel::seconds(const WaveletWork& w) const noexcept {
+    double s = 0.0;
+    for (const auto& lw : w.per_level) s += seconds(lw);
+    return s + per_level_ * w.levels();
+}
+
+double SequentialCostModel::seconds(const LevelWork& w) const noexcept {
+    return seconds(w.outputs, w.macs);
+}
+
+double SequentialCostModel::seconds(std::size_t outputs, std::size_t macs) const noexcept {
+    return per_output_ * static_cast<double>(outputs) +
+           per_mac_ * static_cast<double>(macs);
+}
+
+}  // namespace wavehpc::core

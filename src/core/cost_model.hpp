@@ -1,0 +1,110 @@
+#pragma once
+// Work accounting and calibrated sequential cost models.
+//
+// The simulators charge virtual time for computation through a three-term
+// model fitted once against the paper's own *sequential* measurements
+// (Table 1 column entries for the Paragon single node and the DEC 5000):
+//
+//     t = per_output * outputs + per_mac * macs + per_level * levels
+//
+// where `outputs` is the number of subband samples produced, `macs` the
+// multiply-accumulates, and the per-level term captures fixed level setup
+// (buffer management, subband bookkeeping). Three (filter, level) points
+// determine the three coefficients exactly; parallel-run predictions are
+// then emergent, never re-fitted (DESIGN.md section 5.3).
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wavehpc::core {
+
+/// Work in one decomposition level of an R x C input: row pass + column pass.
+struct LevelWork {
+    std::size_t outputs = 0;
+    std::size_t macs = 0;
+};
+
+/// Work of a full multi-resolution decomposition.
+struct WaveletWork {
+    std::vector<LevelWork> per_level;
+
+    [[nodiscard]] std::size_t outputs() const noexcept;
+    [[nodiscard]] std::size_t macs() const noexcept;
+    [[nodiscard]] int levels() const noexcept { return static_cast<int>(per_level.size()); }
+
+    /// Work for decomposing a rows x cols image with a `taps`-tap filter
+    /// pair over `levels` levels. Each level on an R x C input produces
+    /// R*C row-pass samples plus R*C column-pass samples, `taps` MACs each.
+    [[nodiscard]] static WaveletWork analyze(std::size_t rows, std::size_t cols, int taps,
+                                             int levels);
+};
+
+/// Calibration datum: a (taps, levels) configuration and its measured time.
+struct CalibrationPoint {
+    int taps;
+    int levels;
+    double seconds;
+};
+
+class SequentialCostModel {
+public:
+    SequentialCostModel(std::string name, double per_output, double per_mac,
+                        double per_level);
+
+    /// Fit the three coefficients exactly through three measured points for
+    /// a rows x cols image. Throws if the system is singular or any fitted
+    /// coefficient comes out non-positive (an unphysical calibration).
+    [[nodiscard]] static SequentialCostModel fit(std::string name, std::size_t rows,
+                                                 std::size_t cols,
+                                                 const std::array<CalibrationPoint, 3>& pts);
+
+    /// Paper Table 1, "Intel Paragon 1 Proc." row (512x512 Landsat scene).
+    [[nodiscard]] static const SequentialCostModel& paragon_node();
+    /// Paper Table 1, "DEC 5000 Workstation" row.
+    [[nodiscard]] static const SequentialCostModel& dec5000();
+
+    [[nodiscard]] double seconds(const WaveletWork& w) const noexcept;
+    [[nodiscard]] double seconds(const LevelWork& w) const noexcept;
+    /// Charge for a partial slab of work with no level constant.
+    [[nodiscard]] double seconds(std::size_t outputs, std::size_t macs) const noexcept;
+
+    [[nodiscard]] double per_output() const noexcept { return per_output_; }
+    [[nodiscard]] double per_mac() const noexcept { return per_mac_; }
+    [[nodiscard]] double per_level() const noexcept { return per_level_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::string name_;
+    double per_output_;
+    double per_mac_;
+    double per_level_;
+};
+
+/// Paper Table 1 measurements, used both for calibration and for the
+/// paper-vs-measured comparison printed by bench_table1_comparative.
+struct Table1Reference {
+    static constexpr std::array<CalibrationPoint, 3> paragon_1proc{
+        CalibrationPoint{8, 1, 4.227},
+        CalibrationPoint{4, 2, 3.45},
+        CalibrationPoint{2, 4, 2.78},
+    };
+    static constexpr std::array<CalibrationPoint, 3> paragon_32proc{
+        CalibrationPoint{8, 1, 0.613},
+        CalibrationPoint{4, 2, 0.632},
+        CalibrationPoint{2, 4, 0.6623},
+    };
+    static constexpr std::array<CalibrationPoint, 3> maspar_mp2_16k{
+        CalibrationPoint{8, 1, 0.0169},
+        CalibrationPoint{4, 2, 0.0138},
+        CalibrationPoint{2, 4, 0.0123},
+    };
+    static constexpr std::array<CalibrationPoint, 3> dec5000{
+        CalibrationPoint{8, 1, 5.47},
+        CalibrationPoint{4, 2, 4.54},
+        CalibrationPoint{2, 4, 4.11},
+    };
+};
+
+}  // namespace wavehpc::core

@@ -1,0 +1,110 @@
+#include "core/dwt.hpp"
+
+#include <stdexcept>
+
+namespace wavehpc::core {
+
+void validate_decomposition_request(std::size_t rows, std::size_t cols, int levels) {
+    if (levels < 1) {
+        throw std::invalid_argument("decompose: levels must be >= 1");
+    }
+    if (levels >= 63) {
+        throw std::invalid_argument("decompose: levels out of range");
+    }
+    const std::size_t div = std::size_t{1} << levels;
+    if (rows == 0 || cols == 0 || rows % div != 0 || cols % div != 0) {
+        throw std::invalid_argument(
+            "decompose: image dimensions must be non-zero and divisible by 2^levels");
+    }
+}
+
+Subbands decompose_level(const ImageF& in, const FilterPair& fp, BoundaryMode mode) {
+    validate_decomposition_request(in.rows(), in.cols(), 1);
+    // Row filtering + column decimation: I -> L, H (steps 1-2).
+    ImageF low_rows;
+    ImageF high_rows;
+    convolve_decimate_rows(in, fp.low(), low_rows, mode);
+    convolve_decimate_rows(in, fp.high(), high_rows, mode);
+
+    // Column filtering + row decimation: L -> LL, LH; H -> HL, HH (steps 3-4).
+    Subbands sb;
+    convolve_decimate_cols(low_rows, fp.low(), sb.ll, mode);
+    convolve_decimate_cols(low_rows, fp.high(), sb.detail.lh, mode);
+    convolve_decimate_cols(high_rows, fp.low(), sb.detail.hl, mode);
+    convolve_decimate_cols(high_rows, fp.high(), sb.detail.hh, mode);
+    return sb;
+}
+
+ImageF reconstruct_level(const Subbands& sb, const FilterPair& fp) {
+    const std::size_t half_r = sb.ll.rows();
+    const std::size_t half_c = sb.ll.cols();
+
+    // Column synthesis: (LL, LH) -> L and (HL, HH) -> H.
+    ImageF low_rows(2 * half_r, half_c, 0.0F);
+    upsample_accumulate_cols(sb.ll, fp.low(), low_rows);
+    upsample_accumulate_cols(sb.detail.lh, fp.high(), low_rows);
+
+    ImageF high_rows(2 * half_r, half_c, 0.0F);
+    upsample_accumulate_cols(sb.detail.hl, fp.low(), high_rows);
+    upsample_accumulate_cols(sb.detail.hh, fp.high(), high_rows);
+
+    // Row synthesis: (L, H) -> I.
+    ImageF out(2 * half_r, 2 * half_c, 0.0F);
+    upsample_accumulate_rows(low_rows, fp.low(), out);
+    upsample_accumulate_rows(high_rows, fp.high(), out);
+    return out;
+}
+
+ImageF reconstruct_level_gather(const Subbands& sb, const FilterPair& fp) {
+    ImageF low_rows;
+    ImageF high_rows;
+    synthesize_cols(sb.ll, sb.detail.lh, fp.low(), fp.high(), low_rows);
+    synthesize_cols(sb.detail.hl, sb.detail.hh, fp.low(), fp.high(), high_rows);
+    ImageF out;
+    synthesize_rows(low_rows, high_rows, fp.low(), fp.high(), out);
+    return out;
+}
+
+ImageF reconstruct_gather(const Pyramid& pyr, const FilterPair& fp) {
+    if (pyr.depth() == 0) {
+        throw std::invalid_argument("reconstruct_gather: empty pyramid");
+    }
+    ImageF current = pyr.approx;
+    for (std::size_t k = pyr.depth(); k-- > 0;) {
+        Subbands sb;
+        sb.ll = std::move(current);
+        sb.detail = pyr.levels[k];
+        current = reconstruct_level_gather(sb, fp);
+    }
+    return current;
+}
+
+Pyramid decompose(const ImageF& img, const FilterPair& fp, int levels, BoundaryMode mode) {
+    validate_decomposition_request(img.rows(), img.cols(), levels);
+    Pyramid pyr;
+    pyr.levels.reserve(static_cast<std::size_t>(levels));
+    ImageF current = img;
+    for (int k = 0; k < levels; ++k) {
+        Subbands sb = decompose_level(current, fp, mode);
+        pyr.levels.push_back(std::move(sb.detail));
+        current = std::move(sb.ll);
+    }
+    pyr.approx = std::move(current);
+    return pyr;
+}
+
+ImageF reconstruct(const Pyramid& pyr, const FilterPair& fp) {
+    if (pyr.depth() == 0) {
+        throw std::invalid_argument("reconstruct: empty pyramid");
+    }
+    ImageF current = pyr.approx;
+    for (std::size_t k = pyr.depth(); k-- > 0;) {
+        Subbands sb;
+        sb.ll = std::move(current);
+        sb.detail = pyr.levels[k];  // copy: the pyramid stays usable
+        current = reconstruct_level(sb, fp);
+    }
+    return current;
+}
+
+}  // namespace wavehpc::core

@@ -1,0 +1,67 @@
+#pragma once
+// The multi-resolution wavelet decomposition of Mallat [Mal89] as used by
+// the paper (section 2): repeated row filtering + column decimation followed
+// by column filtering + row decimation, recursing on the LL band.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/boundary.hpp"
+#include "core/convolve.hpp"
+#include "core/filters.hpp"
+#include "core/image.hpp"
+
+namespace wavehpc::core {
+
+/// One level of detail subbands. The LL band is either carried to the next
+/// level or stored as the Pyramid approximation.
+struct DetailBands {
+    ImageF lh;  ///< low-pass rows, high-pass columns
+    ImageF hl;  ///< high-pass rows, low-pass columns
+    ImageF hh;  ///< high-pass rows, high-pass columns
+};
+
+/// Result of one full decomposition level (figure 1 of the paper).
+struct Subbands {
+    ImageF ll;
+    DetailBands detail;
+};
+
+/// Multi-resolution pyramid: detail bands per level (finest first) plus the
+/// final coarse approximation I_L.
+struct Pyramid {
+    std::vector<DetailBands> levels;
+    ImageF approx;
+
+    [[nodiscard]] std::size_t depth() const noexcept { return levels.size(); }
+};
+
+/// Steps (1)-(4) of the paper's algorithm: decompose one level.
+[[nodiscard]] Subbands decompose_level(const ImageF& in, const FilterPair& fp,
+                                       BoundaryMode mode = BoundaryMode::Periodic);
+
+/// Inverse of decompose_level under periodic extension.
+[[nodiscard]] ImageF reconstruct_level(const Subbands& sb, const FilterPair& fp);
+
+/// Full multi-resolution decomposition to `levels` levels. The image
+/// dimensions must be divisible by 2^levels.
+[[nodiscard]] Pyramid decompose(const ImageF& img, const FilterPair& fp, int levels,
+                                BoundaryMode mode = BoundaryMode::Periodic);
+
+/// Full reconstruction (figure 2). Exact for BoundaryMode::Periodic input.
+[[nodiscard]] ImageF reconstruct(const Pyramid& pyr, const FilterPair& fp);
+
+/// Gather-form reconstruction: identical mathematics with a per-output
+/// accumulation order; the bit-exact reference for the parallel backends
+/// (each parallel rank computes whole outputs). Differences from
+/// reconstruct() stay at float rounding level.
+[[nodiscard]] ImageF reconstruct_gather(const Pyramid& pyr, const FilterPair& fp);
+
+/// One gather-form synthesis level.
+[[nodiscard]] ImageF reconstruct_level_gather(const Subbands& sb, const FilterPair& fp);
+
+/// Throws std::invalid_argument unless rows and cols are divisible by
+/// 2^levels and levels >= 1.
+void validate_decomposition_request(std::size_t rows, std::size_t cols, int levels);
+
+}  // namespace wavehpc::core

@@ -1,0 +1,47 @@
+#include "core/filters.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wavehpc::core {
+
+FilterPair::FilterPair(std::vector<float> low, std::string name)
+    : low_(std::move(low)), name_(std::move(name)) {
+    if (low_.empty() || low_.size() % 2 != 0) {
+        throw std::invalid_argument("FilterPair: filter length must be even and > 0");
+    }
+    const int n = static_cast<int>(low_.size());
+    high_.resize(low_.size());
+    for (int k = 0; k < n; ++k) {
+        const float sign = (k % 2 == 0) ? 1.0F : -1.0F;
+        high_[static_cast<std::size_t>(k)] = sign * low_[static_cast<std::size_t>(n - 1 - k)];
+    }
+}
+
+FilterPair FilterPair::daubechies(int taps) {
+    // Standard double-precision Daubechies scaling coefficients, normalized
+    // so that sum(l^2) = 1 and sum(l) = sqrt(2).
+    switch (taps) {
+        case 2:
+            return FilterPair({0.70710678118654752F, 0.70710678118654752F}, "haar");
+        case 4:
+            return FilterPair({0.48296291314469025F, 0.83651630373746899F,
+                               0.22414386804185735F, -0.12940952255092145F},
+                              "daub4");
+        case 6:
+            return FilterPair({0.33267055295095688F, 0.80689150931333875F,
+                               0.45987750211933132F, -0.13501102001039084F,
+                               -0.08544127388224149F, 0.03522629188210562F},
+                              "daub6");
+        case 8:
+            return FilterPair({0.23037781330885523F, 0.71484657055254153F,
+                               0.63088076792959036F, -0.02798376941698385F,
+                               -0.18703481171888114F, 0.03084138183598697F,
+                               0.03288301166698295F, -0.01059740178499728F},
+                              "daub8");
+        default:
+            throw std::invalid_argument("FilterPair::daubechies: taps must be 2, 4, 6 or 8");
+    }
+}
+
+}  // namespace wavehpc::core

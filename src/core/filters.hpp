@@ -1,0 +1,37 @@
+#pragma once
+// Orthonormal quadrature-mirror filter pairs for the Mallat decomposition.
+//
+// Following Mallat [Mal89], the wavelet basis is defined by a low-pass
+// scaling filter L; the high-pass filter is its mirror
+//     H[n] = (-1)^n L[taps-1-n],
+// so the pair forms a quadrature mirror filter bank. The paper uses filters
+// of sizes 8, 4 and 2, which correspond to Daubechies D8, D4 and D2 (Haar).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wavehpc::core {
+
+class FilterPair {
+public:
+    /// Build a pair from a low-pass filter; the high-pass is derived by the
+    /// QMF mirror relation. Throws if `low` is empty or has odd length.
+    explicit FilterPair(std::vector<float> low, std::string name = "custom");
+
+    /// Daubechies orthonormal filter with `taps` coefficients
+    /// (2 = Haar, 4 = D4, 6 = D6, 8 = D8 — the paper's filter sizes).
+    [[nodiscard]] static FilterPair daubechies(int taps);
+
+    [[nodiscard]] std::span<const float> low() const noexcept { return low_; }
+    [[nodiscard]] std::span<const float> high() const noexcept { return high_; }
+    [[nodiscard]] int taps() const noexcept { return static_cast<int>(low_.size()); }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+private:
+    std::vector<float> low_;
+    std::vector<float> high_;
+    std::string name_;
+};
+
+}  // namespace wavehpc::core

@@ -1,0 +1,53 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wavehpc::core {
+
+namespace {
+void require_same_shape(const ImageF& a, const ImageF& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        throw std::invalid_argument("metrics: image shapes differ");
+    }
+}
+}  // namespace
+
+double max_abs_diff(const ImageF& a, const ImageF& b) {
+    require_same_shape(a, b);
+    double m = 0.0;
+    auto fa = a.flat();
+    auto fb = b.flat();
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+        m = std::max(m, std::abs(static_cast<double>(fa[i]) - fb[i]));
+    }
+    return m;
+}
+
+double rms_diff(const ImageF& a, const ImageF& b) {
+    require_same_shape(a, b);
+    if (a.size() == 0) return 0.0;
+    double acc = 0.0;
+    auto fa = a.flat();
+    auto fb = b.flat();
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+        const double d = static_cast<double>(fa[i]) - fb[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double psnr(const ImageF& a, const ImageF& b, double peak) {
+    const double rms = rms_diff(a, b);
+    if (rms == 0.0) return std::numeric_limits<double>::infinity();
+    return 20.0 * std::log10(peak / rms);
+}
+
+double energy(const ImageF& img) {
+    double acc = 0.0;
+    for (float v : img.flat()) acc += static_cast<double>(v) * v;
+    return acc;
+}
+
+}  // namespace wavehpc::core

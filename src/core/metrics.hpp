@@ -1,0 +1,22 @@
+#pragma once
+// Image comparison and energy metrics used by correctness tests and by the
+// reconstruction-quality reports in the examples.
+
+#include "core/image.hpp"
+
+namespace wavehpc::core {
+
+/// Largest absolute pixel difference; throws if shapes differ.
+[[nodiscard]] double max_abs_diff(const ImageF& a, const ImageF& b);
+
+/// Root-mean-square difference; throws if shapes differ.
+[[nodiscard]] double rms_diff(const ImageF& a, const ImageF& b);
+
+/// Peak signal-to-noise ratio in dB against `peak` (255 for 8-bit data).
+/// Returns +inf when the images are identical.
+[[nodiscard]] double psnr(const ImageF& a, const ImageF& b, double peak = 255.0);
+
+/// Sum of squared pixel values — conserved across an orthonormal DWT.
+[[nodiscard]] double energy(const ImageF& img);
+
+}  // namespace wavehpc::core

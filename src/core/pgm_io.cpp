@@ -1,0 +1,95 @@
+#include "core/pgm_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wavehpc::core {
+
+namespace {
+
+// Skip whitespace and '#' comment lines between PGM header tokens.
+void skip_separators(std::istream& in) {
+    for (;;) {
+        const int c = in.peek();
+        if (c == '#') {
+            std::string line;
+            std::getline(in, line);
+        } else if (std::isspace(c) != 0) {
+            in.get();
+        } else {
+            return;
+        }
+    }
+}
+
+std::size_t read_header_value(std::istream& in, const char* what) {
+    skip_separators(in);
+    long long v = -1;
+    in >> v;
+    if (!in || v <= 0) {
+        throw std::runtime_error(std::string("read_pgm: bad header field: ") + what);
+    }
+    return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+ImageF read_pgm(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+
+    std::string magic;
+    in >> magic;
+    if (magic != "P5" && magic != "P2") {
+        throw std::runtime_error("read_pgm: not a PGM file: " + path);
+    }
+    const std::size_t cols = read_header_value(in, "width");
+    const std::size_t rows = read_header_value(in, "height");
+    const std::size_t maxval = read_header_value(in, "maxval");
+    if (maxval > 65535) throw std::runtime_error("read_pgm: maxval out of range");
+
+    ImageF img(rows, cols);
+    if (magic == "P2") {
+        for (float& px : img.flat()) {
+            long long v = 0;
+            in >> v;
+            if (!in) throw std::runtime_error("read_pgm: truncated ASCII data");
+            px = static_cast<float>(v);
+        }
+        return img;
+    }
+
+    in.get();  // single whitespace after maxval
+    const bool two_bytes = maxval > 255;
+    std::vector<unsigned char> raw(rows * cols * (two_bytes ? 2 : 1));
+    in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
+    if (static_cast<std::size_t>(in.gcount()) != raw.size()) {
+        throw std::runtime_error("read_pgm: truncated binary data");
+    }
+    auto flat = img.flat();
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        flat[i] = two_bytes
+                      ? static_cast<float>((raw[2 * i] << 8) | raw[2 * i + 1])  // big-endian
+                      : static_cast<float>(raw[i]);
+    }
+    return img;
+}
+
+void write_pgm(const ImageF& img, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+    out << "P5\n" << img.cols() << ' ' << img.rows() << "\n255\n";
+    std::vector<unsigned char> raw;
+    raw.reserve(img.size());
+    for (float v : img.flat()) {
+        const float clamped = std::min(255.0F, std::max(0.0F, v));
+        raw.push_back(static_cast<unsigned char>(std::lround(clamped)));
+    }
+    out.write(reinterpret_cast<const char*>(raw.data()),
+              static_cast<std::streamsize>(raw.size()));
+    if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+}  // namespace wavehpc::core

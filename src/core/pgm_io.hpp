@@ -1,0 +1,19 @@
+#pragma once
+// Minimal PGM (P5 binary / P2 ASCII) reader and writer so real remotely
+// sensed scenes can be fed to the pipeline in place of the synthetic one.
+
+#include <string>
+
+#include "core/image.hpp"
+
+namespace wavehpc::core {
+
+/// Read an 8- or 16-bit PGM into floats in [0, maxval]. Throws
+/// std::runtime_error on malformed input or I/O failure.
+[[nodiscard]] ImageF read_pgm(const std::string& path);
+
+/// Write an 8-bit binary (P5) PGM, clamping pixels to [0, 255] and rounding
+/// to nearest. Throws std::runtime_error on I/O failure.
+void write_pgm(const ImageF& img, const std::string& path);
+
+}  // namespace wavehpc::core

@@ -1,0 +1,79 @@
+#include "core/stripe.hpp"
+
+namespace wavehpc::core {
+
+StripePartition::StripePartition(std::size_t rows, std::size_t parts,
+                                 std::size_t granularity)
+    : rows_(rows), parts_(parts) {
+    if (parts == 0) throw std::invalid_argument("StripePartition: parts must be > 0");
+    if (granularity == 0 || granularity % 2 != 0) {
+        throw std::invalid_argument(
+            "StripePartition: granularity must be a positive multiple of 2");
+    }
+    if (rows % granularity != 0 || rows < granularity * parts) {
+        throw std::invalid_argument(
+            "StripePartition: rows must be a multiple of granularity and >= "
+            "granularity * parts");
+    }
+    // Distribute rows/granularity units as evenly as possible; every stripe
+    // height is then a multiple of the granularity, so decimated output rows
+    // stay aligned per rank at every level.
+    const std::size_t units = rows / granularity;
+    starts_.resize(parts + 1);
+    starts_[0] = 0;
+    for (std::size_t i = 0; i < parts; ++i) {
+        const std::size_t share = units / parts + ((i < units % parts) ? 1 : 0);
+        starts_[i + 1] = starts_[i] + granularity * share;
+    }
+}
+
+std::size_t StripePartition::first_row(std::size_t rank) const {
+    if (rank >= parts_) throw std::out_of_range("StripePartition::first_row: bad rank");
+    return starts_[rank];
+}
+
+std::size_t StripePartition::height(std::size_t rank) const {
+    if (rank >= parts_) throw std::out_of_range("StripePartition::height: bad rank");
+    return starts_[rank + 1] - starts_[rank];
+}
+
+std::size_t StripePartition::owner(std::size_t r) const {
+    if (r >= rows_) throw std::out_of_range("StripePartition::owner: bad row");
+    // Binary search over the stripe starts.
+    std::size_t lo = 0;
+    std::size_t hi = parts_;
+    while (hi - lo > 1) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (starts_[mid] <= r) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+Coord2 place_rank(std::size_t rank, std::size_t mesh_width, MappingPolicy policy) {
+    if (mesh_width == 0) throw std::invalid_argument("place_rank: mesh width must be > 0");
+    const std::size_t row = rank / mesh_width;
+    const std::size_t col = rank % mesh_width;
+    switch (policy) {
+        case MappingPolicy::Naive:
+            return {col, row};
+        case MappingPolicy::Snake:
+            return {(row % 2 == 0) ? col : mesh_width - 1 - col, row};
+    }
+    throw std::logic_error("place_rank: unknown policy");
+}
+
+std::vector<Coord2> make_placement(std::size_t nranks, std::size_t mesh_width,
+                                   MappingPolicy policy) {
+    std::vector<Coord2> out;
+    out.reserve(nranks);
+    for (std::size_t r = 0; r < nranks; ++r) {
+        out.push_back(place_rank(r, mesh_width, policy));
+    }
+    return out;
+}
+
+}  // namespace wavehpc::core

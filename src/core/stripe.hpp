@@ -1,0 +1,67 @@
+#pragma once
+// Striped domain decomposition for the coarse-grain MIMD algorithm
+// (paper section 4.2, figures 3 and 4).
+//
+// The image is cut into horizontal stripes, one per SPMD rank. Stripes keep
+// row filtering fully local; column filtering needs a guard zone of
+// (taps - 2) rows fetched from the stripe(s) below (south), because the
+// analysis window for output row k covers input rows [2k, 2k + taps).
+// Stripe heights are kept even at every level so decimated output rows stay
+// contiguous per rank and the decomposition recurses without redistribution.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace wavehpc::core {
+
+/// Balanced partition of `rows` image rows into `parts` stripes whose
+/// heights are multiples of `granularity`.
+class StripePartition {
+public:
+    /// `granularity` must be a positive multiple of 2; use 2^levels for a
+    /// multi-level decomposition so every level's stripe height stays even
+    /// under repeated halving. Throws unless rows is a multiple of
+    /// granularity and rows >= granularity * parts (every rank must own at
+    /// least one coarsest-level output row).
+    StripePartition(std::size_t rows, std::size_t parts, std::size_t granularity = 2);
+
+    [[nodiscard]] std::size_t parts() const noexcept { return parts_; }
+    [[nodiscard]] std::size_t total_rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t first_row(std::size_t rank) const;
+    [[nodiscard]] std::size_t height(std::size_t rank) const;
+    [[nodiscard]] std::size_t end_row(std::size_t rank) const {
+        return first_row(rank) + height(rank);
+    }
+    /// Which rank owns global row `r`.
+    [[nodiscard]] std::size_t owner(std::size_t r) const;
+
+private:
+    std::size_t rows_;
+    std::size_t parts_;
+    std::vector<std::size_t> starts_;  // parts_ + 1 entries
+};
+
+/// How SPMD ranks are laid onto the physical mesh (paper figure 4).
+enum class MappingPolicy : std::uint8_t {
+    Naive,  ///< row-major: rank r at (r % width, r / width)
+    Snake,  ///< serpentine: odd mesh rows reversed, neighbours 1 hop apart
+};
+
+struct Coord2 {
+    std::size_t x = 0;
+    std::size_t y = 0;
+    friend bool operator==(Coord2, Coord2) = default;
+};
+
+/// Physical coordinate of SPMD rank `rank` on a mesh of the given width.
+[[nodiscard]] Coord2 place_rank(std::size_t rank, std::size_t mesh_width,
+                                MappingPolicy policy);
+
+/// Full placement vector for `nranks` ranks.
+[[nodiscard]] std::vector<Coord2> make_placement(std::size_t nranks,
+                                                 std::size_t mesh_width,
+                                                 MappingPolicy policy);
+
+}  // namespace wavehpc::core

@@ -1,0 +1,35 @@
+#pragma once
+// Deterministic synthetic Landsat-Thematic-Mapper-like test scenes.
+//
+// The paper's experiments use a 512x512 Landsat-TM band of the Pacific
+// Northwest, which we cannot redistribute. DWT cost is data independent, but
+// correctness and compression-quality checks want realistic imagery, so this
+// module synthesizes terrain with the statistics that make wavelet pyramids
+// interesting: fractional-Brownian relief (broad 1/f spectrum), a meandering
+// dark river (sharp edges for the detail bands), and faint along-track sensor
+// striping (a TM artifact). Fully deterministic in (size, seed, band).
+
+#include <cstdint>
+
+#include "core/image.hpp"
+
+namespace wavehpc::core {
+
+/// Spectral band flavour, loosely mimicking TM band radiometry.
+enum class TmBand : std::uint8_t {
+    Visible,   ///< mid-toned terrain, strong relief shading
+    NearIr,    ///< bright vegetated uplands, very dark water
+    Thermal,   ///< smooth low-frequency field
+};
+
+/// Render a rows x cols scene with pixel values in [0, 255].
+[[nodiscard]] ImageF landsat_tm_like(std::size_t rows, std::size_t cols,
+                                     std::uint64_t seed = 1996,
+                                     TmBand band = TmBand::Visible);
+
+/// Low-level ingredient, exposed for tests: smooth value-noise fBm field in
+/// [0, 1] with `octaves` octaves of persistence 0.55.
+[[nodiscard]] ImageF fbm_field(std::size_t rows, std::size_t cols, std::uint64_t seed,
+                               int octaves);
+
+}  // namespace wavehpc::core

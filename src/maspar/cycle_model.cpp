@@ -1,0 +1,110 @@
+#include "maspar/cycle_model.hpp"
+
+#include <stdexcept>
+
+namespace wavehpc::maspar {
+
+std::size_t CycleModel::layers(std::size_t elems) const {
+    const std::size_t pes = profile_.array_dim * profile_.array_dim;
+    return std::max<std::size_t>(1, (elems + pes - 1) / pes);
+}
+
+CycleBreakdown CycleModel::shift_cost(std::size_t rows, std::size_t cols,
+                                      std::size_t distance, Virtualization virt) const {
+    // Shift is along the `cols` axis; callers swap rows/cols for a vertical
+    // shift.
+    CycleBreakdown c;
+    if (distance == 0) return c;
+    const std::size_t v = layers(rows * cols);
+    switch (virt) {
+        case Virtualization::CutAndStack:
+            // Every layer's element crosses a PE boundary on every hop.
+            c.xnet = static_cast<double>(v * distance) * profile_.cyc_xnet_step;
+            break;
+        case Virtualization::Hierarchical: {
+            // Each PE holds a contiguous block_r x block_c tile; only the
+            // tile edge travels over the X-net, the rest moves locally.
+            const std::size_t block_r =
+                std::max<std::size_t>(1, (rows + profile_.array_dim - 1) / profile_.array_dim);
+            const std::size_t block_c =
+                std::max<std::size_t>(1, (cols + profile_.array_dim - 1) / profile_.array_dim);
+            c.xnet = static_cast<double>(block_r * distance) * profile_.cyc_xnet_step;
+            const std::size_t local = (block_c > distance) ? block_c - distance : 0;
+            c.pe_local = static_cast<double>(block_r * local) * profile_.cyc_pe_move;
+            break;
+        }
+    }
+    return c;
+}
+
+CycleBreakdown CycleModel::tap_step_cost(std::size_t rows, std::size_t cols,
+                                         std::size_t distance, Virtualization virt) const {
+    CycleBreakdown c = shift_cost(rows, cols, distance, virt);
+    c.broadcast += profile_.cyc_broadcast;
+    c.mac += static_cast<double>(layers(rows * cols)) * profile_.cyc_fp_mac;
+    return c;
+}
+
+CycleBreakdown CycleModel::router_decimation_cost(std::size_t items) const {
+    // Every cluster port serializes its PEs' items; clusters run in
+    // parallel, layers run back-to-back.
+    CycleBreakdown c;
+    c.router = static_cast<double>(layers(items) * profile_.cluster_size) *
+               profile_.cyc_router_item;
+    return c;
+}
+
+CycleBreakdown CycleModel::level_cost(std::size_t rows, std::size_t cols, int level,
+                                      int taps, Algorithm alg, Virtualization virt) const {
+    if (level < 0 || taps <= 0) {
+        throw std::invalid_argument("CycleModel::level_cost: bad level or taps");
+    }
+    CycleBreakdown c;
+
+    // Systolic works on planes compacted by earlier decimations; dilution
+    // keeps the full-size plane and stretches the filter stride instead.
+    const bool dilute = alg == Algorithm::SystolicDilution;
+    const std::size_t plane_r = dilute ? rows : (rows >> level);
+    const std::size_t plane_c = dilute ? cols : (cols >> level);
+    const std::size_t stride = dilute ? (std::size_t{1} << level) : 1;
+
+    // Row pass: two accumulations (L and H bands), `taps` steps each, with
+    // horizontal shifts.
+    const CycleBreakdown row_step = tap_step_cost(plane_r, plane_c, stride, virt);
+    for (int i = 0; i < 2 * taps; ++i) c += row_step;
+
+    if (!dilute) {
+        // Compact the kept columns of both bands through the global router.
+        const std::size_t kept = (rows >> level) * (cols >> (level + 1));
+        c += router_decimation_cost(kept);
+        c += router_decimation_cost(kept);
+    }
+
+    // Column pass: four accumulations (LL, LH from L; HL, HH from H) with
+    // vertical shifts, on the column-decimated plane (systolic) or the
+    // full-size plane (dilution).
+    const std::size_t col_plane_r = plane_r;
+    const std::size_t col_plane_c = dilute ? cols : (cols >> (level + 1));
+    const CycleBreakdown col_step =
+        tap_step_cost(col_plane_c, col_plane_r, stride, virt);  // vertical: swap axes
+    for (int i = 0; i < 4 * taps; ++i) c += col_step;
+
+    if (!dilute) {
+        const std::size_t kept = (rows >> (level + 1)) * (cols >> (level + 1));
+        for (int b = 0; b < 4; ++b) c += router_decimation_cost(kept);
+    }
+
+    c.setup += profile_.cyc_level_setup;
+    return c;
+}
+
+CycleBreakdown CycleModel::total_cost(std::size_t rows, std::size_t cols, int levels,
+                                      int taps, Algorithm alg, Virtualization virt) const {
+    CycleBreakdown c;
+    for (int k = 0; k < levels; ++k) {
+        c += level_cost(rows, cols, k, taps, alg, virt);
+    }
+    return c;
+}
+
+}  // namespace wavehpc::maspar

@@ -1,0 +1,95 @@
+#pragma once
+// SIMD cycle schedule for the two MasPar wavelet algorithms of the paper's
+// section 4.1 under the two virtualization layouts.
+//
+// Both algorithms execute, per filter tap: ACU broadcast of the coefficient,
+// one multiply-accumulate on every PE, and a shift of the partial-result
+// plane over the X-net ("partial results being accumulated and built up in
+// a systolic fashion"). They differ in decimation:
+//   * systolic          — compact the kept samples with the global router;
+//   * systolic+dilution — stretch ("dilute") the filter so taps align with
+//     the kept samples in place: no router, but level-k shifts travel 2^k
+//     X-net hops and the plane never shrinks.
+// Virtualization (images larger than the 128x128 array):
+//   * cut-and-stack     — layer l holds pixel block l; every shift crosses a
+//     PE boundary for every layer;
+//   * hierarchical      — each PE owns a contiguous block; a shift moves
+//     only the block edge over the X-net and the rest locally, which is why
+//     the paper found it superior.
+
+#include <cstddef>
+
+#include "maspar/profile.hpp"
+
+namespace wavehpc::maspar {
+
+enum class Algorithm { Systolic, SystolicDilution };
+enum class Virtualization { CutAndStack, Hierarchical };
+
+struct CycleBreakdown {
+    double broadcast = 0.0;
+    double mac = 0.0;
+    double xnet = 0.0;
+    double pe_local = 0.0;
+    double router = 0.0;
+    double setup = 0.0;
+
+    [[nodiscard]] double total() const noexcept {
+        return broadcast + mac + xnet + pe_local + router + setup;
+    }
+    CycleBreakdown& operator+=(const CycleBreakdown& o) noexcept {
+        broadcast += o.broadcast;
+        mac += o.mac;
+        xnet += o.xnet;
+        pe_local += o.pe_local;
+        router += o.router;
+        setup += o.setup;
+        return *this;
+    }
+};
+
+class CycleModel {
+public:
+    explicit CycleModel(MasParProfile profile) : profile_(std::move(profile)) {}
+
+    /// Virtualization layers for `elems` logical elements (ceil division by
+    /// the PE count; never less than 1 — an under-full array still runs one
+    /// SIMD instruction per plane operation).
+    [[nodiscard]] std::size_t layers(std::size_t elems) const;
+
+    /// Cycles to shift a rows x cols logical plane by `distance` hops.
+    [[nodiscard]] CycleBreakdown shift_cost(std::size_t rows, std::size_t cols,
+                                            std::size_t distance,
+                                            Virtualization virt) const;
+
+    /// One systolic tap step for one filter on a rows x cols plane:
+    /// broadcast + MAC + shift by `distance`.
+    [[nodiscard]] CycleBreakdown tap_step_cost(std::size_t rows, std::size_t cols,
+                                               std::size_t distance,
+                                               Virtualization virt) const;
+
+    /// Router compaction of `items` kept samples (cluster-port serialized).
+    [[nodiscard]] CycleBreakdown router_decimation_cost(std::size_t items) const;
+
+    /// Full schedule of one decomposition level. `level` is the level index
+    /// (0 = finest); `rows`/`cols` are the ORIGINAL image dimensions; taps
+    /// the filter length.
+    [[nodiscard]] CycleBreakdown level_cost(std::size_t rows, std::size_t cols,
+                                            int level, int taps, Algorithm alg,
+                                            Virtualization virt) const;
+
+    /// Whole multi-resolution decomposition schedule.
+    [[nodiscard]] CycleBreakdown total_cost(std::size_t rows, std::size_t cols,
+                                            int levels, int taps, Algorithm alg,
+                                            Virtualization virt) const;
+
+    [[nodiscard]] double seconds(const CycleBreakdown& c) const {
+        return c.total() / profile_.clock_hz;
+    }
+    [[nodiscard]] const MasParProfile& profile() const noexcept { return profile_; }
+
+private:
+    MasParProfile profile_;
+};
+
+}  // namespace wavehpc::maspar

@@ -1,0 +1,30 @@
+#pragma once
+// The fine-grain SIMD wavelet decomposition (paper section 4.1): real
+// arithmetic through the core kernels (periodic extension — the toroidal
+// X-net wraps), virtual time from the SIMD cycle schedule.
+//
+// Note on arithmetic order: the physical systolic array accumulates taps
+// from last to first; floating-point addition is not associative, so a
+// literal re-enactment could differ from the sequential reference in the
+// last ulp. We normalize to the reference accumulation order so results are
+// bit-comparable across every backend; the cycle schedule is unaffected.
+
+#include "core/dwt.hpp"
+#include "maspar/cycle_model.hpp"
+
+namespace wavehpc::maspar {
+
+struct MasparDwtResult {
+    core::Pyramid pyramid;
+    double seconds = 0.0;
+    CycleBreakdown cycles;
+};
+
+/// Decompose `img` with the given algorithm/virtualization. Throws for the
+/// same malformed requests as core::decompose.
+[[nodiscard]] MasparDwtResult maspar_decompose(const MasParProfile& profile,
+                                               const core::ImageF& img,
+                                               const core::FilterPair& fp, int levels,
+                                               Algorithm alg, Virtualization virt);
+
+}  // namespace wavehpc::maspar

@@ -1,0 +1,99 @@
+#include "maspar/pe_array.hpp"
+
+#include <stdexcept>
+
+namespace wavehpc::maspar {
+
+namespace {
+void require_same_shape(const PeArray::Plane& a, const PeArray::Plane& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        throw std::invalid_argument("PeArray: operand plane shapes differ");
+    }
+}
+void require_nonempty(const PeArray::Plane& p) {
+    if (p.empty()) throw std::invalid_argument("PeArray: empty plane");
+}
+}  // namespace
+
+void PeArray::mac_broadcast(Plane& acc, const Plane& x, float coeff) {
+    require_nonempty(acc);
+    require_same_shape(acc, x);
+    auto a = acc.flat();
+    auto b = x.flat();
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += coeff * b[i];
+    CycleBreakdown c;
+    c.broadcast = profile().cyc_broadcast;
+    c.mac = static_cast<double>(model_.layers(acc.size())) * profile().cyc_fp_mac;
+    cycles_ += c;
+}
+
+void PeArray::shift_west(Plane& plane, std::size_t dist) {
+    require_nonempty(plane);
+    if (dist == 0) return;
+    const std::size_t cols = plane.cols();
+    const std::size_t d = dist % cols;
+    Plane out(plane.rows(), cols);
+    for (std::size_t r = 0; r < plane.rows(); ++r) {
+        const auto src = plane.row(r);
+        auto dst = out.row(r);
+        for (std::size_t c = 0; c < cols; ++c) dst[c] = src[(c + d) % cols];
+    }
+    plane = std::move(out);
+    cycles_ += model_.shift_cost(plane.rows(), cols, dist, virt_);
+}
+
+void PeArray::shift_north(Plane& plane, std::size_t dist) {
+    require_nonempty(plane);
+    if (dist == 0) return;
+    const std::size_t rows = plane.rows();
+    const std::size_t d = dist % rows;
+    Plane out(rows, plane.cols());
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto src = plane.row((r + d) % rows);
+        auto dst = out.row(r);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    plane = std::move(out);
+    // Vertical shift: the travelling block edge is the horizontal one.
+    cycles_ += model_.shift_cost(plane.cols(), rows, dist, virt_);
+}
+
+PeArray::Plane PeArray::router_compact_cols(const Plane& in, std::size_t phase) {
+    require_nonempty(in);
+    if (in.cols() % 2 != 0) {
+        throw std::invalid_argument("router_compact_cols: odd width");
+    }
+    if (phase > 1) throw std::invalid_argument("router_compact_cols: phase in {0,1}");
+    Plane out(in.rows(), in.cols() / 2);
+    for (std::size_t r = 0; r < in.rows(); ++r) {
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+            out(r, c) = in(r, 2 * c + phase);
+        }
+    }
+    cycles_ += model_.router_decimation_cost(out.size());
+    return out;
+}
+
+PeArray::Plane PeArray::router_compact_rows(const Plane& in, std::size_t phase) {
+    require_nonempty(in);
+    if (in.rows() % 2 != 0) {
+        throw std::invalid_argument("router_compact_rows: odd height");
+    }
+    if (phase > 1) throw std::invalid_argument("router_compact_rows: phase in {0,1}");
+    Plane out(in.rows() / 2, in.cols());
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        const auto src = in.row(2 * r + phase);
+        auto dst = out.row(r);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    cycles_ += model_.router_decimation_cost(out.size());
+    return out;
+}
+
+void PeArray::level_setup() {
+    CycleBreakdown c;
+    c.setup = profile().cyc_level_setup;
+    cycles_ += c;
+}
+
+}  // namespace wavehpc::maspar

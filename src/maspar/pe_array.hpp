@@ -1,0 +1,66 @@
+#pragma once
+// Functional SIMD array machine: register planes the size of the logical
+// problem, manipulated by array-wide instructions that both transform the
+// data and charge cycles through the same cost rules as the schedule
+// calculator (CycleModel). Running an algorithm on the PeArray therefore
+// yields the real coefficients AND a cycle ledger that must agree with the
+// analytic schedule — a consistency that is unit-tested.
+//
+// Toroidal semantics throughout: the X-net wraps, so shifts implement
+// periodic boundary handling for free (why the MasPar algorithms pair with
+// BoundaryMode::Periodic). Plane shapes are carried by the planes
+// themselves (they shrink as the decomposition compacts); the array charges
+// each instruction for the virtualization layers the operand needs.
+
+#include "core/image.hpp"
+#include "maspar/cycle_model.hpp"
+
+namespace wavehpc::maspar {
+
+class PeArray {
+public:
+    using Plane = core::ImageF;
+
+    PeArray(MasParProfile profile, Virtualization virt)
+        : model_(std::move(profile)), virt_(virt) {}
+
+    /// Fresh zero plane (allocation is host staging: no cycles).
+    [[nodiscard]] static Plane make_plane(std::size_t rows, std::size_t cols,
+                                          float fill = 0.0F) {
+        return {rows, cols, fill};
+    }
+
+    /// acc += coeff * x on every PE: one ACU broadcast + one FP MAC.
+    void mac_broadcast(Plane& acc, const Plane& x, float coeff);
+
+    /// Toroidal plane shifts by `dist` X-net hops. West: out(c) = in(c+dist).
+    void shift_west(Plane& plane, std::size_t dist);
+    /// North: out(r) = in(r+dist).
+    void shift_north(Plane& plane, std::size_t dist);
+
+    /// Global-router compaction keeping columns 2c+phase: out is rows x
+    /// cols/2; cluster-serialized router traffic is charged.
+    [[nodiscard]] Plane router_compact_cols(const Plane& in, std::size_t phase);
+    /// Keeping rows 2r+phase: out is rows/2 x cols.
+    [[nodiscard]] Plane router_compact_rows(const Plane& in, std::size_t phase);
+
+    /// ACU bookkeeping starting a decomposition level.
+    void level_setup();
+
+    [[nodiscard]] const CycleBreakdown& cycles() const noexcept { return cycles_; }
+    [[nodiscard]] double seconds() const noexcept {
+        return cycles_.total() / profile().clock_hz;
+    }
+    [[nodiscard]] const MasParProfile& profile() const noexcept {
+        return model_.profile();
+    }
+    [[nodiscard]] const CycleModel& model() const noexcept { return model_; }
+    [[nodiscard]] Virtualization virtualization() const noexcept { return virt_; }
+
+private:
+    CycleModel model_;
+    Virtualization virt_;
+    CycleBreakdown cycles_;
+};
+
+}  // namespace wavehpc::maspar

@@ -1,0 +1,59 @@
+#pragma once
+// Cycle-cost profile of a MasPar-class SIMD array machine.
+//
+// The MasPar MP-1/MP-2 is a 128x128 array of PEs driven by a central array
+// control unit (ACU); PEs talk to their eight neighbours over the toroidal
+// X-net and to distant PEs through a multistage "global router" whose port
+// is shared by each 4x4 PE cluster (16-way serialization). Virtual time is
+// cycles / clock_hz; per-instruction-class cycle costs are MP-2-plausible
+// values chosen once against the paper's Table 1 MasPar row (see
+// EXPERIMENTS.md for the paper-vs-measured residuals).
+
+#include <cstddef>
+#include <string>
+
+namespace wavehpc::maspar {
+
+struct MasParProfile {
+    std::string name;
+    std::size_t array_dim;     ///< PE array is array_dim x array_dim
+    std::size_t cluster_size;  ///< PEs sharing one router port (16 on MasPar)
+    double clock_hz;
+
+    // Cycles per SIMD instruction class (per virtualization layer where the
+    // instruction touches every PE's data).
+    double cyc_broadcast;    ///< ACU broadcasts one scalar to the array
+    double cyc_fp_mac;       ///< 32-bit float multiply-accumulate in each PE
+    double cyc_xnet_step;    ///< move one 32-bit plane one X-net hop
+    double cyc_pe_move;      ///< local in-PE register/memory move
+    double cyc_router_item;  ///< one 32-bit item through a router port
+    double cyc_level_setup;  ///< ACU bookkeeping starting a level
+
+    /// MasPar MP-2 with 16K 32-bit RISC PEs (the paper's Table 1 machine).
+    [[nodiscard]] static MasParProfile mp2_16k() {
+        return {
+            .name = "maspar-mp2-16k",
+            .array_dim = 128,
+            .cluster_size = 16,
+            .clock_hz = 12.5e6,
+            .cyc_broadcast = 12,
+            .cyc_fp_mac = 330,
+            .cyc_xnet_step = 40,
+            .cyc_pe_move = 8,
+            .cyc_router_item = 40,
+            .cyc_level_setup = 15000,
+        };
+    }
+
+    /// First-generation MP-1: 4-bit PEs emulate 32-bit float arithmetic in
+    /// many more microcycles; communication fabric is the same.
+    [[nodiscard]] static MasParProfile mp1_16k() {
+        MasParProfile p = mp2_16k();
+        p.name = "maspar-mp1-16k";
+        p.cyc_fp_mac = 2400;
+        p.cyc_pe_move = 40;
+        return p;
+    }
+};
+
+}  // namespace wavehpc::maspar

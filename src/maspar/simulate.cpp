@@ -1,0 +1,106 @@
+#include "maspar/simulate.hpp"
+
+namespace wavehpc::maspar {
+
+namespace {
+
+using Plane = PeArray::Plane;
+
+/// One systolic accumulation: data marches `stride` hops per tap while the
+/// stationary accumulator gathers coeff * data — ascending tap order, so
+/// coefficients are bit-identical to the reference convolution kernels.
+Plane systolic_accumulate(PeArray& array, const Plane& input,
+                          std::span<const float> filter, std::size_t stride,
+                          bool vertical) {
+    Plane acc = PeArray::make_plane(input.rows(), input.cols());
+    Plane marching = input;  // register staging (not charged)
+    for (float coeff : filter) {
+        array.mac_broadcast(acc, marching, coeff);
+        if (vertical) {
+            array.shift_north(marching, stride);
+        } else {
+            array.shift_west(marching, stride);
+        }
+    }
+    return acc;
+}
+
+/// Read the stride-subsampled active positions out of a dilution plane.
+Plane strided_readout(const Plane& plane, std::size_t stride) {
+    Plane out(plane.rows() / stride, plane.cols() / stride);
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+            out(r, c) = plane(r * stride, c * stride);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+MasparDwtResult simulate_decompose(const MasParProfile& profile, const core::ImageF& img,
+                                   const core::FilterPair& fp, int levels, Algorithm alg,
+                                   Virtualization virt) {
+    core::validate_decomposition_request(img.rows(), img.cols(), levels);
+    PeArray array(profile, virt);
+
+    MasparDwtResult res;
+    res.pyramid.levels.resize(static_cast<std::size_t>(levels));
+
+    if (alg == Algorithm::Systolic) {
+        // Planes physically shrink: the router compacts after each pass.
+        Plane current = img;
+        for (int level = 0; level < levels; ++level) {
+            array.level_setup();
+            const Plane low_full = systolic_accumulate(array, current, fp.low(), 1, false);
+            const Plane high_full =
+                systolic_accumulate(array, current, fp.high(), 1, false);
+            const Plane low = array.router_compact_cols(low_full, 0);
+            const Plane high = array.router_compact_cols(high_full, 0);
+
+            const Plane ll_full = systolic_accumulate(array, low, fp.low(), 1, true);
+            const Plane lh_full = systolic_accumulate(array, low, fp.high(), 1, true);
+            const Plane hl_full = systolic_accumulate(array, high, fp.low(), 1, true);
+            const Plane hh_full = systolic_accumulate(array, high, fp.high(), 1, true);
+
+            auto& d = res.pyramid.levels[static_cast<std::size_t>(level)];
+            current = array.router_compact_rows(ll_full, 0);
+            d.lh = array.router_compact_rows(lh_full, 0);
+            d.hl = array.router_compact_rows(hl_full, 0);
+            d.hh = array.router_compact_rows(hh_full, 0);
+        }
+        res.pyramid.approx = std::move(current);
+    } else {
+        // Dilution: the plane never shrinks; the filter is stretched so its
+        // taps align with the surviving (stride-spaced) samples, and kept
+        // samples stay in place — no router transactions at all.
+        Plane current = img;  // active stride 2^level at the start of level
+        for (int level = 0; level < levels; ++level) {
+            array.level_setup();
+            const std::size_t stride = std::size_t{1} << level;
+            const Plane low = systolic_accumulate(array, current, fp.low(), stride, false);
+            const Plane high =
+                systolic_accumulate(array, current, fp.high(), stride, false);
+            const Plane ll = systolic_accumulate(array, low, fp.low(), stride, true);
+            const Plane lh = systolic_accumulate(array, low, fp.high(), stride, true);
+            const Plane hl = systolic_accumulate(array, high, fp.low(), stride, true);
+            const Plane hh = systolic_accumulate(array, high, fp.high(), stride, true);
+
+            const std::size_t out_stride = 2 * stride;
+            auto& d = res.pyramid.levels[static_cast<std::size_t>(level)];
+            d.lh = strided_readout(lh, out_stride);
+            d.hl = strided_readout(hl, out_stride);
+            d.hh = strided_readout(hh, out_stride);
+            if (level + 1 == levels) {
+                res.pyramid.approx = strided_readout(ll, out_stride);
+            }
+            current = ll;  // active stride doubles for the next level
+        }
+    }
+
+    res.cycles = array.cycles();
+    res.seconds = array.seconds();
+    return res;
+}
+
+}  // namespace wavehpc::maspar

@@ -1,0 +1,21 @@
+#pragma once
+// Instruction-level execution of the two SIMD wavelet algorithms on the
+// functional PE array: every broadcast, MAC, X-net shift and router
+// transaction actually moves the data. The faster schedule-based
+// maspar_decompose must agree with this simulation in both coefficients and
+// cycle totals (unit-tested), so the analytic schedule is known-honest.
+
+#include "maspar/maspar_dwt.hpp"
+#include "maspar/pe_array.hpp"
+
+namespace wavehpc::maspar {
+
+/// Run the decomposition on the PE array. Periodic boundary handling (the
+/// toroidal X-net); identical coefficients to
+/// core::decompose(img, fp, levels, BoundaryMode::Periodic).
+[[nodiscard]] MasparDwtResult simulate_decompose(const MasParProfile& profile,
+                                                 const core::ImageF& img,
+                                                 const core::FilterPair& fp, int levels,
+                                                 Algorithm alg, Virtualization virt);
+
+}  // namespace wavehpc::maspar

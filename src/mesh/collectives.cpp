@@ -1,0 +1,170 @@
+#include "mesh/collectives.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wavehpc::mesh {
+
+namespace {
+constexpr int kTagGssum = kCollectiveTagBase + 0;
+constexpr int kTagPrefixFoldIn = kCollectiveTagBase + 1;
+constexpr int kTagPrefixStage = kCollectiveTagBase + 2;  // + round
+constexpr int kTagPrefixFoldOut = kCollectiveTagBase + 64;
+constexpr int kTagSyncUp = kCollectiveTagBase + 65;
+constexpr int kTagSyncDown = kCollectiveTagBase + 66;
+constexpr int kTagBcast = kCollectiveTagBase + 67;
+
+void add_into(std::span<double> acc, std::span<const double> other) {
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
+}
+
+/// Largest power of two <= n.
+[[nodiscard]] int pow2_floor(int n) {
+    int p = 1;
+    while (2 * p <= n) p *= 2;
+    return p;
+}
+}  // namespace
+
+void gsum_gssum(NodeCtx& ctx, std::span<double> v) {
+    const int p = ctx.nprocs();
+    if (p == 1) return;
+    const int me = ctx.rank();
+    // Everyone pushes its contribution to everyone else, then sums whatever
+    // arrives. The injection/ejection channels serialize the storm.
+    for (int peer = 0; peer < p; ++peer) {
+        if (peer == me) continue;
+        ctx.send_span<double>(kTagGssum, peer, {v.data(), v.size()});
+    }
+    std::vector<double> acc(v.begin(), v.end());
+    for (int i = 0; i < p - 1; ++i) {
+        const auto contrib = ctx.recv_vector<double>(kTagGssum);
+        if (contrib.size() != v.size()) {
+            throw std::runtime_error("gsum_gssum: length mismatch");
+        }
+        add_into(acc, contrib);
+    }
+    std::copy(acc.begin(), acc.end(), v.begin());
+}
+
+void gsum_prefix(NodeCtx& ctx, std::span<double> v) {
+    const int p = ctx.nprocs();
+    if (p == 1) return;
+    const int me = ctx.rank();
+    const int core = pow2_floor(p);
+
+    // Fold the remainder ranks into the power-of-two core.
+    if (me >= core) {
+        ctx.send_span<double>(kTagPrefixFoldIn, me - core, {v.data(), v.size()});
+    } else if (me + core < p) {
+        const auto contrib = ctx.recv_vector<double>(kTagPrefixFoldIn, me + core);
+        add_into(v, contrib);
+    }
+
+    if (me < core) {
+        for (int round = 0, dist = 1; dist < core; ++round, dist *= 2) {
+            const int peer = me ^ dist;
+            ctx.send_span<double>(kTagPrefixStage + round, peer, {v.data(), v.size()});
+            const auto contrib =
+                ctx.recv_vector<double>(kTagPrefixStage + round, peer);
+            add_into(v, contrib);
+        }
+    }
+
+    // Fold the result back out to the remainder ranks.
+    if (me < core && me + core < p) {
+        ctx.send_span<double>(kTagPrefixFoldOut, me + core, {v.data(), v.size()});
+    } else if (me >= core) {
+        const auto result = ctx.recv_vector<double>(kTagPrefixFoldOut, me - core);
+        std::copy(result.begin(), result.end(), v.begin());
+    }
+}
+
+double gsum_gssum(NodeCtx& ctx, double x) {
+    gsum_gssum(ctx, std::span<double>(&x, 1));
+    return x;
+}
+
+double gsum_prefix(NodeCtx& ctx, double x) {
+    gsum_prefix(ctx, std::span<double>(&x, 1));
+    return x;
+}
+
+double gmax_prefix(NodeCtx& ctx, double x) {
+    const int p = ctx.nprocs();
+    if (p == 1) return x;
+    const int me = ctx.rank();
+    const int core = pow2_floor(p);
+    constexpr int kTagMaxFoldIn = kCollectiveTagBase + 70;
+    constexpr int kTagMaxStage = kCollectiveTagBase + 71;  // + round
+    constexpr int kTagMaxFoldOut = kCollectiveTagBase + 128;
+
+    if (me >= core) {
+        ctx.send_value<double>(kTagMaxFoldIn, me - core, x);
+    } else if (me + core < p) {
+        x = std::max(x, ctx.recv_value<double>(kTagMaxFoldIn, me + core));
+    }
+    if (me < core) {
+        for (int round = 0, dist = 1; dist < core; ++round, dist *= 2) {
+            const int peer = me ^ dist;
+            ctx.send_value<double>(kTagMaxStage + round, peer, x);
+            x = std::max(x, ctx.recv_value<double>(kTagMaxStage + round, peer));
+        }
+    }
+    if (me < core && me + core < p) {
+        ctx.send_value<double>(kTagMaxFoldOut, me + core, x);
+    } else if (me >= core) {
+        x = ctx.recv_value<double>(kTagMaxFoldOut, me - core);
+    }
+    return x;
+}
+
+void gsync(NodeCtx& ctx) {
+    const int p = ctx.nprocs();
+    if (p == 1) return;
+    const int me = ctx.rank();
+    const std::byte token{1};
+    // Binomial gather to rank 0 ...
+    for (int dist = 1; dist < p; dist *= 2) {
+        if ((me & dist) != 0) {
+            ctx.csend(kTagSyncUp, me - dist, {&token, 1});
+            break;
+        }
+        if (me + dist < p) {
+            (void)ctx.crecv(kTagSyncUp, me + dist);
+        }
+    }
+    // ... then binomial release.
+    int top = pow2_floor(p);
+    if (me != 0) {
+        (void)ctx.crecv(kTagSyncDown);
+    }
+    for (int dist = top; dist >= 1; dist /= 2) {
+        if (me < dist && me + dist < p) {
+            ctx.csend(kTagSyncDown, me + dist, {&token, 1});
+        }
+    }
+}
+
+void broadcast(NodeCtx& ctx, int root, std::vector<std::byte>& bytes) {
+    const int p = ctx.nprocs();
+    if (p == 1) return;
+    // Work in a rotated rank space where the root is 0.
+    const int vme = (ctx.rank() - root + p) % p;
+    if (vme != 0) {
+        Message m = ctx.crecv(kTagBcast);
+        bytes = std::move(m.data);
+    }
+    // After receiving, rank vme forwards to vme + dist for each dist that is
+    // a power of two greater than vme's own highest set bit pattern.
+    int dist = 1;
+    while (dist < p) dist *= 2;
+    for (int d = dist / 2; d >= 1; d /= 2) {
+        if (vme < d && vme + d < p) {
+            const int dst = (vme + d + root) % p;
+            ctx.csend(kTagBcast, dst, {bytes.data(), bytes.size()});
+        }
+    }
+}
+
+}  // namespace wavehpc::mesh

@@ -1,0 +1,61 @@
+#pragma once
+// Collective operations built from point-to-point messages, so their cost
+// (and contention) emerges from the machine model.
+//
+// Two global-sum implementations reproduce Appendix B's ablation: the
+// Paragon NX `gssum` was observed to be "implemented using many
+// many-to-many communications" and stopped scaling beyond 8 processors;
+// the authors replaced it with their own parallel-prefix (recursive
+// doubling) sum of one-to-one messages.
+
+#include <span>
+#include <vector>
+
+#include "mesh/machine.hpp"
+
+namespace wavehpc::mesh {
+
+/// Reserved tag space; user programs should use tags below this.
+inline constexpr int kCollectiveTagBase = 1 << 20;
+
+/// NX-gssum-like all-to-all global vector sum: every rank sends its vector
+/// to every other rank and sums locally. p*(p-1) messages.
+void gsum_gssum(NodeCtx& ctx, std::span<double> v);
+
+/// Parallel-prefix (recursive-doubling) global vector sum; works for any
+/// process count via fold-in/fold-out of the non-power-of-two remainder.
+void gsum_prefix(NodeCtx& ctx, std::span<double> v);
+
+/// Scalar conveniences.
+[[nodiscard]] double gsum_gssum(NodeCtx& ctx, double x);
+[[nodiscard]] double gsum_prefix(NodeCtx& ctx, double x);
+
+/// Global max by recursive doubling (same wire pattern as gsum_prefix).
+[[nodiscard]] double gmax_prefix(NodeCtx& ctx, double x);
+
+/// Barrier: gather-to-0 / release tree over ranks.
+void gsync(NodeCtx& ctx);
+
+/// Broadcast `bytes` from root to everyone (binomial tree over ranks).
+/// On non-root ranks the vector is replaced by the received payload.
+void broadcast(NodeCtx& ctx, int root, std::vector<std::byte>& bytes);
+
+template <typename T>
+void broadcast_vector(NodeCtx& ctx, int root, std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes;
+    if (ctx.rank() == root) {
+        bytes.resize(v.size() * sizeof(T));
+        std::memcpy(bytes.data(), v.data(), bytes.size());
+    }
+    broadcast(ctx, root, bytes);
+    if (ctx.rank() != root) {
+        if (bytes.size() % sizeof(T) != 0) {
+            throw std::runtime_error("broadcast_vector: payload size mismatch");
+        }
+        v.resize(bytes.size() / sizeof(T));
+        std::memcpy(v.data(), bytes.data(), bytes.size());
+    }
+}
+
+}  // namespace wavehpc::mesh

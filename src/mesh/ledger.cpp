@@ -1,0 +1,66 @@
+#include "mesh/ledger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wavehpc::mesh {
+
+LinkLedger::LinkLedger(std::size_t link_count)
+    : links_(link_count), busy_(link_count, 0.0) {}
+
+double LinkLedger::earliest_free(std::size_t link, double ready, double duration) const {
+    const auto& iv = links_[link];
+    double t = ready;
+    // Intervals are sorted and non-overlapping; slide t past every conflict.
+    for (const Interval& b : iv) {
+        if (b.end <= t) continue;
+        if (b.start >= t + duration) break;
+        t = b.end;
+    }
+    return t;
+}
+
+void LinkLedger::insert(std::size_t link, double start, double duration) {
+    auto& iv = links_[link];
+    const Interval b{start, start + duration};
+    auto pos = std::lower_bound(iv.begin(), iv.end(), b,
+                                [](const Interval& a, const Interval& x) {
+                                    return a.start < x.start;
+                                });
+    iv.insert(pos, b);
+    busy_[link] += duration;
+}
+
+double LinkLedger::reserve_path(std::span<const std::size_t> path, double ready,
+                                double duration) {
+    if (ready < 0.0 || duration < 0.0) {
+        throw std::invalid_argument("LinkLedger::reserve_path: negative time");
+    }
+    for (std::size_t l : path) {
+        if (l >= links_.size()) {
+            throw std::out_of_range("LinkLedger::reserve_path: bad link id");
+        }
+    }
+    if (duration == 0.0 || path.empty()) return ready;
+
+    double start = ready;
+    for (;;) {
+        double next = start;
+        for (std::size_t l : path) {
+            next = std::max(next, earliest_free(l, next, duration));
+        }
+        if (next == start) break;
+        start = next;
+    }
+    for (std::size_t l : path) insert(l, start, duration);
+    delay_ += start - ready;
+    ++reservations_;
+    return start;
+}
+
+double LinkLedger::busy_seconds(std::size_t link) const {
+    if (link >= busy_.size()) throw std::out_of_range("LinkLedger::busy_seconds");
+    return busy_[link];
+}
+
+}  // namespace wavehpc::mesh

@@ -1,0 +1,47 @@
+#pragma once
+// Per-link reservation ledger: the contention model of the interconnect.
+//
+// A wormhole message occupies every channel of its route for the whole
+// transfer, so a send reserves the earliest interval in which *all* route
+// channels are simultaneously free. Conflicting routes therefore serialize,
+// which is exactly the mechanism behind the paper's naive-mapping plateau.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wavehpc::mesh {
+
+class LinkLedger {
+public:
+    explicit LinkLedger(std::size_t link_count);
+
+    /// Earliest start >= ready at which every link in `path` is free for
+    /// `duration` seconds; the interval is reserved on all of them.
+    /// Returns the start time. duration may be 0 (no reservation recorded).
+    double reserve_path(std::span<const std::size_t> path, double ready, double duration);
+
+    /// Total contention delay accumulated so far (sum of start - ready).
+    [[nodiscard]] double total_contention_delay() const noexcept { return delay_; }
+    /// Total busy seconds booked on a link.
+    [[nodiscard]] double busy_seconds(std::size_t link) const;
+    [[nodiscard]] std::size_t reservations() const noexcept { return reservations_; }
+
+private:
+    struct Interval {
+        double start;
+        double end;
+    };
+
+    /// Earliest t >= ready with [t, t+duration) free on `link`.
+    [[nodiscard]] double earliest_free(std::size_t link, double ready,
+                                       double duration) const;
+    void insert(std::size_t link, double start, double duration);
+
+    std::vector<std::vector<Interval>> links_;  // per link, sorted by start
+    std::vector<double> busy_;
+    double delay_ = 0.0;
+    std::size_t reservations_ = 0;
+};
+
+}  // namespace wavehpc::mesh

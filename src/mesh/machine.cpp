@@ -1,0 +1,219 @@
+#include "mesh/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wavehpc::mesh {
+
+MachineProfile MachineProfile::paragon_pvm() {
+    return {
+        .name = "paragon-pvm",
+        .topo = Topology(4, 16),  // 64-node machine, partitions allocated 4 wide
+        .send_overhead = 0.4e-3,
+        .recv_overhead = 0.6e-3,
+        .per_hop = 20e-6,
+        .byte_time = 1.0 / 3.0e6,
+    };
+}
+
+MachineProfile MachineProfile::paragon_nx() {
+    return {
+        .name = "paragon-nx",
+        .topo = Topology(4, 16),
+        .send_overhead = 60e-6,
+        .recv_overhead = 60e-6,
+        .per_hop = 10e-6,
+        .byte_time = 1.0 / 35.0e6,
+    };
+}
+
+MachineProfile MachineProfile::cray_t3d_pvm() {
+    return {
+        .name = "cray-t3d-pvm",
+        .topo = Topology(8, 8, 4, true, true, true),
+        .send_overhead = 150e-6,
+        .recv_overhead = 150e-6,
+        .per_hop = 2e-6,
+        .byte_time = 1.0 / 25.0e6,
+    };
+}
+
+MachineProfile MachineProfile::test_profile(std::size_t sx, std::size_t sy) {
+    return {
+        .name = "test",
+        .topo = Topology(sx, sy),
+        .send_overhead = 1e-3,
+        .recv_overhead = 1e-3,
+        .per_hop = 1e-4,
+        .byte_time = 1e-6,
+    };
+}
+
+int NodeCtx::nprocs() const noexcept {
+    return static_cast<int>(machine_->rs_->pid_of_rank.size());
+}
+
+void NodeCtx::compute(double seconds) {
+    machine_->rs_->stats[static_cast<std::size_t>(rank_)].useful_seconds += seconds;
+    proc_->advance(seconds);
+}
+
+void NodeCtx::compute_redundant(double seconds) {
+    machine_->rs_->stats[static_cast<std::size_t>(rank_)].redundant_seconds += seconds;
+    proc_->advance(seconds);
+}
+
+void NodeCtx::charge_comm(double seconds) {
+    machine_->rs_->stats[static_cast<std::size_t>(rank_)].comm_seconds += seconds;
+    proc_->advance(seconds);
+}
+
+void NodeCtx::csend(int tag, int dst, std::span<const std::byte> data) {
+    machine_->do_send(*this, tag, dst, data);
+}
+
+Message NodeCtx::crecv(int tag, int src) { return machine_->do_recv(*this, tag, src); }
+
+const NodeStats& NodeCtx::stats() const {
+    return machine_->rs_->stats[static_cast<std::size_t>(rank_)];
+}
+
+Machine::Machine(MachineProfile profile) : profile_(std::move(profile)) {}
+
+void Machine::do_send(NodeCtx& ctx, int tag, int dst, std::span<const std::byte> data) {
+    RunState& rs = *rs_;
+    const auto nprocs = static_cast<int>(rs.pid_of_rank.size());
+    if (dst < 0 || dst >= nprocs) throw std::invalid_argument("csend: bad destination");
+    if (dst == ctx.rank()) throw std::invalid_argument("csend: self messages unsupported");
+    if (tag < 0) throw std::invalid_argument("csend: tag must be >= 0");
+
+    NodeStats& st = rs.stats[static_cast<std::size_t>(ctx.rank())];
+    const double t_call = ctx.proc_->now();
+
+    // Software send overhead; the call returns once the message is handed
+    // to the network (buffered send, NX csend flavour).
+    ctx.proc_->advance(profile_.send_overhead);
+    const double ready = ctx.proc_->now();
+
+    const Coord3 src_at = rs.placement[static_cast<std::size_t>(ctx.rank())];
+    const Coord3 dst_at = rs.placement[static_cast<std::size_t>(dst)];
+    const auto path = profile_.topo.route(src_at, dst_at);
+    const double duration =
+        static_cast<double>(profile_.topo.hops(src_at, dst_at)) * profile_.per_hop +
+        static_cast<double>(data.size()) * profile_.byte_time;
+    const double start = rs.ledger.reserve_path(path, ready, duration);
+
+    Message msg;
+    msg.src = ctx.rank();
+    msg.tag = tag;
+    msg.data.assign(data.begin(), data.end());
+    msg.arrival = start + duration;
+    rs.mailbox[static_cast<std::size_t>(dst)].push_back(std::move(msg));
+
+    if (record_trace_) {
+        rs.trace.push_back({ready, start, start + duration, ctx.rank(), dst, tag,
+                            data.size()});
+    }
+
+    st.comm_seconds += ctx.proc_->now() - t_call;
+    ++st.messages_sent;
+    st.bytes_sent += data.size();
+    ctx.proc_->notify(rs.pid_of_rank[static_cast<std::size_t>(dst)]);
+}
+
+Message Machine::do_recv(NodeCtx& ctx, int tag, int src) {
+    RunState& rs = *rs_;
+    const auto nprocs = static_cast<int>(rs.pid_of_rank.size());
+    if (src != kAnySource && (src < 0 || src >= nprocs)) {
+        throw std::invalid_argument("crecv: bad source");
+    }
+
+    auto& box = rs.mailbox[static_cast<std::size_t>(ctx.rank())];
+    const auto match = [tag, src](const Message& m) {
+        return (tag == kAnyTag || m.tag == tag) && (src == kAnySource || m.src == src);
+    };
+
+    const double t_call = ctx.proc_->now();
+    std::size_t found = box.size();
+    ctx.proc_->block([&]() -> std::optional<double> {
+        for (std::size_t i = 0; i < box.size(); ++i) {
+            if (match(box[i])) {
+                found = i;
+                return box[i].arrival;
+            }
+        }
+        return std::nullopt;
+    });
+    if (found >= box.size() || !match(box[found])) {
+        // The poll stored `found` when it fired; re-scan defensively in case
+        // an earlier matching message was inserted before we were resumed.
+        found = box.size();
+        for (std::size_t i = 0; i < box.size(); ++i) {
+            if (match(box[i])) {
+                found = i;
+                break;
+            }
+        }
+        if (found == box.size()) throw std::logic_error("crecv: woken without message");
+    }
+    Message msg = std::move(box[found]);
+    box.erase(box.begin() + static_cast<std::ptrdiff_t>(found));
+
+    ctx.proc_->advance(profile_.recv_overhead);
+    rs.stats[static_cast<std::size_t>(ctx.rank())].comm_seconds +=
+        ctx.proc_->now() - t_call;
+    return msg;
+}
+
+Machine::RunResult Machine::run(std::size_t nprocs, const std::vector<Coord3>& placement,
+                                const NodeBody& body) {
+    if (nprocs == 0) throw std::invalid_argument("Machine::run: nprocs must be > 0");
+    if (placement.size() != nprocs) {
+        throw std::invalid_argument("Machine::run: placement size != nprocs");
+    }
+    for (std::size_t i = 0; i < nprocs; ++i) {
+        (void)profile_.topo.node_id(placement[i]);  // bounds check
+        for (std::size_t j = i + 1; j < nprocs; ++j) {
+            if (placement[i] == placement[j]) {
+                throw std::invalid_argument("Machine::run: duplicate placement");
+            }
+        }
+    }
+
+    rs_ = std::make_unique<RunState>(profile_.topo.link_count());
+    rs_->mailbox.resize(nprocs);
+    rs_->placement = placement;
+    rs_->stats.resize(nprocs);
+    rs_->pid_of_rank.resize(nprocs);
+
+    sim::Engine engine;
+    for (std::size_t r = 0; r < nprocs; ++r) {
+        rs_->pid_of_rank[r] = engine.add_process(
+            "rank" + std::to_string(r), [this, r, &body](sim::Proc& proc) {
+                NodeCtx ctx(this, &proc, static_cast<int>(r));
+                body(ctx);
+                rs_->stats[r].finish_time = proc.now();
+            });
+    }
+    engine.run();
+
+    RunResult res;
+    res.makespan = engine.makespan();
+    res.stats = std::move(rs_->stats);
+    res.contention_delay = rs_->ledger.total_contention_delay();
+    res.messages = rs_->ledger.reservations();
+    res.trace = std::move(rs_->trace);
+    rs_.reset();
+    return res;
+}
+
+Machine::RunResult Machine::run(std::size_t nprocs, const NodeBody& body) {
+    std::vector<Coord3> placement;
+    placement.reserve(nprocs);
+    for (std::size_t r = 0; r < nprocs; ++r) {
+        placement.push_back(profile_.topo.coord(r));
+    }
+    return run(nprocs, placement, body);
+}
+
+}  // namespace wavehpc::mesh

@@ -1,0 +1,202 @@
+#pragma once
+// The coarse-grain MIMD machine: an interconnect topology + timing profile
+// executing SPMD node programs under the discrete-event kernel.
+//
+// Node programs are real C++ running against an NX/PVM-flavoured API
+// (csend / crecv / compute); data actually moves between node address
+// spaces, so parallel algorithms are verified for *correctness* against
+// sequential references while the machine profile yields faithful *timings*.
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mesh/ledger.hpp"
+#include "mesh/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace wavehpc::mesh {
+
+/// Timing parameters of a machine. Calibration rationale: DESIGN.md §5.3.
+struct MachineProfile {
+    std::string name;
+    Topology topo;
+    double send_overhead;  ///< software cost charged to the sender per message
+    double recv_overhead;  ///< software cost charged to the receiver per message
+    double per_hop;        ///< wire latency per axis hop
+    double byte_time;      ///< seconds per payload byte on a channel
+
+    /// JPL Paragon compute partition (allocated 4 nodes wide) driven through
+    /// PVM, as in the wavelet study. PVM on the Paragon was slow: ~1 ms
+    /// software latency and single-digit MB/s effective bandwidth.
+    [[nodiscard]] static MachineProfile paragon_pvm();
+    /// Same fabric through native NX calls (Appendix B's Paragon runs).
+    [[nodiscard]] static MachineProfile paragon_nx();
+    /// JPL Cray T3D: 8x8x4 bidirectional 3-D torus, fast links, PVM software
+    /// overheads (Appendix B notes "the negative effect of PVM").
+    [[nodiscard]] static MachineProfile cray_t3d_pvm();
+    /// Small deterministic profile with round-number costs, for tests.
+    [[nodiscard]] static MachineProfile test_profile(std::size_t sx, std::size_t sy);
+};
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+    int src = 0;
+    int tag = 0;
+    std::vector<std::byte> data;
+    double arrival = 0.0;
+};
+
+/// What a node did with its time; the perf module turns these into the
+/// paper's "performance budget".
+struct NodeStats {
+    double comm_seconds = 0.0;       ///< inside csend/crecv, call to return
+    double useful_seconds = 0.0;     ///< compute()
+    double redundant_seconds = 0.0;  ///< compute_redundant()
+    double finish_time = 0.0;
+    std::size_t messages_sent = 0;
+    std::size_t bytes_sent = 0;
+};
+
+class Machine;
+
+/// Per-rank handle passed to the SPMD body.
+class NodeCtx {
+public:
+    [[nodiscard]] int rank() const noexcept { return rank_; }
+    [[nodiscard]] int nprocs() const noexcept;
+    [[nodiscard]] double now() const { return proc_->now(); }
+
+    /// Charge useful computation time.
+    void compute(double seconds);
+    /// Charge parallelization-redundancy time (Appendix B's taxonomy).
+    void compute_redundant(double seconds);
+    /// Charge CPU time spent *inside* a communication library call (e.g.
+    /// the per-element summation a global-sum routine performs); Appendix
+    /// B's instrumentation measures calls end-to-end, so this books under
+    /// communication, not redundancy.
+    void charge_comm(double seconds);
+
+    /// Blocking-buffered send, NX csend flavour: returns once the message is
+    /// handed to the network; the transfer itself is booked on the route.
+    void csend(int tag, int dst, std::span<const std::byte> data);
+    /// Blocking receive; src/tag may be kAnySource/kAnyTag wildcards.
+    [[nodiscard]] Message crecv(int tag = kAnyTag, int src = kAnySource);
+
+    template <typename T>
+    void send_value(int tag, int dst, const T& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        csend(tag, dst, std::as_bytes(std::span<const T, 1>(&v, 1)));
+    }
+    template <typename T>
+    [[nodiscard]] T recv_value(int tag = kAnyTag, int src = kAnySource,
+                               int* actual_src = nullptr) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const Message m = crecv(tag, src);
+        if (m.data.size() != sizeof(T)) {
+            throw std::runtime_error("recv_value: payload size mismatch");
+        }
+        if (actual_src != nullptr) *actual_src = m.src;
+        T v;
+        std::memcpy(&v, m.data.data(), sizeof(T));
+        return v;
+    }
+    template <typename T>
+    void send_span(int tag, int dst, std::span<const T> v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        csend(tag, dst, std::as_bytes(v));
+    }
+    template <typename T>
+    [[nodiscard]] std::vector<T> recv_vector(int tag = kAnyTag, int src = kAnySource,
+                                             int* actual_src = nullptr) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const Message m = crecv(tag, src);
+        if (m.data.size() % sizeof(T) != 0) {
+            throw std::runtime_error("recv_vector: payload size mismatch");
+        }
+        if (actual_src != nullptr) *actual_src = m.src;
+        std::vector<T> v(m.data.size() / sizeof(T));
+        std::memcpy(v.data(), m.data.data(), m.data.size());
+        return v;
+    }
+
+    [[nodiscard]] const NodeStats& stats() const;
+
+private:
+    friend class Machine;
+    NodeCtx(Machine* machine, sim::Proc* proc, int rank)
+        : machine_(machine), proc_(proc), rank_(rank) {}
+
+    Machine* machine_;
+    sim::Proc* proc_;
+    int rank_;
+};
+
+/// One message in the recorded communication trace.
+struct TraceEvent {
+    double post_time = 0.0;     ///< sender handed the message to the network
+    double start_time = 0.0;    ///< route acquired (>= post_time under conflicts)
+    double arrival_time = 0.0;
+    int src = 0;
+    int dst = 0;
+    int tag = 0;
+    std::size_t bytes = 0;
+};
+
+class Machine {
+public:
+    explicit Machine(MachineProfile profile);
+
+    using NodeBody = std::function<void(NodeCtx&)>;
+
+    struct RunResult {
+        double makespan = 0.0;
+        std::vector<NodeStats> stats;
+        double contention_delay = 0.0;   ///< total route-conflict wait
+        std::size_t messages = 0;
+        /// Chronological message trace; empty unless record_trace(true).
+        std::vector<TraceEvent> trace;
+    };
+
+    /// Record every message into RunResult::trace (off by default — traces
+    /// of large runs are big).
+    void record_trace(bool on) noexcept { record_trace_ = on; }
+
+    /// Run `body` as an SPMD program on `nprocs` ranks placed at
+    /// `placement[rank]`. Coordinates must be distinct and inside the mesh.
+    RunResult run(std::size_t nprocs, const std::vector<Coord3>& placement,
+                  const NodeBody& body);
+
+    /// Row-major default placement.
+    RunResult run(std::size_t nprocs, const NodeBody& body);
+
+    [[nodiscard]] const MachineProfile& profile() const noexcept { return profile_; }
+
+private:
+    friend class NodeCtx;
+
+    // Per-run state, reset by run().
+    struct RunState {
+        std::vector<std::vector<Message>> mailbox;  // per destination rank
+        std::vector<std::size_t> pid_of_rank;
+        std::vector<Coord3> placement;
+        std::vector<NodeStats> stats;
+        std::vector<TraceEvent> trace;
+        LinkLedger ledger;
+        explicit RunState(std::size_t links) : ledger(links) {}
+    };
+
+    void do_send(NodeCtx& ctx, int tag, int dst, std::span<const std::byte> data);
+    Message do_recv(NodeCtx& ctx, int tag, int src);
+
+    MachineProfile profile_;
+    std::unique_ptr<RunState> rs_;
+    bool record_trace_ = false;
+};
+
+}  // namespace wavehpc::mesh

@@ -1,0 +1,120 @@
+#include "mesh/topology.hpp"
+
+namespace wavehpc::mesh {
+
+Topology::Topology(std::size_t sx, std::size_t sy, std::size_t sz, bool torus_x,
+                   bool torus_y, bool torus_z)
+    : sx_(sx), sy_(sy), sz_(sz), tx_(torus_x), ty_(torus_y), tz_(torus_z) {
+    if (sx == 0 || sy == 0 || sz == 0) {
+        throw std::invalid_argument("Topology: dimensions must be positive");
+    }
+    const auto per_axis = [](std::size_t n, bool torus) {
+        return (n <= 1) ? std::size_t{0} : (torus ? n : n - 1);
+    };
+    x_links_ = per_axis(sx_, tx_) * sy_ * sz_;
+    y_links_ = per_axis(sy_, ty_) * sx_ * sz_;
+    z_links_ = per_axis(sz_, tz_) * sx_ * sy_;
+    total_links_ = x_links_ + y_links_ + z_links_ + 2 * nodes();
+}
+
+std::size_t Topology::node_id(Coord3 c) const {
+    if (c.x >= sx_ || c.y >= sy_ || c.z >= sz_) {
+        throw std::out_of_range("Topology::node_id: coordinate out of range");
+    }
+    return (c.z * sy_ + c.y) * sx_ + c.x;
+}
+
+Coord3 Topology::coord(std::size_t id) const {
+    if (id >= nodes()) throw std::out_of_range("Topology::coord: id out of range");
+    Coord3 c;
+    c.x = id % sx_;
+    c.y = (id / sx_) % sy_;
+    c.z = id / (sx_ * sy_);
+    return c;
+}
+
+std::size_t Topology::x_link(Coord3 at) const {
+    // at.x indexes the link between x and (x+1) mod sx.
+    return (at.z * sy_ + at.y) * ((sx_ <= 1) ? 1 : (tx_ ? sx_ : sx_ - 1)) + at.x;
+}
+
+std::size_t Topology::y_link(Coord3 at) const {
+    return x_links_ + (at.z * sx_ + at.x) * ((sy_ <= 1) ? 1 : (ty_ ? sy_ : sy_ - 1)) + at.y;
+}
+
+std::size_t Topology::z_link(Coord3 at) const {
+    return x_links_ + y_links_ +
+           (at.y * sx_ + at.x) * ((sz_ <= 1) ? 1 : (tz_ ? sz_ : sz_ - 1)) + at.z;
+}
+
+std::size_t Topology::injection_link(std::size_t node) const {
+    if (node >= nodes()) throw std::out_of_range("Topology::injection_link");
+    return x_links_ + y_links_ + z_links_ + node;
+}
+
+std::size_t Topology::ejection_link(std::size_t node) const {
+    if (node >= nodes()) throw std::out_of_range("Topology::ejection_link");
+    return x_links_ + y_links_ + z_links_ + nodes() + node;
+}
+
+std::vector<int> Topology::axis_steps(std::size_t a, std::size_t b, std::size_t size,
+                                      bool torus) const {
+    std::vector<int> steps;
+    if (a == b) return steps;
+    if (!torus) {
+        const int dir = (b > a) ? 1 : -1;
+        const std::size_t n = (b > a) ? b - a : a - b;
+        steps.assign(n, dir);
+        return steps;
+    }
+    const std::size_t fwd = (b + size - a) % size;   // +1 direction hop count
+    const std::size_t bwd = (a + size - b) % size;   // -1 direction hop count
+    if (fwd <= bwd) {
+        steps.assign(fwd, 1);
+    } else {
+        steps.assign(bwd, -1);
+    }
+    return steps;
+}
+
+std::size_t Topology::hops(Coord3 src, Coord3 dst) const {
+    return axis_steps(src.x, dst.x, sx_, tx_).size() +
+           axis_steps(src.y, dst.y, sy_, ty_).size() +
+           axis_steps(src.z, dst.z, sz_, tz_).size();
+}
+
+std::vector<std::size_t> Topology::route(Coord3 src, Coord3 dst) const {
+    if (src == dst) {
+        throw std::invalid_argument("Topology::route: src == dst (no self messages)");
+    }
+    std::vector<std::size_t> links;
+    links.push_back(injection_link(node_id(src)));
+
+    Coord3 cur = src;
+    for (int step : axis_steps(src.x, dst.x, sx_, tx_)) {
+        const std::size_t next = (step > 0) ? (cur.x + 1) % sx_ : (cur.x + sx_ - 1) % sx_;
+        // Undirected link between min-side coordinate and its +1 neighbour.
+        Coord3 at = cur;
+        at.x = (step > 0) ? cur.x : next;
+        links.push_back(x_link(at));
+        cur.x = next;
+    }
+    for (int step : axis_steps(src.y, dst.y, sy_, ty_)) {
+        const std::size_t next = (step > 0) ? (cur.y + 1) % sy_ : (cur.y + sy_ - 1) % sy_;
+        Coord3 at = cur;
+        at.y = (step > 0) ? cur.y : next;
+        links.push_back(y_link(at));
+        cur.y = next;
+    }
+    for (int step : axis_steps(src.z, dst.z, sz_, tz_)) {
+        const std::size_t next = (step > 0) ? (cur.z + 1) % sz_ : (cur.z + sz_ - 1) % sz_;
+        Coord3 at = cur;
+        at.z = (step > 0) ? cur.z : next;
+        links.push_back(z_link(at));
+        cur.z = next;
+    }
+    links.push_back(ejection_link(node_id(dst)));
+    return links;
+}
+
+}  // namespace wavehpc::mesh

@@ -1,0 +1,67 @@
+#pragma once
+// Mesh / torus interconnect topology with dimension-ordered routing.
+//
+// Links are modelled half-duplex (one transfer at a time per physical
+// channel, either direction) and every node additionally owns an injection
+// and an ejection channel, so a node's network interface serializes its own
+// traffic. Dimension-ordered (X, then Y, then Z) routing is what the paper
+// blames for the naive mapping's conflicts (section 5.1): "messages ...
+// travel along the horizontal dimension first before moving along the
+// vertical".
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace wavehpc::mesh {
+
+struct Coord3 {
+    std::size_t x = 0;
+    std::size_t y = 0;
+    std::size_t z = 0;
+    friend bool operator==(Coord3, Coord3) = default;
+};
+
+class Topology {
+public:
+    /// A sx * sy * sz machine; per-axis wrap-around links when torus.
+    Topology(std::size_t sx, std::size_t sy, std::size_t sz = 1, bool torus_x = false,
+             bool torus_y = false, bool torus_z = false);
+
+    [[nodiscard]] std::size_t nodes() const noexcept { return sx_ * sy_ * sz_; }
+    [[nodiscard]] std::size_t sx() const noexcept { return sx_; }
+    [[nodiscard]] std::size_t sy() const noexcept { return sy_; }
+    [[nodiscard]] std::size_t sz() const noexcept { return sz_; }
+
+    [[nodiscard]] std::size_t node_id(Coord3 c) const;
+    [[nodiscard]] Coord3 coord(std::size_t id) const;
+
+    /// Total channel count: axis links + per-node injection and ejection.
+    [[nodiscard]] std::size_t link_count() const noexcept { return total_links_; }
+
+    /// Channels traversed by a src -> dst message, in order:
+    /// injection(src), axis links (X then Y then Z, shortest wrap direction
+    /// on torus axes), ejection(dst). Throws if src == dst.
+    [[nodiscard]] std::vector<std::size_t> route(Coord3 src, Coord3 dst) const;
+
+    /// Number of axis links on the route (the "hop count").
+    [[nodiscard]] std::size_t hops(Coord3 src, Coord3 dst) const;
+
+    [[nodiscard]] std::size_t injection_link(std::size_t node) const;
+    [[nodiscard]] std::size_t ejection_link(std::size_t node) const;
+
+private:
+    // Per-axis signed step sequence from a to b (shortest direction on torus).
+    [[nodiscard]] std::vector<int> axis_steps(std::size_t a, std::size_t b,
+                                              std::size_t size, bool torus) const;
+    [[nodiscard]] std::size_t x_link(Coord3 at) const;  // link (x,y,z)-(x+1 mod sx,y,z)
+    [[nodiscard]] std::size_t y_link(Coord3 at) const;
+    [[nodiscard]] std::size_t z_link(Coord3 at) const;
+
+    std::size_t sx_, sy_, sz_;
+    bool tx_, ty_, tz_;
+    std::size_t x_links_, y_links_, z_links_;
+    std::size_t total_links_;
+};
+
+}  // namespace wavehpc::mesh

@@ -1,0 +1,36 @@
+#include "nbody/costzones.hpp"
+
+#include <stdexcept>
+
+namespace wavehpc::nbody {
+
+std::vector<std::vector<std::uint32_t>> costzones(const QuadTree& tree,
+                                                  const std::vector<Body>& bodies,
+                                                  std::size_t parts) {
+    if (parts == 0) throw std::invalid_argument("costzones: parts must be > 0");
+    std::vector<std::uint32_t> order;
+    tree.inorder_bodies(order);
+    if (order.size() != bodies.size()) {
+        throw std::logic_error("costzones: tree does not cover all bodies");
+    }
+
+    double total = 0.0;
+    for (const Body& b : bodies) total += b.cost;
+
+    std::vector<std::vector<std::uint32_t>> zones(parts);
+    // Zone p covers cumulative cost (p * total/parts, (p+1) * total/parts].
+    double cum = 0.0;
+    std::size_t zone = 0;
+    const double share = total / static_cast<double>(parts);
+    for (std::uint32_t bi : order) {
+        cum += bodies[bi].cost;
+        while (zone + 1 < parts &&
+               cum > share * static_cast<double>(zone + 1) + 1e-12) {
+            ++zone;
+        }
+        zones[zone].push_back(bi);
+    }
+    return zones;
+}
+
+}  // namespace wavehpc::nbody

@@ -1,0 +1,19 @@
+#pragma once
+// Costzones domain decomposition [Singh et al.], as used by Appendix B:
+// bodies in tree (inorder) order are split into contiguous zones of equal
+// summed cost, where a body's cost is its interaction count from the
+// previous time step.
+
+#include <vector>
+
+#include "nbody/quadtree.hpp"
+
+namespace wavehpc::nbody {
+
+/// zones[p] = body indices assigned to processor p, contiguous in the
+/// tree's inorder traversal. Every body is assigned exactly once; zones can
+/// be empty only when parts > bodies.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> costzones(
+    const QuadTree& tree, const std::vector<Body>& bodies, std::size_t parts);
+
+}  // namespace wavehpc::nbody

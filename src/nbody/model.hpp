@@ -1,0 +1,82 @@
+#pragma once
+// Serial Barnes-Hut simulation (the reference the parallel code is verified
+// against), the interacting-galaxies initial condition of Appendix B, and
+// the per-machine compute cost model calibrated on the report's serial
+// measurements.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nbody/quadtree.hpp"
+#include "nbody/types.hpp"
+
+namespace wavehpc::nbody {
+
+/// Two Plummer-like disk galaxies on a collision course; deterministic in
+/// (n, seed).
+[[nodiscard]] std::vector<Body> interacting_galaxies(std::size_t n,
+                                                     std::uint64_t seed = 9);
+
+struct StepStats {
+    std::uint64_t tree_steps = 0;    ///< insertion traversal steps
+    std::uint64_t interactions = 0;  ///< force-phase interactions
+};
+
+struct SimConfig {
+    double theta = 1.0;
+    double dt = 1e-3;
+};
+
+/// Advance `bodies` one leapfrog step; updates per-body costs with this
+/// step's interaction counts (next step's costzones weights).
+StepStats serial_step(std::vector<Body>& bodies, const SimConfig& cfg);
+
+/// Calibrated compute charges for one machine:
+///     t = per_interaction * interactions + per_tree_step * tree_steps
+///       + per_body_update * bodies.
+/// Following the report ("the force-computation phase consumes well over
+/// 90% of the sequential execution time"), the per-interaction coefficient
+/// carries `force_fraction` of the anchor measurement; the remainder splits
+/// between the (serial, manager-side) tree build and the (parallel,
+/// worker-side) center-of-mass/update work. The anchor is the largest
+/// (most reliable) published N.
+struct NbodyCostModel {
+    std::string machine;
+    double per_interaction = 0.0;
+    double per_tree_step = 0.0;
+    double per_body_update = 0.0;
+
+    [[nodiscard]] double seconds(const StepStats& s, std::size_t bodies) const noexcept {
+        return per_interaction * static_cast<double>(s.interactions) +
+               per_tree_step * static_cast<double>(s.tree_steps) +
+               per_body_update * static_cast<double>(bodies);
+    }
+
+    /// Calibrate from one measured serial (n, seconds/iteration) anchor.
+    [[nodiscard]] static NbodyCostModel calibrate(std::string machine,
+                                                  const StepStats& anchor_stats,
+                                                  std::size_t anchor_bodies,
+                                                  double anchor_seconds,
+                                                  double force_fraction = 0.92,
+                                                  double tree_fraction = 0.02);
+
+    /// Appendix B Table 1 anchor: Paragon, 32K bodies, 237.51 s/iteration.
+    [[nodiscard]] static const NbodyCostModel& paragon();
+    /// Appendix B Table 2 anchor: T3D, 32K bodies, 30.90 s/iteration
+    /// ("up to one order of magnitude improvement" from the Alpha).
+    [[nodiscard]] static const NbodyCostModel& t3d();
+};
+
+/// The report's serial N-body measurements (seconds per iteration).
+struct NbodySerialReference {
+    struct Point {
+        std::size_t n;
+        double paragon_seconds;
+        double t3d_seconds;
+    };
+    static constexpr Point points[] = {
+        {1024, 5.77, 0.53}, {8192, 53.27, 6.31}, {32768, 237.51, 30.90}};
+};
+
+}  // namespace wavehpc::nbody

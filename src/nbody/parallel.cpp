@@ -1,0 +1,104 @@
+#include "nbody/parallel.hpp"
+
+#include "mesh/collectives.hpp"
+
+namespace wavehpc::nbody {
+
+namespace {
+
+constexpr int kTagUpdates = 2;  // + step
+
+struct BodyUpdate {
+    std::uint32_t index = 0;
+    double cost = 0.0;
+    Vec2 pos;
+    Vec2 vel;
+};
+static_assert(std::is_trivially_copyable_v<BodyUpdate>);
+
+}  // namespace
+
+ParallelNbodyResult parallel_nbody(mesh::Machine& machine, std::vector<Body> initial,
+                                   const ParallelNbodyConfig& cfg, std::size_t nprocs,
+                                   const NbodyCostModel& model) {
+    if (nprocs == 0) throw std::invalid_argument("parallel_nbody: nprocs must be > 0");
+    ParallelNbodyResult result;
+    // The manager's authoritative state lives outside the node lambda; only
+    // rank 0 touches it (the engine serializes node execution).
+    std::vector<Body> state = std::move(initial);
+
+    const auto body = [&](mesh::NodeCtx& ctx) {
+        const auto me = static_cast<std::size_t>(ctx.rank());
+        const auto p = static_cast<std::size_t>(ctx.nprocs());
+
+        for (int step = 0; step < cfg.steps; ++step) {
+            // ---- manager: build the tree; everyone: receive it ----------
+            std::vector<Body> bodies;
+            if (me == 0) bodies = state;
+            mesh::broadcast_vector(ctx, 0, bodies);
+
+            QuadTree tree(bodies);
+            tree.compute_centers_of_mass(bodies);
+            if (me == 0) {
+                // Only the manager pays for the build; other ranks received
+                // the tree inside the broadcast payload (DESIGN.md: the
+                // broadcast carries the 56-byte records the tree is an
+                // O(n) overlay of).
+                ctx.compute(model.per_tree_step *
+                            static_cast<double>(tree.build_steps()));
+                result.totals.tree_steps += tree.build_steps();
+            }
+
+            // ---- costzones: deterministic, redundantly on every rank ----
+            const auto zones = costzones(tree, bodies, p);
+            ctx.compute_redundant(model.per_tree_step *
+                                  static_cast<double>(bodies.size()));
+
+            // ---- force + update for my zone ------------------------------
+            std::uint64_t interactions = 0;
+            std::vector<BodyUpdate> updates;
+            updates.reserve(zones[me].size());
+            for (std::uint32_t bi : zones[me]) {
+                std::uint64_t before = interactions;
+                const Vec2 acc = tree.acceleration(bodies, bodies[bi].pos, bi,
+                                                   cfg.sim.theta, &interactions);
+                BodyUpdate u;
+                u.index = bi;
+                u.cost = static_cast<double>(interactions - before);
+                u.vel = bodies[bi].vel + cfg.sim.dt * acc;
+                u.pos = bodies[bi].pos + cfg.sim.dt * u.vel;
+                updates.push_back(u);
+            }
+            ctx.compute(model.per_interaction * static_cast<double>(interactions) +
+                        model.per_body_update *
+                            static_cast<double>(zones[me].size()));
+
+            // ---- gather updated records at the manager -------------------
+            const auto apply = [&](const BodyUpdate& u) {
+                state[u.index].pos = u.pos;
+                state[u.index].vel = u.vel;
+                state[u.index].cost = u.cost;
+            };
+            if (me == 0) {
+                result.totals.interactions += interactions;
+                for (const auto& u : updates) apply(u);
+                for (std::size_t r = 1; r < p; ++r) {
+                    const auto got =
+                        ctx.recv_vector<BodyUpdate>(kTagUpdates + step);
+                    for (const auto& u : got) apply(u);
+                }
+            } else {
+                result.totals.interactions += interactions;
+                ctx.send_span<BodyUpdate>(kTagUpdates + step, 0,
+                                          std::span<const BodyUpdate>(updates));
+            }
+        }
+    };
+
+    result.run = machine.run(nprocs, body);
+    result.seconds = result.run.makespan;
+    result.bodies = std::move(state);
+    return result;
+}
+
+}  // namespace wavehpc::nbody

@@ -1,0 +1,34 @@
+#pragma once
+// Manager-worker parallel Barnes-Hut on the mesh machine (Appendix B,
+// section 2.1): the manager builds the tree each step and broadcasts it;
+// every node computes forces for its costzone of bodies and sends the
+// updated records back to the manager.
+
+#include "mesh/machine.hpp"
+#include "nbody/costzones.hpp"
+#include "nbody/model.hpp"
+
+namespace wavehpc::nbody {
+
+struct ParallelNbodyConfig {
+    SimConfig sim;
+    int steps = 1;
+};
+
+struct ParallelNbodyResult {
+    std::vector<Body> bodies;        ///< final state (manager's copy)
+    StepStats totals;                ///< summed over steps; equals serial counts
+    mesh::Machine::RunResult run;
+    double seconds = 0.0;
+};
+
+/// Run `steps` leapfrog steps on `nprocs` ranks of `machine`, charging
+/// computation through `model`. Bit-identical to running serial_step
+/// `steps` times on the same initial state.
+[[nodiscard]] ParallelNbodyResult parallel_nbody(mesh::Machine& machine,
+                                                 std::vector<Body> initial,
+                                                 const ParallelNbodyConfig& cfg,
+                                                 std::size_t nprocs,
+                                                 const NbodyCostModel& model);
+
+}  // namespace wavehpc::nbody

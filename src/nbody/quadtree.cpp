@@ -1,0 +1,157 @@
+#include "nbody/quadtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wavehpc::nbody {
+
+QuadTree::QuadTree(const std::vector<Body>& bodies) {
+    if (bodies.empty()) throw std::invalid_argument("QuadTree: no bodies");
+    double lo_x = bodies[0].pos.x;
+    double hi_x = lo_x;
+    double lo_y = bodies[0].pos.y;
+    double hi_y = lo_y;
+    for (const Body& b : bodies) {
+        lo_x = std::min(lo_x, b.pos.x);
+        hi_x = std::max(hi_x, b.pos.x);
+        lo_y = std::min(lo_y, b.pos.y);
+        hi_y = std::max(hi_y, b.pos.y);
+    }
+    const Vec2 center{(lo_x + hi_x) / 2.0, (lo_y + hi_y) / 2.0};
+    const double half =
+        std::max({hi_x - lo_x, hi_y - lo_y, 1e-9}) / 2.0 * (1.0 + 1e-12) + 1e-12;
+    nodes_.reserve(2 * bodies.size());
+    (void)make_node(center, half);
+    for (std::uint32_t i = 0; i < bodies.size(); ++i) insert(bodies, i);
+}
+
+std::uint32_t QuadTree::make_node(Vec2 center, double half) {
+    Node n;
+    n.center = center;
+    n.half = half;
+    nodes_.push_back(std::move(n));
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+int QuadTree::quadrant_of(Vec2 cell_center, Vec2 p) noexcept {
+    return (p.x >= cell_center.x ? 1 : 0) + (p.y >= cell_center.y ? 2 : 0);
+}
+
+void QuadTree::insert(const std::vector<Body>& bodies, std::uint32_t body_index) {
+    std::uint32_t at = 0;
+    int depth = 0;
+    for (;;) {
+        ++build_steps_;
+        Node& n = nodes_[at];
+        if (n.is_leaf()) {
+            if (n.bodies.empty() || depth >= kMaxDepth) {
+                n.bodies.push_back(body_index);
+                return;
+            }
+            // Subdivide and push the resident body down (m = 1 policy).
+            const std::uint32_t resident = n.bodies.front();
+            n.bodies.clear();
+            const double h = n.half / 2.0;
+            const Vec2 c = n.center;
+            std::uint32_t kids[4];
+            for (int q = 0; q < 4; ++q) {
+                const Vec2 cc{c.x + ((q & 1) != 0 ? h : -h),
+                              c.y + ((q & 2) != 0 ? h : -h)};
+                kids[q] = make_node(cc, h);  // may reallocate nodes_
+            }
+            Node& n2 = nodes_[at];  // re-borrow after potential reallocation
+            std::copy(std::begin(kids), std::end(kids), std::begin(n2.child));
+            const int rq = quadrant_of(n2.center, bodies[resident].pos);
+            nodes_[n2.child[rq]].bodies.push_back(resident);
+            // fall through: continue inserting body_index from this node
+        }
+        const Node& nn = nodes_[at];
+        at = nn.child[quadrant_of(nn.center, bodies[body_index].pos)];
+        ++depth;
+    }
+}
+
+void QuadTree::compute_centers_of_mass(const std::vector<Body>& bodies) {
+    // Children always have larger indices than their parent, so one reverse
+    // sweep is a valid post-order accumulation.
+    for (std::size_t i = nodes_.size(); i-- > 0;) {
+        Node& n = nodes_[i];
+        double m = 0.0;
+        Vec2 weighted{0.0, 0.0};
+        double cost = 0.0;
+        for (std::uint32_t bi : n.bodies) {
+            m += bodies[bi].mass;
+            weighted += bodies[bi].mass * bodies[bi].pos;
+            cost += bodies[bi].cost;
+        }
+        if (!n.is_leaf()) {
+            for (std::uint32_t c : n.child) {
+                const Node& ch = nodes_[c];
+                m += ch.mass;
+                weighted += ch.mass * ch.com;
+                cost += ch.cost;
+            }
+        }
+        n.mass = m;
+        n.com = (m > 0.0) ? (1.0 / m) * weighted : n.center;
+        n.cost = cost;
+    }
+}
+
+Vec2 QuadTree::acceleration(const std::vector<Body>& bodies, Vec2 pos,
+                            std::uint32_t self_index, double theta,
+                            std::uint64_t* interactions) const {
+    Vec2 acc{0.0, 0.0};
+    std::uint64_t count = 0;
+    // Explicit stack: recursion depth can reach kMaxDepth + log(n).
+    std::vector<std::uint32_t> stack{0};
+    stack.reserve(64);
+    const double theta2 = theta * theta;
+    while (!stack.empty()) {
+        const Node& n = nodes_[stack.back()];
+        stack.pop_back();
+        if (n.mass <= 0.0) continue;
+        const Vec2 d = n.com - pos;
+        const double dist2 = d.norm2();
+        const double size = 2.0 * n.half;
+        if (n.is_leaf() || size * size < theta2 * dist2) {
+            if (n.is_leaf()) {
+                for (std::uint32_t bi : n.bodies) {
+                    if (bi == self_index) continue;
+                    const Vec2 db = bodies[bi].pos - pos;
+                    const double r2 = db.norm2() + kSoftening2;
+                    const double inv = 1.0 / (r2 * std::sqrt(r2));
+                    acc += (kG * bodies[bi].mass * inv) * db;
+                    ++count;
+                }
+            } else {
+                const double r2 = dist2 + kSoftening2;
+                const double inv = 1.0 / (r2 * std::sqrt(r2));
+                acc += (kG * n.mass * inv) * d;
+                ++count;
+            }
+        } else {
+            for (std::uint32_t c : n.child) stack.push_back(c);
+        }
+    }
+    if (interactions != nullptr) *interactions += count;
+    return acc;
+}
+
+void QuadTree::inorder_bodies(std::vector<std::uint32_t>& order) const {
+    order.clear();
+    std::vector<std::uint32_t> stack{0};
+    // Depth-first with child 3..0 pushed so child 0 pops first: a stable
+    // spatial (Morton-like) order, the costzones layout.
+    while (!stack.empty()) {
+        const Node& n = nodes_[stack.back()];
+        stack.pop_back();
+        for (std::uint32_t bi : n.bodies) order.push_back(bi);
+        if (!n.is_leaf()) {
+            for (int q = 3; q >= 0; --q) stack.push_back(n.child[q]);
+        }
+    }
+}
+
+}  // namespace wavehpc::nbody

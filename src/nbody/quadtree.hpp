@@ -1,0 +1,69 @@
+#pragma once
+// The Barnes-Hut quadtree (Appendix B section 2.2): built per time step by
+// inserting bodies one by one, subdividing any cell that would hold more
+// than one body (m = 1); an upward pass computes cell centers of mass; the
+// force on a body is evaluated by a root-down traversal that replaces any
+// cell with size/distance below the opening angle by its center of mass.
+
+#include <cstdint>
+#include <vector>
+
+#include "nbody/types.hpp"
+
+namespace wavehpc::nbody {
+
+class QuadTree {
+public:
+    static constexpr std::uint32_t kNoChild = 0xffffffffU;
+    static constexpr int kMaxDepth = 48;
+
+    struct Node {
+        Vec2 center;               ///< geometric cell center
+        double half = 0.0;         ///< half side length
+        Vec2 com;                  ///< center of mass (after com pass)
+        double mass = 0.0;
+        double cost = 0.0;         ///< summed body costs beneath (costzones)
+        std::uint32_t child[4] = {kNoChild, kNoChild, kNoChild, kNoChild};
+        /// Body indices directly in this cell: at most one above kMaxDepth,
+        /// any number at the depth cap (coincident bodies).
+        std::vector<std::uint32_t> bodies;
+        [[nodiscard]] bool is_leaf() const noexcept { return child[0] == kNoChild; }
+    };
+
+    /// Build the tree over `bodies` (root cell = bounding square).
+    /// Throws std::invalid_argument when bodies is empty.
+    explicit QuadTree(const std::vector<Body>& bodies);
+
+    /// Upward center-of-mass / cost pass; must run before force queries.
+    void compute_centers_of_mass(const std::vector<Body>& bodies);
+
+    /// Acceleration on `b` (not necessarily in the tree) with opening angle
+    /// `theta`; `interactions` (if non-null) accumulates the interaction
+    /// count, the paper's cost metric.
+    [[nodiscard]] Vec2 acceleration(const std::vector<Body>& bodies, Vec2 pos,
+                                    std::uint32_t self_index, double theta,
+                                    std::uint64_t* interactions = nullptr) const;
+
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+    [[nodiscard]] const Node& node(std::size_t i) const { return nodes_.at(i); }
+    /// Total insertion traversal steps — the tree-build work metric used by
+    /// the calibrated cost model.
+    [[nodiscard]] std::uint64_t build_steps() const noexcept { return build_steps_; }
+
+    /// Body indices in inorder (child 0..3 recursive) traversal order with
+    /// their cumulative cost prefix — the costzones ordering.
+    void inorder_bodies(std::vector<std::uint32_t>& order) const;
+
+    /// Use `self_index` = kNotABody for field probes at arbitrary points.
+    static constexpr std::uint32_t kNotABody = 0xffffffffU;
+
+private:
+    void insert(const std::vector<Body>& bodies, std::uint32_t body_index);
+    [[nodiscard]] std::uint32_t make_node(Vec2 center, double half);
+    [[nodiscard]] static int quadrant_of(Vec2 cell_center, Vec2 p) noexcept;
+
+    std::vector<Node> nodes_;
+    std::uint64_t build_steps_ = 0;
+};
+
+}  // namespace wavehpc::nbody

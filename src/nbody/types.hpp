@@ -1,0 +1,41 @@
+#pragma once
+// Shared types of the Barnes-Hut N-body substrate (Appendix B, section 2.2).
+// Two-dimensional, like the paper's implementation ("the structure
+// representing a body holds 56 bytes of data in two dimensions").
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wavehpc::nbody {
+
+struct Vec2 {
+    double x = 0.0;
+    double y = 0.0;
+
+    friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+    friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+    friend Vec2 operator*(double s, Vec2 v) { return {s * v.x, s * v.y}; }
+    Vec2& operator+=(Vec2 o) {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+    [[nodiscard]] double norm2() const { return x * x + y * y; }
+};
+
+/// 56 bytes, matching the paper's record size.
+struct Body {
+    Vec2 pos;
+    Vec2 vel;
+    double mass = 1.0;
+    /// Interactions this body needed last step — the costzones weight.
+    double cost = 1.0;
+    std::uint64_t id = 0;
+};
+static_assert(sizeof(Body) == 56, "Body must match the paper's 56-byte record");
+
+/// Gravitational constant and Plummer softening used throughout.
+inline constexpr double kG = 1.0;
+inline constexpr double kSoftening2 = 1e-4;
+
+}  // namespace wavehpc::nbody

@@ -1,0 +1,54 @@
+#include "perf/budget.hpp"
+
+#include <stdexcept>
+
+namespace wavehpc::perf {
+
+Budget budget_from_run(const mesh::Machine::RunResult& run) {
+    Budget b;
+    b.parallel_seconds = run.makespan;
+    if (run.stats.empty() || run.makespan <= 0.0) return b;
+
+    const auto n = static_cast<double>(run.stats.size());
+    double useful = 0.0;
+    double comm = 0.0;
+    double redundant = 0.0;
+    double idle = 0.0;
+    for (const auto& st : run.stats) {
+        useful += st.useful_seconds;
+        comm += st.comm_seconds;
+        redundant += st.redundant_seconds;
+        idle += run.makespan - st.finish_time;
+    }
+    b.useful = useful / n / run.makespan;
+    b.comm = comm / n / run.makespan;
+    b.redundancy = redundant / n / run.makespan;
+    b.imbalance = idle / n / run.makespan;
+    b.other = 1.0 - b.useful - b.comm - b.redundancy - b.imbalance;
+    return b;
+}
+
+std::vector<SpeedupPoint> speedup_table(const std::vector<std::size_t>& procs,
+                                        const std::vector<double>& seconds,
+                                        double t_ref) {
+    if (procs.size() != seconds.size()) {
+        throw std::invalid_argument("speedup_table: size mismatch");
+    }
+    if (t_ref <= 0.0) throw std::invalid_argument("speedup_table: t_ref must be > 0");
+    std::vector<SpeedupPoint> out;
+    out.reserve(procs.size());
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+        if (seconds[i] <= 0.0) {
+            throw std::invalid_argument("speedup_table: non-positive time");
+        }
+        SpeedupPoint p;
+        p.procs = procs[i];
+        p.seconds = seconds[i];
+        p.speedup = t_ref / seconds[i];
+        p.efficiency = p.speedup / static_cast<double>(procs[i]);
+        out.push_back(p);
+    }
+    return out;
+}
+
+}  // namespace wavehpc::perf

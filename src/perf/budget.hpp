@@ -1,0 +1,45 @@
+#pragma once
+// The "performance budget" of Appendix B: the parallel execution session is
+// broken into non-overlapping useful processing time and overhead
+// components — average communication, parallelization redundancy, and
+// imbalance/wait — each reported as a fraction of the parallel execution
+// time.
+
+#include <vector>
+
+#include "mesh/machine.hpp"
+
+namespace wavehpc::perf {
+
+struct Budget {
+    double parallel_seconds = 0.0;  ///< makespan of the run
+    double useful = 0.0;            ///< avg useful compute / makespan
+    double comm = 0.0;              ///< avg time inside send/recv / makespan
+    double redundancy = 0.0;        ///< avg redundancy compute / makespan
+    double imbalance = 0.0;         ///< avg end-of-run idle / makespan
+    double other = 0.0;             ///< residual (should be ~0)
+
+    [[nodiscard]] double overhead_total() const noexcept {
+        return comm + redundancy + imbalance + other;
+    }
+};
+
+/// Assemble the budget from a machine run. All timed node activity must go
+/// through NodeCtx::compute / compute_redundant / csend / crecv for the
+/// residual to stay near zero.
+[[nodiscard]] Budget budget_from_run(const mesh::Machine::RunResult& run);
+
+struct SpeedupPoint {
+    std::size_t procs = 0;
+    double seconds = 0.0;
+    double speedup = 0.0;
+    double efficiency = 0.0;
+};
+
+/// Derive speedup/efficiency from measured times against a reference
+/// (usually the 1-processor time). Throws if sizes mismatch or t_ref <= 0.
+[[nodiscard]] std::vector<SpeedupPoint> speedup_table(
+    const std::vector<std::size_t>& procs, const std::vector<double>& seconds,
+    double t_ref);
+
+}  // namespace wavehpc::perf

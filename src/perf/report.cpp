@@ -1,0 +1,71 @@
+#include "perf/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace wavehpc::perf {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    if (headers_.empty()) throw std::invalid_argument("TableWriter: no headers");
+}
+
+void TableWriter::add_row(std::vector<std::string> cells) {
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("TableWriter: cell count != header count");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string TableWriter::pct(double fraction, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << 100.0 * fraction << '%';
+    return os.str();
+}
+
+void TableWriter::print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "  " << std::setw(static_cast<int>(width[c])) << cells[c];
+        }
+        os << '\n';
+    };
+    line(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) line(row);
+}
+
+void print_speedup_series(std::ostream& os, const std::string& title,
+                          const std::vector<SpeedupPoint>& points) {
+    os << title << '\n';
+    TableWriter tw({"procs", "seconds", "speedup", "efficiency"});
+    for (const auto& p : points) {
+        tw.add_row({std::to_string(p.procs), TableWriter::num(p.seconds),
+                    TableWriter::num(p.speedup, 2), TableWriter::pct(p.efficiency)});
+    }
+    tw.print(os);
+}
+
+void print_budget_row(TableWriter& tw, const std::string& label, const Budget& b) {
+    tw.add_row({label, TableWriter::num(b.parallel_seconds), TableWriter::pct(b.useful),
+                TableWriter::pct(b.comm), TableWriter::pct(b.redundancy),
+                TableWriter::pct(b.imbalance), TableWriter::pct(b.other)});
+}
+
+}  // namespace wavehpc::perf

@@ -1,0 +1,36 @@
+#pragma once
+// Fixed-width text tables for the table/figure regenerator binaries.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "perf/budget.hpp"
+
+namespace wavehpc::perf {
+
+/// Minimal column-aligned table writer: set headers, add string rows, print.
+class TableWriter {
+public:
+    explicit TableWriter(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+    void print(std::ostream& os) const;
+
+    /// Format helpers for numeric cells.
+    [[nodiscard]] static std::string num(double v, int precision = 4);
+    [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a speedup curve (one figure series) with paper-shape annotations.
+void print_speedup_series(std::ostream& os, const std::string& title,
+                          const std::vector<SpeedupPoint>& points);
+
+/// Print a performance-budget stack (Appendix B figures 4-6, 11-14, ...).
+void print_budget_row(TableWriter& tw, const std::string& label, const Budget& b);
+
+}  // namespace wavehpc::perf

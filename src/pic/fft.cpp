@@ -1,0 +1,100 @@
+#include "pic/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wavehpc::pic {
+
+namespace {
+
+[[nodiscard]] bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Core radix-2 on an accessor; shared by the contiguous and strided paths.
+template <typename At>
+void fft_core(At at, std::size_t n, bool inverse) {
+    if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(at(i), at(j));
+    }
+    const double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+        const Complex wl(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex u = at(i + k);
+                const Complex v = at(i + k + len / 2) * w;
+                at(i + k) = u + v;
+                at(i + k + len / 2) = u - v;
+                w *= wl;
+            }
+        }
+    }
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (std::size_t i = 0; i < n; ++i) at(i) *= scale;
+    }
+}
+
+}  // namespace
+
+void fft_1d(std::span<Complex> data, bool inverse) {
+    fft_core([&](std::size_t i) -> Complex& { return data[i]; }, data.size(), inverse);
+}
+
+void fft_1d_strided(std::span<Complex> data, std::size_t offset, std::size_t stride,
+                    std::size_t count, bool inverse) {
+    if (stride == 0 || (count > 0 && offset + (count - 1) * stride >= data.size())) {
+        throw std::invalid_argument("fft_1d_strided: range exceeds data");
+    }
+    fft_core([&](std::size_t i) -> Complex& { return data[offset + i * stride]; },
+             count, inverse);
+}
+
+void fft_3d(std::span<Complex> cube, std::size_t n, bool inverse) {
+    if (cube.size() != n * n * n) {
+        throw std::invalid_argument("fft_3d: size must be n^3");
+    }
+    // x lines
+    for (std::size_t z = 0; z < n; ++z) {
+        for (std::size_t y = 0; y < n; ++y) {
+            fft_1d(cube.subspan((z * n + y) * n, n), inverse);
+        }
+    }
+    // y lines
+    for (std::size_t z = 0; z < n; ++z) {
+        for (std::size_t x = 0; x < n; ++x) {
+            fft_1d_strided(cube, z * n * n + x, n, n, inverse);
+        }
+    }
+    // z lines
+    for (std::size_t y = 0; y < n; ++y) {
+        for (std::size_t x = 0; x < n; ++x) {
+            fft_1d_strided(cube, y * n + x, n * n, n, inverse);
+        }
+    }
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> data, bool inverse) {
+    const std::size_t n = data.size();
+    std::vector<Complex> out(n);
+    const double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        Complex acc(0.0, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double ang = sign * 2.0 * std::numbers::pi *
+                               static_cast<double>(k * j % n) / static_cast<double>(n);
+            acc += data[j] * Complex(std::cos(ang), std::sin(ang));
+        }
+        out[k] = inverse ? acc / static_cast<double>(n) : acc;
+    }
+    return out;
+}
+
+}  // namespace wavehpc::pic

@@ -1,0 +1,28 @@
+#pragma once
+// Radix-2 complex FFT — the field-solver workhorse of the PIC substrate
+// (the paper used "a Paragon 1-D FFT library routine"; we build our own).
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace wavehpc::pic {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 FFT. `inverse` applies the conjugate kernel
+/// and the 1/N scale. Throws unless the size is a power of two (and > 0).
+void fft_1d(std::span<Complex> data, bool inverse);
+
+/// Strided in-place transform: elements data[offset + i*stride].
+void fft_1d_strided(std::span<Complex> data, std::size_t offset, std::size_t stride,
+                    std::size_t count, bool inverse);
+
+/// In-place 3-D FFT of an n^3 cube stored z-major: index (z*n + y)*n + x.
+void fft_3d(std::span<Complex> cube, std::size_t n, bool inverse);
+
+/// Reference O(N^2) DFT for tests.
+[[nodiscard]] std::vector<Complex> dft_reference(std::span<const Complex> data,
+                                                 bool inverse);
+
+}  // namespace wavehpc::pic

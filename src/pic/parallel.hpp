@@ -1,0 +1,42 @@
+#pragma once
+// SPMD (worker-worker) parallel PIC on the mesh machine (Appendix B §2.3):
+// particles split uniformly; the charge grid is made global by a vector
+// global sum (the NX-gssum-style all-to-all or the authors' parallel-prefix
+// replacement — the paper's ablation); the Poisson solve uses slab
+// decomposition with an all-to-all transpose; the potential is made global
+// again (ring allgather) before every rank pushes its own particles.
+
+#include "mesh/machine.hpp"
+#include "pic/serial.hpp"
+
+namespace wavehpc::pic {
+
+enum class GsumKind { Gssum, Prefix };
+
+struct ParallelPicConfig {
+    PicConfig pic;
+    int steps = 1;
+    GsumKind gsum = GsumKind::Prefix;
+    /// Collect the final particle state at rank 0 (the verification path).
+    /// Benchmarks turn this off so the makespan covers iterations only.
+    bool gather_result = true;
+};
+
+struct ParallelPicResult {
+    std::vector<Particle> particles;  ///< gathered, original order
+    Grid3 phi;                        ///< final global potential
+    double last_used_dt = 0.0;
+    mesh::Machine::RunResult run;
+    double seconds = 0.0;
+};
+
+/// Run `steps` PIC steps on `nprocs` ranks. Requires grid_n and nprocs to
+/// be powers of two with nprocs <= grid_n. Matches the serial stepper to
+/// floating-point reduction-order tolerance.
+[[nodiscard]] ParallelPicResult parallel_pic(mesh::Machine& machine,
+                                             std::vector<Particle> initial,
+                                             const ParallelPicConfig& cfg,
+                                             std::size_t nprocs,
+                                             const PicCostModel& model);
+
+}  // namespace wavehpc::pic

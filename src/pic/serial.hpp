@@ -1,0 +1,137 @@
+#pragma once
+// Serial 3-D electrostatic Particle-In-Cell (Appendix B, section 2.3):
+// Cloud-In-Cell charge deposition, FFT Poisson solve with wrap-around
+// boundary conditions, central-difference field, leapfrog push with the
+// adaptive time step that keeps particles within neighbouring cells.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pic/fft.hpp"
+
+namespace wavehpc::pic {
+
+struct Particle {
+    double x = 0.0, y = 0.0, z = 0.0;
+    double vx = 0.0, vy = 0.0, vz = 0.0;
+};
+static_assert(sizeof(Particle) == 48);
+
+/// n^3 periodic scalar field, z-major like fft_3d.
+class Grid3 {
+public:
+    Grid3() = default;
+    explicit Grid3(std::size_t n) : n_(n), data_(n * n * n, 0.0) {}
+
+    [[nodiscard]] std::size_t n() const noexcept { return n_; }
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] double& at(std::size_t x, std::size_t y, std::size_t z) noexcept {
+        return data_[(z * n_ + y) * n_ + x];
+    }
+    [[nodiscard]] double at(std::size_t x, std::size_t y, std::size_t z) const noexcept {
+        return data_[(z * n_ + y) * n_ + x];
+    }
+    /// Periodic access with integer wrap.
+    [[nodiscard]] double wrapped(std::ptrdiff_t x, std::ptrdiff_t y,
+                                 std::ptrdiff_t z) const noexcept;
+    [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+    [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+    void zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+private:
+    std::size_t n_ = 0;
+    std::vector<double> data_;
+};
+
+struct PicConfig {
+    std::size_t grid_n = 32;  ///< the paper's m (32 or 64)
+    double dt = 0.2;          ///< requested step; adapted down when fast
+    double charge = 0.05;     ///< per-particle charge (q/m = 1)
+};
+
+/// Uniform thermal plasma with a small density perturbation; deterministic.
+[[nodiscard]] std::vector<Particle> uniform_plasma(std::size_t np, std::size_t grid_n,
+                                                   std::uint64_t seed = 11);
+
+/// CIC deposition of charge * particles onto rho (rho is zeroed first).
+void deposit_cic(const std::vector<Particle>& particles, double charge, Grid3& rho);
+
+/// Solve lap(phi) = -rho spectrally (discrete 7-point Laplacian eigenvalues,
+/// zero-mean / neutralizing background). Grid sizes must be powers of two.
+void solve_poisson_fft(const Grid3& rho, Grid3& phi);
+
+/// E = -grad(phi) by central differences, interpolated to the particle.
+[[nodiscard]] std::array<double, 3> field_at(const Grid3& phi, double x, double y,
+                                             double z);
+
+/// Leapfrog push with wrap-around; returns the adapted dt actually used
+/// (limits displacement to half a cell, the paper's "adaptive time-step
+/// adjustment scheme ... to prevent the particles from moving any further
+/// than neighboring grid cells").
+double push_particles(std::vector<Particle>& particles, const Grid3& phi, double dt,
+                      double vmax_global);
+
+/// Max particle speed (for the global dt adaptation).
+[[nodiscard]] double max_speed(const std::vector<Particle>& particles);
+
+struct PicStepInfo {
+    double used_dt = 0.0;
+    double total_charge = 0.0;  ///< deposited charge (conservation check)
+};
+
+/// One full serial step on (particles, rho, phi).
+PicStepInfo serial_pic_step(std::vector<Particle>& particles, Grid3& rho, Grid3& phi,
+                            const PicConfig& cfg);
+
+/// Calibrated per-iteration compute model:  t = per_particle * Np +
+/// per_step_grid  (the grid term covers the FFT field solve; linear fits of
+/// the report's Tables 1-2 reproduce all published points to ~1%).
+struct PicCostModel {
+    std::string machine;
+    std::size_t grid_n = 0;
+    double per_particle = 0.0;
+    double per_step_grid = 0.0;
+    /// Memory model for the paging effect (figure 9).
+    double node_memory_bytes = 0.0;
+    double paging_quadratic = 11.0;  ///< slowdown = 1 + q*(overcommit-1)^2
+
+    [[nodiscard]] double seconds(std::size_t np) const noexcept {
+        return per_particle * static_cast<double>(np) + per_step_grid;
+    }
+    [[nodiscard]] double resident_bytes(std::size_t np) const noexcept;
+    /// Paging slowdown factor for np particles plus grids on one node.
+    [[nodiscard]] double paging_factor(std::size_t np) const noexcept;
+    /// Uniprocessor seconds including the paging effect.
+    [[nodiscard]] double seconds_paged(std::size_t np) const noexcept {
+        return seconds(np) * paging_factor(np);
+    }
+
+    [[nodiscard]] static PicCostModel paragon(std::size_t grid_n);
+    [[nodiscard]] static PicCostModel t3d(std::size_t grid_n);
+};
+
+/// Report Tables 1-2 PIC serial points (seconds per iteration).
+struct PicSerialReference {
+    struct Point {
+        std::size_t np;
+        double seconds;
+        bool extrapolated;
+    };
+    // Paragon, m=32: 1M "real" measurement hit paging (249.20 s).
+    static constexpr Point paragon_m32[] = {
+        {262144, 13.35, false}, {524288, 24.41, false}, {1048576, 45.93, true}};
+    static constexpr double paragon_m32_paged_1m = 249.20;
+    static constexpr Point paragon_m64[] = {
+        {262144, 21.92, false}, {524288, 34.85, false}, {1048576, 58.31, true}};
+    static constexpr double paragon_m64_paged_1m = 820.41;
+    static constexpr Point t3d_m32[] = {
+        {262144, 5.53, false}, {524288, 9.74, false}, {1048576, 18.34, false}};
+    static constexpr Point t3d_m64[] = {
+        {262144, 17.02, false}, {524288, 21.17, false}, {1048576, 29.49, false}};
+};
+
+}  // namespace wavehpc::pic

@@ -1,0 +1,94 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace wavehpc::runtime {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+    if (workers == 0) {
+        workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lk(mu_);
+        stopping_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lk(mu_);
+            cv_task_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++busy_;
+        }
+        task();
+        {
+            std::lock_guard lk(mu_);
+            --busy_;
+            if (queue_.empty() && busy_ == 0) cv_idle_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard lk(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock lk(mu_);
+    cv_idle_.wait(lk, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t first, std::size_t last,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (first >= last) return;
+    const std::size_t n = last - first;
+    const std::size_t parts = std::min(n, workers());
+
+    std::atomic<std::size_t> remaining{parts};
+    std::exception_ptr error;
+    std::mutex err_mu;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+
+    for (std::size_t p = 0; p < parts; ++p) {
+        const std::size_t chunk_first = first + n * p / parts;
+        const std::size_t chunk_last = first + n * (p + 1) / parts;
+        submit([&, chunk_first, chunk_last] {
+            try {
+                fn(chunk_first, chunk_last);
+            } catch (...) {
+                std::lock_guard lk(err_mu);
+                if (!error) error = std::current_exception();
+            }
+            if (remaining.fetch_sub(1) == 1) {
+                std::lock_guard lk(done_mu);
+                done_cv.notify_all();
+            }
+        });
+    }
+
+    std::unique_lock lk(done_mu);
+    done_cv.wait(lk, [&] { return remaining.load() == 0; });
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace wavehpc::runtime

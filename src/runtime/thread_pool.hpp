@@ -1,0 +1,53 @@
+#pragma once
+// Host shared-memory parallel runtime: a fixed-size worker pool with a
+// blocking parallel_for. This is the "modern HPC node" backend for the
+// wavelet kernels — the simulators model the 1990s machines, this runs the
+// same decomposition for real on the host.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wavehpc::runtime {
+
+class ThreadPool {
+public:
+    /// Spawns `workers` threads (defaults to hardware_concurrency, min 1).
+    explicit ThreadPool(std::size_t workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
+
+    /// Run fn(begin, end) over [first, last) split into roughly equal chunks,
+    /// one per worker (static scheduling, like an OpenMP static for).
+    /// Blocks until every chunk finished; rethrows the first worker exception.
+    void parallel_for(std::size_t first, std::size_t last,
+                      const std::function<void(std::size_t, std::size_t)>& fn);
+
+    /// Enqueue an arbitrary task; used by tests and by callers composing
+    /// their own joins.
+    void submit(std::function<void()> task);
+
+    /// Block until the queue is drained and all workers are idle.
+    void wait_idle();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_idle_;
+    std::size_t busy_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace wavehpc::runtime

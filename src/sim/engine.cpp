@@ -1,0 +1,195 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wavehpc::sim {
+
+namespace {
+// Internal unwind signal used to tear down process threads on abort. Not
+// derived from std::exception so well-behaved user code won't swallow it.
+struct AbortSignal {};
+}  // namespace
+
+const std::string& Proc::name() const {
+    std::lock_guard lk(engine_->mu_);
+    return engine_->procs_[pid_]->name;
+}
+
+double Proc::now() const { return engine_->clock_of(pid_); }
+
+void Proc::advance(double dt) { engine_->advance(pid_, dt); }
+
+void Proc::block(Poll poll) { engine_->block(pid_, std::move(poll)); }
+
+void Proc::notify(std::size_t other_pid) { engine_->notify(other_pid); }
+
+std::size_t Engine::add_process(std::string name, Body body) {
+    std::lock_guard lk(mu_);
+    if (started_) throw std::logic_error("Engine::add_process: engine already started");
+    auto pcb = std::make_unique<Pcb>();
+    pcb->name = std::move(name);
+    pcb->body = std::move(body);
+    pcb->state = State::Runnable;
+    procs_.push_back(std::move(pcb));
+    return procs_.size() - 1;
+}
+
+double Engine::clock_of(std::size_t pid) const {
+    std::lock_guard lk(mu_);
+    return procs_.at(pid)->clock;
+}
+
+std::size_t Engine::pick_min_runnable() const {
+    std::size_t best = kNone;
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+        if (procs_[i]->state != State::Runnable) continue;
+        if (best == kNone || procs_[i]->clock < procs_[best]->clock) best = i;
+    }
+    return best;
+}
+
+void Engine::begin_abort() {
+    if (aborting_) return;
+    aborting_ = true;
+    for (auto& p : procs_) p->cv.notify_all();
+}
+
+void Engine::give_turn_to_next(std::unique_lock<std::mutex>& /*lk*/) {
+    if (aborting_) return;
+    const std::size_t next = pick_min_runnable();
+    if (next == kNone) {
+        if (live_ == 0) return;  // clean completion
+        // Every live process is blocked: deadlock.
+        std::ostringstream os;
+        os << "simulation deadlock; blocked processes:";
+        for (const auto& p : procs_) {
+            if (p->state == State::Blocked) os << ' ' << p->name << "@t=" << p->clock;
+        }
+        deadlock_message_ = os.str();
+        begin_abort();
+        return;
+    }
+    procs_[next]->has_turn = true;
+    procs_[next]->cv.notify_all();
+}
+
+void Engine::check_abort(std::size_t /*pid*/) const {
+    if (aborting_) throw AbortSignal{};
+}
+
+void Engine::yield_and_wait(std::unique_lock<std::mutex>& lk, std::size_t pid) {
+    Pcb& me = *procs_[pid];
+    // Fast path: if we are still the minimum runnable process, keep the turn.
+    if (me.state == State::Runnable) {
+        const std::size_t next = pick_min_runnable();
+        if (next == pid && !aborting_) return;
+    }
+    me.has_turn = false;
+    give_turn_to_next(lk);
+    me.cv.wait(lk, [&] { return me.has_turn || aborting_; });
+    check_abort(pid);
+}
+
+void Engine::advance(std::size_t pid, double dt) {
+    if (dt < 0.0) throw std::invalid_argument("Proc::advance: negative dt");
+    std::unique_lock lk(mu_);
+    check_abort(pid);
+    procs_[pid]->clock += dt;
+    yield_and_wait(lk, pid);
+}
+
+void Engine::block(std::size_t pid, Proc::Poll poll) {
+    std::unique_lock lk(mu_);
+    check_abort(pid);
+    Pcb& me = *procs_[pid];
+    if (auto wake = poll()) {
+        me.clock = std::max(me.clock, *wake);
+        // Condition already satisfiable: still yield so earlier processes run.
+        yield_and_wait(lk, pid);
+        return;
+    }
+    me.state = State::Blocked;
+    me.poll = std::move(poll);
+    yield_and_wait(lk, pid);
+}
+
+void Engine::notify(std::size_t pid) {
+    std::unique_lock lk(mu_);
+    Pcb& p = *procs_.at(pid);
+    if (p.state != State::Blocked || !p.poll) return;
+    if (auto wake = p.poll()) {
+        p.clock = std::max(p.clock, *wake);
+        p.state = State::Runnable;
+        p.poll = nullptr;
+        // No turn handoff here: the notifier keeps running until its next
+        // yield point, at which point min-clock-first takes over.
+    }
+}
+
+void Engine::trampoline(std::size_t pid) {
+    {
+        std::unique_lock lk(mu_);
+        Pcb& me = *procs_[pid];
+        me.cv.wait(lk, [&] { return me.has_turn || aborting_; });
+        if (aborting_) {
+            me.state = State::Done;
+            me.has_turn = false;
+            --live_;
+            if (live_ == 0) done_cv_.notify_all();
+            return;
+        }
+    }
+
+    bool aborted = false;
+    try {
+        Proc proc(this, pid);
+        procs_[pid]->body(proc);
+    } catch (const AbortSignal&) {
+        aborted = true;
+    } catch (...) {
+        std::unique_lock lk(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        begin_abort();
+    }
+
+    std::unique_lock lk(mu_);
+    Pcb& me = *procs_[pid];
+    me.state = State::Done;
+    me.has_turn = false;
+    makespan_ = std::max(makespan_, me.clock);
+    --live_;
+    if (live_ == 0) {
+        done_cv_.notify_all();
+    } else if (!aborted) {
+        give_turn_to_next(lk);
+    }
+}
+
+void Engine::run() {
+    {
+        std::lock_guard lk(mu_);
+        if (started_) throw std::logic_error("Engine::run: already run");
+        started_ = true;
+        live_ = procs_.size();
+    }
+    if (procs_.empty()) return;
+
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+        procs_[i]->thread = std::thread([this, i] { trampoline(i); });
+    }
+    {
+        std::unique_lock lk(mu_);
+        give_turn_to_next(lk);
+        done_cv_.wait(lk, [&] { return live_ == 0; });
+    }
+    for (auto& p : procs_) {
+        if (p->thread.joinable()) p->thread.join();
+    }
+
+    std::lock_guard lk(mu_);
+    if (first_error_) std::rethrow_exception(first_error_);
+    if (!deadlock_message_.empty()) throw DeadlockError(deadlock_message_);
+}
+
+}  // namespace wavehpc::sim

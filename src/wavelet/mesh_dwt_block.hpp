@@ -1,0 +1,30 @@
+#pragma once
+// Block (2-D) domain decomposition for the mesh wavelet transform — the
+// alternative the paper's figure 3 argues AGAINST: each rank owns a
+// rectangular tile, so every level needs TWO guard-zone exchanges (east
+// columns before the row pass, south rows before the column pass) instead
+// of the stripe decomposition's one. Implemented so the figure-3 trade-off
+// is measured, not asserted.
+
+#include "wavelet/mesh_dwt.hpp"
+
+namespace wavehpc::wavelet {
+
+struct BlockDwtConfig {
+    int levels = 1;
+    core::BoundaryMode mode = core::BoundaryMode::Symmetric;
+    std::size_t grid_rows = 2;  ///< tile grid: grid_rows x grid_cols ranks
+    std::size_t grid_cols = 2;
+    bool scatter_gather = true;
+};
+
+/// Decompose `img` with a block decomposition on grid_rows*grid_cols ranks.
+/// Produces exactly the sequential pyramid; timings expose the doubled
+/// guard-zone transaction count.
+[[nodiscard]] MeshDwtResult block_decompose(mesh::Machine& machine,
+                                            const core::ImageF& img,
+                                            const core::FilterPair& fp,
+                                            const BlockDwtConfig& cfg,
+                                            const core::SequentialCostModel& compute_model);
+
+}  // namespace wavehpc::wavelet

@@ -1,0 +1,115 @@
+#include "wavelet/threads_dwt.hpp"
+
+#include "core/convolve.hpp"
+
+namespace wavehpc::wavelet {
+
+namespace {
+
+void parallel_rows(const core::ImageF& in, std::span<const float> f, core::ImageF& out,
+                   core::BoundaryMode mode, runtime::ThreadPool& pool) {
+    out = core::ImageF(in.rows(), in.cols() / 2);
+    pool.parallel_for(0, in.rows(), [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+            core::convolve_decimate_1d(in.row(r), f, out.row(r), mode);
+        }
+    });
+}
+
+void parallel_cols(const core::ImageF& in, std::span<const float> f, core::ImageF& out,
+                   core::BoundaryMode mode, runtime::ThreadPool& pool) {
+    const std::size_t half = in.rows() / 2;
+    const std::size_t taps = f.size();
+    out = core::ImageF(half, in.cols());
+    pool.parallel_for(0, half, [&](std::size_t kb, std::size_t ke) {
+        for (std::size_t k = kb; k < ke; ++k) {
+            auto dst = out.row(k);
+            for (auto& v : dst) v = 0.0F;
+            for (std::size_t n = 0; n < taps; ++n) {
+                const std::size_t idx = core::extend_index(
+                    static_cast<std::ptrdiff_t>(2 * k + n), in.rows(), mode);
+                if (idx >= in.rows()) continue;
+                const float w = f[n];
+                const auto src = in.row(idx);
+                for (std::size_t c = 0; c < in.cols(); ++c) dst[c] += w * src[c];
+            }
+        }
+    });
+}
+
+}  // namespace
+
+core::ImageF reconstruct_parallel(const core::Pyramid& pyr, const core::FilterPair& fp,
+                                  runtime::ThreadPool& pool) {
+    if (pyr.depth() == 0) {
+        throw std::invalid_argument("reconstruct_parallel: empty pyramid");
+    }
+    core::ImageF current = pyr.approx;
+    for (std::size_t lvl = pyr.depth(); lvl-- > 0;) {
+        const auto& d = pyr.levels[lvl];
+        const std::size_t half_r = current.rows();
+        const std::size_t half_c = current.cols();
+
+        // Column synthesis, split over output rows.
+        core::ImageF low_rows(2 * half_r, half_c);
+        core::ImageF high_rows(2 * half_r, half_c);
+        pool.parallel_for(0, 2 * half_r, [&](std::size_t mb, std::size_t me) {
+            for (std::size_t m = mb; m < me; ++m) {
+                core::synthesize_col_row(
+                    m, half_r, fp.low(), fp.high(),
+                    [&](std::size_t k) { return current.row(k); },
+                    [&](std::size_t k) { return d.lh.row(k); }, low_rows.row(m));
+                core::synthesize_col_row(
+                    m, half_r, fp.low(), fp.high(),
+                    [&](std::size_t k) { return d.hl.row(k); },
+                    [&](std::size_t k) { return d.hh.row(k); }, high_rows.row(m));
+            }
+        });
+
+        // Row synthesis, split over rows (each row independent).
+        core::ImageF out(2 * half_r, 2 * half_c);
+        pool.parallel_for(0, 2 * half_r, [&](std::size_t rb, std::size_t re) {
+            for (std::size_t r = rb; r < re; ++r) {
+                // Reuse the sequential kernel on a single-row view.
+                core::ImageF lo(1, half_c);
+                core::ImageF hi(1, half_c);
+                std::copy(low_rows.row(r).begin(), low_rows.row(r).end(),
+                          lo.row(0).begin());
+                std::copy(high_rows.row(r).begin(), high_rows.row(r).end(),
+                          hi.row(0).begin());
+                core::ImageF line(1, 2 * half_c);
+                core::synthesize_rows(lo, hi, fp.low(), fp.high(), line);
+                std::copy(line.row(0).begin(), line.row(0).end(), out.row(r).begin());
+            }
+        });
+        current = std::move(out);
+    }
+    return current;
+}
+
+core::Pyramid decompose_parallel(const core::ImageF& img, const core::FilterPair& fp,
+                                 int levels, core::BoundaryMode mode,
+                                 runtime::ThreadPool& pool) {
+    core::validate_decomposition_request(img.rows(), img.cols(), levels);
+    core::Pyramid pyr;
+    pyr.levels.reserve(static_cast<std::size_t>(levels));
+    core::ImageF current = img;
+    core::ImageF low_rows;
+    core::ImageF high_rows;
+    for (int k = 0; k < levels; ++k) {
+        parallel_rows(current, fp.low(), low_rows, mode, pool);
+        parallel_rows(current, fp.high(), high_rows, mode, pool);
+        core::DetailBands d;
+        core::ImageF ll;
+        parallel_cols(low_rows, fp.low(), ll, mode, pool);
+        parallel_cols(low_rows, fp.high(), d.lh, mode, pool);
+        parallel_cols(high_rows, fp.low(), d.hl, mode, pool);
+        parallel_cols(high_rows, fp.high(), d.hh, mode, pool);
+        pyr.levels.push_back(std::move(d));
+        current = std::move(ll);
+    }
+    pyr.approx = std::move(current);
+    return pyr;
+}
+
+}  // namespace wavehpc::wavelet

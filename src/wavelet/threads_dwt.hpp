@@ -1,0 +1,28 @@
+#pragma once
+// Shared-memory parallel Mallat decomposition: the same arithmetic as
+// core::decompose, data-parallel over rows on the host thread pool. This is
+// the "modern node" backend — where the simulators model the 1996 machines,
+// this one actually runs in parallel.
+
+#include "core/dwt.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace wavehpc::wavelet {
+
+/// Bit-identical to core::decompose(img, fp, levels, mode): every output
+/// coefficient is computed by the same expression, only the loop over rows
+/// is split across workers.
+[[nodiscard]] core::Pyramid decompose_parallel(const core::ImageF& img,
+                                               const core::FilterPair& fp, int levels,
+                                               core::BoundaryMode mode,
+                                               runtime::ThreadPool& pool);
+
+/// Bit-identical to core::reconstruct_gather(pyr, fp): the gather-form
+/// synthesis computes each output independently, so the row loops
+/// parallelize without changing any accumulation order. Periodic synthesis
+/// (the exact-reconstruction convention).
+[[nodiscard]] core::ImageF reconstruct_parallel(const core::Pyramid& pyr,
+                                                const core::FilterPair& fp,
+                                                runtime::ThreadPool& pool);
+
+}  // namespace wavehpc::wavelet

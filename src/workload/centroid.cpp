@@ -1,0 +1,53 @@
+#include "workload/centroid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wavehpc::workload {
+
+Centroid centroid_of(const Schedule& schedule) {
+    Centroid c(kOpTypes, 0.0);
+    if (schedule.cycles.empty()) return c;
+    for (const ParallelInstruction& pi : schedule.cycles) {
+        for (std::size_t t = 0; t < kOpTypes; ++t) c[t] += pi.counts[t];
+    }
+    for (double& v : c) v /= static_cast<double>(schedule.cycles.size());
+    return c;
+}
+
+Centroid centroid_of(const std::vector<WeightedPi>& pis) {
+    if (pis.empty()) throw std::invalid_argument("centroid_of: empty workload");
+    const std::size_t dims = pis.front().ops.size();
+    Centroid c(dims, 0.0);
+    std::size_t total = 0;
+    for (const WeightedPi& wp : pis) {
+        if (wp.ops.size() != dims) {
+            throw std::invalid_argument("centroid_of: inconsistent PI width");
+        }
+        for (std::size_t t = 0; t < dims; ++t) {
+            c[t] += static_cast<double>(wp.count) * wp.ops[t];
+        }
+        total += wp.count;
+    }
+    if (total == 0) throw std::invalid_argument("centroid_of: zero instructions");
+    for (double& v : c) v /= static_cast<double>(total);
+    return c;
+}
+
+double similarity(const Centroid& a, const Centroid& b) {
+    if (a.size() != b.size()) {
+        throw std::invalid_argument("similarity: centroid lengths differ");
+    }
+    double d2 = 0.0;
+    double max2 = 0.0;
+    for (std::size_t t = 0; t < a.size(); ++t) {
+        const double diff = a[t] - b[t];
+        d2 += diff * diff;
+        const double mx = std::max(a[t], b[t]);
+        max2 += mx * mx;
+    }
+    if (max2 == 0.0) return 0.0;  // both null: identical
+    return std::sqrt(d2) / std::sqrt(max2);
+}
+
+}  // namespace wavehpc::workload

@@ -1,0 +1,34 @@
+#pragma once
+// The parallel-instruction vector-space model (Appendix C, section 3): a
+// workload is summarized by its centroid — the mean multiplicity of each
+// operation type per parallel instruction — and two workloads are compared
+// by the normalized Euclidean distance between their centroids
+// (expression 9): 0 = identical exercising of the machine, 1 = orthogonal.
+
+#include <vector>
+
+#include "workload/oracle.hpp"
+
+namespace wavehpc::workload {
+
+/// Centroids are plain per-type mean vectors. Length is kOpTypes for traces
+/// scheduled here, but the math is dimension-agnostic (the paper's worked
+/// examples use three types), so the vector length is free.
+using Centroid = std::vector<double>;
+
+/// Centroid of an oracle schedule (expression 5/6).
+[[nodiscard]] Centroid centroid_of(const Schedule& schedule);
+
+/// Centroid of an explicit multiset of parallel instructions, each with a
+/// multiplicity (the format of the paper's section 4.1 example workloads).
+struct WeightedPi {
+    std::size_t count = 0;
+    std::vector<double> ops;
+};
+[[nodiscard]] Centroid centroid_of(const std::vector<WeightedPi>& pis);
+
+/// Normalized Euclidean similarity (expression 9). Throws on a length
+/// mismatch; two null centroids are defined identical (0.0).
+[[nodiscard]] double similarity(const Centroid& a, const Centroid& b);
+
+}  // namespace wavehpc::workload

@@ -1,0 +1,51 @@
+#pragma once
+// Synthetic workload generators for the Appendix C study.
+//
+// The original study traced SPARC executions of the NAS Parallel Benchmarks
+// through spy/SITA; we cannot re-trace 1995 binaries, so each kernel is
+// replaced by a dependency-structured synthetic trace that mimics the
+// benchmark's computational skeleton (DESIGN.md substitution table): embar's
+// independent pseudo-random blocks, mgrid's stencil hierarchy, cgm's sparse
+// mat-vec with reduction trees, fftpde's butterflies, buk's serializing
+// integer counters, and the applu/appsp/appbt wavefront sweeps.
+
+#include "workload/centroid.hpp"
+#include "workload/trace.hpp"
+
+namespace wavehpc::workload {
+
+enum class NasKernel { Embar, Mgrid, Cgm, Fftpde, Buk, Applu, Appsp, Appbt };
+inline constexpr NasKernel kAllKernels[] = {
+    NasKernel::Embar, NasKernel::Mgrid,  NasKernel::Cgm,   NasKernel::Fftpde,
+    NasKernel::Buk,   NasKernel::Applu,  NasKernel::Appsp, NasKernel::Appbt};
+
+[[nodiscard]] const char* kernel_name(NasKernel k);
+
+/// Deterministic synthetic trace; `scale` controls the instruction count
+/// (roughly scale * 1000 operations).
+[[nodiscard]] Trace make_kernel(NasKernel k, std::size_t scale, std::uint64_t seed = 7);
+
+/// Dependency trace of the Mallat 2-D decomposition itself (rows x cols
+/// image, taps-tap filters, `levels` levels): per output coefficient, taps
+/// loads of the producing level's samples, a chained multiply-accumulate
+/// sequence, and a store; level k+1 depends on level k's LL stores. Ties
+/// the report's Appendix A application to its Appendix C methodology.
+[[nodiscard]] Trace make_wavelet_trace(std::size_t rows, std::size_t cols, int taps,
+                                       int levels);
+
+/// The section 4.1 example benchmark suite: explicit weighted parallel
+/// instructions over (MEM, FP, INT). WL1 and WL2 follow the paper's tables;
+/// the remaining tables are garbled in the surviving source text and are
+/// completed here with the documented values.
+struct ExampleWorkload {
+    const char* name;
+    std::vector<WeightedPi> pis;
+};
+[[nodiscard]] std::vector<ExampleWorkload> example_suite();
+
+/// Appendix C Table 7: the published NAS centroid vectors
+/// (Intops, Memops, FPops, Controlops, Branchops) — used to validate the
+/// similarity arithmetic against the paper's own data.
+[[nodiscard]] std::vector<std::pair<const char*, Centroid>> published_nas_centroids();
+
+}  // namespace wavehpc::workload

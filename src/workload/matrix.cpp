@@ -1,0 +1,58 @@
+#include "workload/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wavehpc::workload {
+
+ParallelismMatrix ParallelismMatrix::from_schedule(const Schedule& schedule) {
+    ParallelismMatrix m;
+    if (schedule.cycles.empty()) return m;
+    const double w = 1.0 / static_cast<double>(schedule.cycles.size());
+    for (const ParallelInstruction& pi : schedule.cycles) {
+        std::vector<int> key(kOpTypes);
+        for (std::size_t t = 0; t < kOpTypes; ++t) {
+            key[t] = static_cast<int>(pi.counts[t]);
+        }
+        m.fractions_[key] += w;
+    }
+    return m;
+}
+
+ParallelismMatrix ParallelismMatrix::from_pis(
+    const std::vector<std::pair<std::size_t, std::vector<int>>>& pis) {
+    ParallelismMatrix m;
+    std::size_t total = 0;
+    const std::size_t dims = pis.empty() ? 0 : pis.front().second.size();
+    for (const auto& [count, key] : pis) {
+        if (key.size() != dims) {
+            throw std::invalid_argument("ParallelismMatrix: inconsistent PI width");
+        }
+        total += count;
+    }
+    if (total == 0) throw std::invalid_argument("ParallelismMatrix: empty workload");
+    for (const auto& [count, key] : pis) {
+        m.fractions_[key] += static_cast<double>(count) / static_cast<double>(total);
+    }
+    return m;
+}
+
+double ParallelismMatrix::difference(const ParallelismMatrix& other) const {
+    double acc = 0.0;
+    for (const auto& [key, f] : fractions_) {
+        const auto it = other.fractions_.find(key);
+        const double g = (it == other.fractions_.end()) ? 0.0 : it->second;
+        acc += (f - g) * (f - g);
+    }
+    for (const auto& [key, g] : other.fractions_) {
+        if (fractions_.find(key) == fractions_.end()) acc += g * g;
+    }
+    return std::sqrt(acc) / std::sqrt(2.0);
+}
+
+double ParallelismMatrix::fraction(const std::vector<int>& key) const {
+    const auto it = fractions_.find(key);
+    return (it == fractions_.end()) ? 0.0 : it->second;
+}
+
+}  // namespace wavehpc::workload

@@ -1,0 +1,41 @@
+#pragma once
+// The parallelism-matrix technique of Bradley & Larson (Appendix C,
+// section 2), in its architecture-invariant extension: the workload profile
+// is the distribution of executed parallel instructions over the
+// multidimensional space of per-type multiplicities, and two workloads are
+// compared with the (normalized) Frobenius norm of the difference.
+//
+// The matrix is stored sparsely (a dense n^t array is exactly the cost
+// problem the centroid model fixes — bench_tableC5 measures it).
+
+#include <map>
+#include <vector>
+
+#include "workload/oracle.hpp"
+
+namespace wavehpc::workload {
+
+class ParallelismMatrix {
+public:
+    /// Build from an oracle schedule: each cycle's type-multiplicity tuple
+    /// is one sample; entries are fractions of the cycle count.
+    [[nodiscard]] static ParallelismMatrix from_schedule(const Schedule& schedule);
+
+    /// Build from an explicit weighted PI multiset (section 4.1 examples).
+    [[nodiscard]] static ParallelismMatrix from_pis(
+        const std::vector<std::pair<std::size_t, std::vector<int>>>& pis);
+
+    /// Normalized Frobenius difference (expression 3, divided by sqrt(2)):
+    /// 0 for identical distributions, 1 when supports are disjoint.
+    [[nodiscard]] double difference(const ParallelismMatrix& other) const;
+
+    /// Number of distinct non-zero cells (the sparse footprint).
+    [[nodiscard]] std::size_t cells() const noexcept { return fractions_.size(); }
+    /// Fraction stored for one multiplicity tuple (0 if absent).
+    [[nodiscard]] double fraction(const std::vector<int>& key) const;
+
+private:
+    std::map<std::vector<int>, double> fractions_;
+};
+
+}  // namespace wavehpc::workload

@@ -1,0 +1,124 @@
+#include "workload/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wavehpc::workload {
+
+namespace {
+
+void add_to_cycle(std::vector<ParallelInstruction>& cycles, std::size_t level,
+                  OpType type) {
+    if (level >= cycles.size()) cycles.resize(level + 1);
+    cycles[level].counts[static_cast<std::size_t>(type)] += 1.0;
+}
+
+std::vector<std::size_t> oracle_levels(const Trace& trace) {
+    std::vector<std::size_t> level(trace.size(), 0);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        std::size_t lvl = 0;
+        for (std::uint32_t d : trace[i].deps) {
+            if (d >= i) {
+                throw std::invalid_argument(
+                    "oracle_schedule: dependency must reference an earlier entry");
+            }
+            lvl = std::max(lvl, level[d] + 1);
+        }
+        level[i] = lvl;
+    }
+    return level;
+}
+
+}  // namespace
+
+Schedule oracle_schedule(const Trace& trace) {
+    const auto level = oracle_levels(trace);
+    Schedule s;
+    s.operations = trace.size();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        add_to_cycle(s.cycles, level[i], trace[i].type);
+    }
+    return s;
+}
+
+Schedule list_schedule(const Trace& trace, std::size_t max_ops) {
+    if (max_ops == 0) throw std::invalid_argument("list_schedule: max_ops must be > 0");
+    // Greedy by cycles: each op's earliest start is after its deps' cycles;
+    // within a cycle, ready ops issue in trace order until the width cap.
+    std::vector<std::size_t> cycle_of(trace.size());
+    std::vector<std::size_t> width;  // ops issued per cycle so far
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        std::size_t earliest = 0;
+        for (std::uint32_t d : trace[i].deps) {
+            if (d >= i) {
+                throw std::invalid_argument(
+                    "list_schedule: dependency must reference an earlier entry");
+            }
+            earliest = std::max(earliest, cycle_of[d] + 1);
+        }
+        if (earliest >= width.size()) width.resize(earliest + 1, 0);
+        std::size_t at = earliest;
+        while (width[at] >= max_ops) {
+            ++at;
+            if (at >= width.size()) width.resize(at + 1, 0);
+        }
+        cycle_of[i] = at;
+        ++width[at];
+    }
+    Schedule s;
+    s.operations = trace.size();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        add_to_cycle(s.cycles, cycle_of[i], trace[i].type);
+    }
+    return s;
+}
+
+SmoothabilityReport smoothability(const Trace& trace) {
+    SmoothabilityReport r;
+    if (trace.empty()) return r;
+    const Schedule oracle = oracle_schedule(trace);
+    r.cpl_unlimited = oracle.length();
+    r.avg_parallelism = oracle.average_parallelism();
+    const auto cap = static_cast<std::size_t>(
+        std::max(1.0, std::round(r.avg_parallelism)));
+    const Schedule limited = list_schedule(trace, cap);
+    r.cpl_limited = limited.length();
+    r.smoothability = static_cast<double>(r.cpl_unlimited) /
+                      static_cast<double>(r.cpl_limited);
+
+    // Average delay = mean over ops of (limited cycle - oracle cycle); ops
+    // that issue as soon as ready count as zero.
+    const auto oracle_lv = [&] {
+        std::vector<std::size_t> level(trace.size(), 0);
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            for (std::uint32_t d : trace[i].deps) {
+                level[i] = std::max(level[i], level[d] + 1);
+            }
+        }
+        return level;
+    }();
+    // Recompute the limited placement (list_schedule keeps it internal).
+    std::vector<std::size_t> cycle_of(trace.size());
+    std::vector<std::size_t> width;
+    double delay_sum = 0.0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        std::size_t earliest = 0;
+        for (std::uint32_t d : trace[i].deps) {
+            earliest = std::max(earliest, cycle_of[d] + 1);
+        }
+        if (earliest >= width.size()) width.resize(earliest + 1, 0);
+        std::size_t at = earliest;
+        while (width[at] >= cap) {
+            ++at;
+            if (at >= width.size()) width.resize(at + 1, 0);
+        }
+        cycle_of[i] = at;
+        ++width[at];
+        delay_sum += static_cast<double>(at - oracle_lv[i]);
+    }
+    r.avg_op_delay = delay_sum / static_cast<double>(trace.size());
+    return r;
+}
+
+}  // namespace wavehpc::workload

@@ -1,0 +1,58 @@
+#pragma once
+// The oracle scheduler (Appendix C, section 5.2 / [Theobald's SITA]): pack
+// a dependency-annotated trace into parallel instructions, each instruction
+// placed at the earliest level permitted by its true dependencies; plus the
+// finite-processor list schedule used to measure smoothability.
+
+#include "workload/trace.hpp"
+
+namespace wavehpc::workload {
+
+/// One machine cycle of the ideal machine: how many operations of each type
+/// issued together.
+struct ParallelInstruction {
+    std::array<double, kOpTypes> counts{};
+
+    [[nodiscard]] double total() const noexcept {
+        double s = 0.0;
+        for (double c : counts) s += c;
+        return s;
+    }
+};
+
+struct Schedule {
+    std::vector<ParallelInstruction> cycles;
+    std::size_t operations = 0;
+
+    /// Critical path length (cycles of the schedule).
+    [[nodiscard]] std::size_t length() const noexcept { return cycles.size(); }
+    /// Average degree of parallelism: operations / cycles.
+    [[nodiscard]] double average_parallelism() const noexcept {
+        return cycles.empty() ? 0.0
+                              : static_cast<double>(operations) /
+                                    static_cast<double>(cycles.size());
+    }
+};
+
+/// Unlimited-processor oracle schedule: level(i) = 1 + max(level(deps)).
+/// Throws std::invalid_argument on a forward or self dependency.
+[[nodiscard]] Schedule oracle_schedule(const Trace& trace);
+
+/// Greedy list schedule with at most `max_ops` operations per cycle (ready
+/// operations issued in trace order). max_ops = 0 is invalid.
+[[nodiscard]] Schedule list_schedule(const Trace& trace, std::size_t max_ops);
+
+struct SmoothabilityReport {
+    std::size_t cpl_unlimited = 0;    ///< oracle critical path
+    double avg_parallelism = 0.0;     ///< P_avg on the oracle
+    std::size_t cpl_limited = 0;      ///< list schedule at P = round(P_avg)
+    double smoothability = 0.0;       ///< cpl_unlimited / cpl_limited
+    double avg_op_delay = 0.0;        ///< mean (limited level - oracle level)
+};
+
+/// Smoothability [Theobald]: how little the schedule stretches when the
+/// machine width is capped at the average parallelism. Close to 1 means the
+/// parallelism profile is flat and the centroid is a faithful summary.
+[[nodiscard]] SmoothabilityReport smoothability(const Trace& trace);
+
+}  // namespace wavehpc::workload

@@ -1,0 +1,39 @@
+#pragma once
+// Instruction traces for the workload-characterization study (Appendix C).
+//
+// A trace is a dynamic instruction sequence with explicit true (flow)
+// dependencies — exactly what the oracle model consumes: "an idealistic
+// model that considers only true flow dependencies". Instructions carry one
+// of the five SPARC-style categories the study used.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wavehpc::workload {
+
+enum class OpType : std::uint8_t {
+    Int,      ///< arithmetic/logic/shift
+    Mem,      ///< load/store
+    Fp,       ///< floating-point operate
+    Control,  ///< read/write control register
+    Branch,   ///< control transfer
+};
+inline constexpr std::size_t kOpTypes = 5;
+
+[[nodiscard]] inline const char* op_type_name(std::size_t i) {
+    static constexpr const char* names[kOpTypes] = {"Intops", "Memops", "FPops",
+                                                    "Controlops", "Branchops"};
+    return names[i];
+}
+
+struct Instruction {
+    OpType type = OpType::Int;
+    /// Indices of earlier trace entries this one truly depends on.
+    std::vector<std::uint32_t> deps;
+};
+
+using Trace = std::vector<Instruction>;
+
+}  // namespace wavehpc::workload

@@ -1,0 +1,121 @@
+#include "core/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/synthetic.hpp"
+
+namespace {
+
+using wavehpc::core::FilterPair;
+using wavehpc::core::ImageF;
+using wavehpc::core::Pyramid;
+
+Pyramid sample(int levels = 3) {
+    const ImageF img = wavehpc::core::landsat_tm_like(64, 64, 91);
+    return wavehpc::core::decompose(img, FilterPair::daubechies(8), levels);
+}
+
+std::size_t count_nonzero_details(const Pyramid& pyr) {
+    std::size_t n = 0;
+    for (const auto& d : pyr.levels) {
+        for (const ImageF* band : {&d.lh, &d.hl, &d.hh}) {
+            for (float v : band->flat()) n += (v != 0.0F) ? 1 : 0;
+        }
+    }
+    return n;
+}
+
+TEST(Threshold, ZeroesSmallKeepsLarge) {
+    Pyramid pyr = sample();
+    const std::size_t kept = wavehpc::core::threshold_pyramid(pyr, 1.0F);
+    EXPECT_EQ(kept, pyr.approx.size() + count_nonzero_details(pyr));
+    for (const auto& d : pyr.levels) {
+        for (float v : d.hh.flat()) {
+            EXPECT_TRUE(v == 0.0F || std::abs(v) > 1.0F);
+        }
+    }
+    EXPECT_THROW((void)wavehpc::core::threshold_pyramid(pyr, -1.0F),
+                 std::invalid_argument);
+}
+
+TEST(Threshold, ZeroThresholdKeepsEverythingNonzero) {
+    Pyramid pyr = sample();
+    const std::size_t before = count_nonzero_details(pyr);
+    const std::size_t kept = wavehpc::core::threshold_pyramid(pyr, 0.0F);
+    EXPECT_EQ(kept, pyr.approx.size() + before);
+}
+
+TEST(KeepLargest, RetainsRequestedFraction) {
+    Pyramid pyr = sample();
+    std::size_t details = 0;
+    for (const auto& d : pyr.levels) details += 3 * d.lh.size();
+    const std::size_t kept = wavehpc::core::keep_largest(pyr, 0.10);
+    const auto target = static_cast<double>(details) * 0.10;
+    // Within a tolerance for ties at the threshold magnitude.
+    EXPECT_NEAR(static_cast<double>(kept - pyr.approx.size()), target,
+                0.02 * static_cast<double>(details));
+    EXPECT_THROW((void)wavehpc::core::keep_largest(pyr, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)wavehpc::core::keep_largest(pyr, 1.5), std::invalid_argument);
+}
+
+TEST(KeepLargest, FullFractionKeepsAll) {
+    Pyramid pyr = sample();
+    std::size_t details = 0;
+    for (const auto& d : pyr.levels) details += 3 * d.lh.size();
+    EXPECT_EQ(wavehpc::core::keep_largest(pyr, 1.0), pyr.approx.size() + details);
+}
+
+TEST(Quantize, IntroducesAtMostHalfStepError) {
+    Pyramid pyr = sample();
+    const Pyramid original = pyr;
+    wavehpc::core::quantize_details(pyr, 0.5F);
+    for (std::size_t k = 0; k < pyr.depth(); ++k) {
+        const auto a = pyr.levels[k].hl.flat();
+        const auto b = original.levels[k].hl.flat();
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_LE(std::abs(a[i] - b[i]), 0.25F + 1e-5F);
+            EXPECT_NEAR(std::remainder(a[i], 0.5F), 0.0F, 1e-5F);
+        }
+    }
+    EXPECT_EQ(pyr.approx, original.approx);  // approximation untouched
+    EXPECT_THROW(wavehpc::core::quantize_details(pyr, 0.0F), std::invalid_argument);
+}
+
+TEST(Entropy, ZeroForAllZeroDetails) {
+    Pyramid pyr = sample();
+    (void)wavehpc::core::threshold_pyramid(pyr, 1e9F);
+    EXPECT_DOUBLE_EQ(wavehpc::core::detail_entropy_bits(pyr, 1.0F), 0.0);
+}
+
+TEST(Entropy, GrowsWithFinerQuantization) {
+    const Pyramid pyr = sample();
+    const double coarse = wavehpc::core::detail_entropy_bits(pyr, 4.0F);
+    const double fine = wavehpc::core::detail_entropy_bits(pyr, 0.25F);
+    EXPECT_GT(fine, coarse);
+    EXPECT_GT(coarse, 0.0);
+}
+
+TEST(CompressReportTest, RateDistortionIsMonotone) {
+    const ImageF img = wavehpc::core::landsat_tm_like(128, 128, 93);
+    const FilterPair fp = FilterPair::daubechies(8);
+    const auto r20 = wavehpc::core::compress_report(img, fp, 4, 0.20);
+    const auto r02 = wavehpc::core::compress_report(img, fp, 4, 0.02);
+    EXPECT_GT(r20.psnr_db, r02.psnr_db);
+    EXPECT_GT(r02.compression_ratio, r20.compression_ratio);
+    EXPECT_GT(r02.psnr_db, 30.0);       // still a decent image at 2%
+    EXPECT_GT(r02.compression_ratio, 10.0);
+}
+
+TEST(CompressReportTest, QuantizedPyramidStillReconstructs) {
+    const ImageF img = wavehpc::core::landsat_tm_like(64, 64, 95);
+    const FilterPair fp = FilterPair::daubechies(4);
+    Pyramid pyr = wavehpc::core::decompose(img, fp, 3);
+    wavehpc::core::quantize_details(pyr, 2.0F);
+    const ImageF back = wavehpc::core::reconstruct(pyr, fp);
+    EXPECT_GT(wavehpc::core::psnr(img, back), 38.0);
+}
+
+}  // namespace

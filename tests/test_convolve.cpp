@@ -1,0 +1,221 @@
+#include "core/convolve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/filters.hpp"
+
+namespace {
+
+using wavehpc::core::BoundaryMode;
+using wavehpc::core::extend_index;
+using wavehpc::core::FilterPair;
+using wavehpc::core::ImageF;
+
+// Deterministic pseudo-random pixels without global RNG state.
+float pseudo(std::size_t i) {
+    return static_cast<float>((i * 2654435761U) % 1000) / 500.0F - 1.0F;
+}
+
+ImageF random_image(std::size_t rows, std::size_t cols, std::size_t salt = 0) {
+    ImageF img(rows, cols);
+    auto flat = img.flat();
+    for (std::size_t i = 0; i < flat.size(); ++i) flat[i] = pseudo(i + salt * 7919);
+    return img;
+}
+
+TEST(ExtendIndex, InRangeIsIdentity) {
+    for (auto mode : {BoundaryMode::Periodic, BoundaryMode::Symmetric,
+                      BoundaryMode::ZeroPad}) {
+        EXPECT_EQ(extend_index(3, 8, mode), 3U);
+        EXPECT_EQ(extend_index(0, 8, mode), 0U);
+        EXPECT_EQ(extend_index(7, 8, mode), 7U);
+    }
+}
+
+TEST(ExtendIndex, PeriodicWraps) {
+    EXPECT_EQ(extend_index(8, 8, BoundaryMode::Periodic), 0U);
+    EXPECT_EQ(extend_index(9, 8, BoundaryMode::Periodic), 1U);
+    EXPECT_EQ(extend_index(-1, 8, BoundaryMode::Periodic), 7U);
+    EXPECT_EQ(extend_index(17, 8, BoundaryMode::Periodic), 1U);
+}
+
+TEST(ExtendIndex, SymmetricReflects) {
+    // ... x1 x0 | x0 x1 ... x7 | x7 x6 ...
+    EXPECT_EQ(extend_index(8, 8, BoundaryMode::Symmetric), 7U);
+    EXPECT_EQ(extend_index(9, 8, BoundaryMode::Symmetric), 6U);
+    EXPECT_EQ(extend_index(-1, 8, BoundaryMode::Symmetric), 0U);
+    EXPECT_EQ(extend_index(-2, 8, BoundaryMode::Symmetric), 1U);
+}
+
+TEST(ExtendIndex, ZeroPadSignalsOutside) {
+    EXPECT_EQ(extend_index(8, 8, BoundaryMode::ZeroPad), 8U);
+    EXPECT_EQ(extend_index(-1, 8, BoundaryMode::ZeroPad), 8U);
+}
+
+TEST(ConvolveDecimate1d, HaarAveragesAdjacentPairs) {
+    const FilterPair haar = FilterPair::daubechies(2);
+    const std::vector<float> x{1.0F, 3.0F, 5.0F, 7.0F};
+    std::vector<float> y(2);
+    wavehpc::core::convolve_decimate_1d(x, haar.low(), y, BoundaryMode::Periodic);
+    const float s = 0.70710678F;
+    EXPECT_NEAR(y[0], (1.0F + 3.0F) * s, 1e-5);
+    EXPECT_NEAR(y[1], (5.0F + 7.0F) * s, 1e-5);
+}
+
+TEST(ConvolveDecimate1d, HaarHighPassDetectsDifferences) {
+    const FilterPair haar = FilterPair::daubechies(2);
+    const std::vector<float> x{1.0F, 3.0F, 5.0F, 7.0F};
+    std::vector<float> y(2);
+    wavehpc::core::convolve_decimate_1d(x, haar.high(), y, BoundaryMode::Periodic);
+    const float s = 0.70710678F;
+    EXPECT_NEAR(y[0], (1.0F - 3.0F) * s, 1e-5);
+    EXPECT_NEAR(y[1], (5.0F - 7.0F) * s, 1e-5);
+}
+
+TEST(ConvolveDecimate1d, PeriodicWrapUsesFrontSamples) {
+    // Filter long enough that the last output window wraps around.
+    const std::vector<float> f{1.0F, 0.0F, 0.0F, 1.0F};  // picks x[2k] + x[2k+3]
+    const std::vector<float> x{10.0F, 20.0F, 30.0F, 40.0F};
+    std::vector<float> y(2);
+    wavehpc::core::convolve_decimate_1d(x, f, y, BoundaryMode::Periodic);
+    EXPECT_FLOAT_EQ(y[0], 10.0F + 40.0F);
+    EXPECT_FLOAT_EQ(y[1], 30.0F + 20.0F);  // x[5] wraps to x[1]
+}
+
+TEST(ConvolveDecimate1d, ZeroPadDropsOutsideSamples) {
+    const std::vector<float> f{1.0F, 0.0F, 0.0F, 1.0F};
+    const std::vector<float> x{10.0F, 20.0F, 30.0F, 40.0F};
+    std::vector<float> y(2);
+    wavehpc::core::convolve_decimate_1d(x, f, y, BoundaryMode::ZeroPad);
+    EXPECT_FLOAT_EQ(y[1], 30.0F);  // x[5] outside -> 0
+}
+
+TEST(ConvolveDecimate1d, SymmetricReflectsOutsideSamples) {
+    const std::vector<float> f{1.0F, 0.0F, 0.0F, 1.0F};
+    const std::vector<float> x{10.0F, 20.0F, 30.0F, 40.0F};
+    std::vector<float> y(2);
+    wavehpc::core::convolve_decimate_1d(x, f, y, BoundaryMode::Symmetric);
+    EXPECT_FLOAT_EQ(y[1], 30.0F + 30.0F);  // x[5] reflects to x[2]
+}
+
+TEST(ConvolveDecimate1d, RejectsOddLengthInput) {
+    std::vector<float> x(5, 1.0F);
+    std::vector<float> y(2);
+    const FilterPair haar = FilterPair::daubechies(2);
+    EXPECT_THROW(
+        wavehpc::core::convolve_decimate_1d(x, haar.low(), y, BoundaryMode::Periodic),
+        std::invalid_argument);
+}
+
+TEST(ConvolveDecimate1d, RejectsWrongOutputSize) {
+    std::vector<float> x(4, 1.0F);
+    std::vector<float> y(3);
+    const FilterPair haar = FilterPair::daubechies(2);
+    EXPECT_THROW(
+        wavehpc::core::convolve_decimate_1d(x, haar.low(), y, BoundaryMode::Periodic),
+        std::invalid_argument);
+}
+
+class RowsColsAgainst1d
+    : public ::testing::TestWithParam<std::tuple<int, BoundaryMode>> {};
+
+TEST_P(RowsColsAgainst1d, RowFilteringMatches1dPerRow) {
+    const auto [taps, mode] = GetParam();
+    const FilterPair fp = FilterPair::daubechies(taps);
+    const ImageF img = random_image(6, 16);
+    ImageF out;
+    wavehpc::core::convolve_decimate_rows(img, fp.low(), out, mode);
+    ASSERT_EQ(out.rows(), 6U);
+    ASSERT_EQ(out.cols(), 8U);
+    std::vector<float> expected(8);
+    for (std::size_t r = 0; r < img.rows(); ++r) {
+        wavehpc::core::convolve_decimate_1d(img.row(r), fp.low(), expected, mode);
+        for (std::size_t k = 0; k < 8; ++k) EXPECT_FLOAT_EQ(out(r, k), expected[k]);
+    }
+}
+
+TEST_P(RowsColsAgainst1d, ColumnFilteringMatches1dPerColumn) {
+    const auto [taps, mode] = GetParam();
+    const FilterPair fp = FilterPair::daubechies(taps);
+    const ImageF img = random_image(16, 6);
+    ImageF out;
+    wavehpc::core::convolve_decimate_cols(img, fp.high(), out, mode);
+    ASSERT_EQ(out.rows(), 8U);
+    ASSERT_EQ(out.cols(), 6U);
+    for (std::size_t c = 0; c < img.cols(); ++c) {
+        std::vector<float> column(img.rows());
+        for (std::size_t r = 0; r < img.rows(); ++r) column[r] = img(r, c);
+        std::vector<float> expected(8);
+        wavehpc::core::convolve_decimate_1d(column, fp.high(), expected, mode);
+        for (std::size_t k = 0; k < 8; ++k) {
+            EXPECT_NEAR(out(k, c), expected[k], 1e-5) << "col " << c << " k " << k;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TapsAndModes, RowsColsAgainst1d,
+    ::testing::Combine(::testing::Values(2, 4, 8),
+                       ::testing::Values(BoundaryMode::Periodic,
+                                         BoundaryMode::Symmetric,
+                                         BoundaryMode::ZeroPad)));
+
+TEST(UpsampleAccumulate, IsAdjointOfDecimationUnderPeriodic) {
+    // <D x, y> == <x, U y> characterizes the transpose pair that perfect
+    // reconstruction relies on.
+    const FilterPair fp = FilterPair::daubechies(8);
+    const ImageF x = random_image(4, 16, 1);
+    const ImageF y = random_image(4, 8, 2);
+
+    ImageF dx;
+    wavehpc::core::convolve_decimate_rows(x, fp.low(), dx, BoundaryMode::Periodic);
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+        lhs += static_cast<double>(dx.flat()[i]) * y.flat()[i];
+    }
+
+    ImageF uy(4, 16, 0.0F);
+    wavehpc::core::upsample_accumulate_rows(y, fp.low(), uy);
+    double rhs = 0.0;
+    for (std::size_t i = 0; i < uy.size(); ++i) {
+        rhs += static_cast<double>(x.flat()[i]) * uy.flat()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(UpsampleAccumulate, ColumnVariantIsAdjointToo) {
+    const FilterPair fp = FilterPair::daubechies(4);
+    const ImageF x = random_image(16, 4, 3);
+    const ImageF y = random_image(8, 4, 4);
+
+    ImageF dx;
+    wavehpc::core::convolve_decimate_cols(x, fp.high(), dx, BoundaryMode::Periodic);
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < dx.size(); ++i) {
+        lhs += static_cast<double>(dx.flat()[i]) * y.flat()[i];
+    }
+
+    ImageF uy(16, 4, 0.0F);
+    wavehpc::core::upsample_accumulate_cols(y, fp.high(), uy);
+    double rhs = 0.0;
+    for (std::size_t i = 0; i < uy.size(); ++i) {
+        rhs += static_cast<double>(x.flat()[i]) * uy.flat()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(UpsampleAccumulate, RejectsWrongOutputShape) {
+    const FilterPair fp = FilterPair::daubechies(2);
+    const ImageF y = random_image(4, 8);
+    ImageF bad(4, 15, 0.0F);
+    EXPECT_THROW(wavehpc::core::upsample_accumulate_rows(y, fp.low(), bad),
+                 std::invalid_argument);
+    ImageF bad2(7, 8, 0.0F);
+    EXPECT_THROW(wavehpc::core::upsample_accumulate_cols(y, fp.low(), bad2),
+                 std::invalid_argument);
+}
+
+}  // namespace

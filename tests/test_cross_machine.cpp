@@ -1,0 +1,128 @@
+// Cross-profile integration: the same parallel programs must stay correct
+// on every machine profile (different topologies, torus wrap, latencies)
+// and expose the expected machine-balance contrasts.
+
+#include <gtest/gtest.h>
+
+#include "core/synthetic.hpp"
+#include "nbody/parallel.hpp"
+#include "pic/parallel.hpp"
+#include "wavelet/mesh_dwt.hpp"
+
+namespace {
+
+using wavehpc::core::FilterPair;
+using wavehpc::core::ImageF;
+using wavehpc::core::SequentialCostModel;
+using wavehpc::mesh::Machine;
+using wavehpc::mesh::MachineProfile;
+
+class ProfileSweep : public ::testing::TestWithParam<int> {};
+
+MachineProfile profile_for(int idx) {
+    switch (idx) {
+        case 0: return MachineProfile::paragon_pvm();
+        case 1: return MachineProfile::paragon_nx();
+        default: return MachineProfile::cray_t3d_pvm();
+    }
+}
+
+TEST_P(ProfileSweep, MeshDwtCorrectOnEveryProfile) {
+    const ImageF img = wavehpc::core::landsat_tm_like(64, 64, 101);
+    const FilterPair fp = FilterPair::daubechies(8);
+    const auto reference =
+        wavehpc::core::decompose(img, fp, 2, wavehpc::core::BoundaryMode::Symmetric);
+
+    Machine machine(profile_for(GetParam()));
+    wavehpc::wavelet::MeshDwtConfig cfg;
+    cfg.levels = 2;
+    const auto res = wavehpc::wavelet::mesh_decompose(
+        machine, img, fp, cfg, 8, SequentialCostModel::paragon_node());
+    EXPECT_EQ(res.pyramid.approx, reference.approx);
+    EXPECT_EQ(res.pyramid.levels[1].hh, reference.levels[1].hh);
+}
+
+TEST_P(ProfileSweep, NbodyCorrectOnEveryProfile) {
+    const auto initial = wavehpc::nbody::interacting_galaxies(300, 7);
+    auto serial = initial;
+    (void)wavehpc::nbody::serial_step(serial, wavehpc::nbody::SimConfig{});
+
+    Machine machine(profile_for(GetParam()));
+    const auto res = wavehpc::nbody::parallel_nbody(
+        machine, initial, {}, 6, wavehpc::nbody::NbodyCostModel::t3d());
+    for (std::size_t i = 0; i < serial.size(); i += 17) {
+        EXPECT_EQ(res.bodies[i].pos.x, serial[i].pos.x) << i;
+    }
+}
+
+TEST_P(ProfileSweep, PicCorrectOnEveryProfile) {
+    constexpr std::size_t kGrid = 16;
+    const auto initial = wavehpc::pic::uniform_plasma(1500, kGrid);
+    auto serial = initial;
+    wavehpc::pic::Grid3 rho;
+    wavehpc::pic::Grid3 phi;
+    wavehpc::pic::PicConfig pc;
+    pc.grid_n = kGrid;
+    (void)wavehpc::pic::serial_pic_step(serial, rho, phi, pc);
+
+    wavehpc::pic::PicCostModel model;
+    model.machine = "test";
+    model.grid_n = kGrid;
+    model.per_particle = 1e-5;
+    model.per_step_grid = 0.1;
+
+    Machine machine(profile_for(GetParam()));
+    wavehpc::pic::ParallelPicConfig cfg;
+    cfg.pic = pc;
+    const auto res = wavehpc::pic::parallel_pic(machine, initial, cfg, 8, model);
+    for (std::size_t i = 0; i < serial.size(); i += 31) {
+        EXPECT_NEAR(res.particles[i].x, serial[i].x, 1e-8) << i;
+    }
+}
+
+std::string profile_name(const ::testing::TestParamInfo<int>& info) {
+    switch (info.param) {
+        case 0: return "ParagonPvm";
+        case 1: return "ParagonNx";
+        default: return "CrayT3d";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileSweep, ::testing::Values(0, 1, 2),
+                         profile_name);
+
+TEST(MachineBalance, FasterCpuMeansWorseEfficiencyAtEqualWork) {
+    // Appendix B's T3D lesson: speed the processors up 7x while the wires
+    // improve less, and parallel efficiency drops.
+    const auto initial = wavehpc::nbody::interacting_galaxies(2048, 3);
+    const auto efficiency = [&](const MachineProfile& prof,
+                                const wavehpc::nbody::NbodyCostModel& model) {
+        Machine m1(prof);
+        const double t1 =
+            wavehpc::nbody::parallel_nbody(m1, initial, {}, 1, model).seconds;
+        Machine m8(prof);
+        const double t8 =
+            wavehpc::nbody::parallel_nbody(m8, initial, {}, 8, model).seconds;
+        return t1 / t8 / 8.0;
+    };
+    const double paragon = efficiency(MachineProfile::paragon_nx(),
+                                      wavehpc::nbody::NbodyCostModel::paragon());
+    const double t3d = efficiency(MachineProfile::cray_t3d_pvm(),
+                                  wavehpc::nbody::NbodyCostModel::t3d());
+    EXPECT_GT(paragon, t3d);
+}
+
+TEST(MachineBalance, T3dRunsAbsolutelyFasterDespiteLowerEfficiency) {
+    const auto initial = wavehpc::nbody::interacting_galaxies(2048, 3);
+    Machine mp(MachineProfile::paragon_nx());
+    Machine mt(MachineProfile::cray_t3d_pvm());
+    const double tp = wavehpc::nbody::parallel_nbody(
+                          mp, initial, {}, 16, wavehpc::nbody::NbodyCostModel::paragon())
+                          .seconds;
+    const double tt = wavehpc::nbody::parallel_nbody(
+                          mt, initial, {}, 16, wavehpc::nbody::NbodyCostModel::t3d())
+                          .seconds;
+    EXPECT_LT(tt, tp);
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include "core/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using wavehpc::core::FilterPair;
+
+class DaubechiesFamily : public ::testing::TestWithParam<int> {};
+
+TEST_P(DaubechiesFamily, TapCountMatches) {
+    const FilterPair fp = FilterPair::daubechies(GetParam());
+    EXPECT_EQ(fp.taps(), GetParam());
+    EXPECT_EQ(fp.low().size(), fp.high().size());
+}
+
+TEST_P(DaubechiesFamily, LowPassSumsToSqrt2) {
+    const FilterPair fp = FilterPair::daubechies(GetParam());
+    double s = 0.0;
+    for (float v : fp.low()) s += v;
+    EXPECT_NEAR(s, std::sqrt(2.0), 1e-6);
+}
+
+TEST_P(DaubechiesFamily, HighPassSumsToZero) {
+    const FilterPair fp = FilterPair::daubechies(GetParam());
+    double s = 0.0;
+    for (float v : fp.high()) s += v;
+    EXPECT_NEAR(s, 0.0, 1e-6);
+}
+
+TEST_P(DaubechiesFamily, UnitEnergy) {
+    const FilterPair fp = FilterPair::daubechies(GetParam());
+    double sl = 0.0;
+    double sh = 0.0;
+    for (float v : fp.low()) sl += static_cast<double>(v) * v;
+    for (float v : fp.high()) sh += static_cast<double>(v) * v;
+    EXPECT_NEAR(sl, 1.0, 1e-6);
+    EXPECT_NEAR(sh, 1.0, 1e-6);
+}
+
+TEST_P(DaubechiesFamily, QmfMirrorRelation) {
+    const FilterPair fp = FilterPair::daubechies(GetParam());
+    const int n = fp.taps();
+    for (int k = 0; k < n; ++k) {
+        const float expected = ((k % 2 == 0) ? 1.0F : -1.0F) *
+                               fp.low()[static_cast<std::size_t>(n - 1 - k)];
+        EXPECT_FLOAT_EQ(fp.high()[static_cast<std::size_t>(k)], expected);
+    }
+}
+
+TEST_P(DaubechiesFamily, LowHighOrthogonal) {
+    const FilterPair fp = FilterPair::daubechies(GetParam());
+    double dot = 0.0;
+    for (int k = 0; k < fp.taps(); ++k) {
+        dot += static_cast<double>(fp.low()[static_cast<std::size_t>(k)]) *
+               fp.high()[static_cast<std::size_t>(k)];
+    }
+    EXPECT_NEAR(dot, 0.0, 1e-6);
+}
+
+TEST_P(DaubechiesFamily, EvenShiftOrthonormality) {
+    // sum_n l[n] l[n + 2k] = delta(k): the defining property of an
+    // orthonormal scaling filter.
+    const FilterPair fp = FilterPair::daubechies(GetParam());
+    const int n = fp.taps();
+    for (int shift = 2; shift < n; shift += 2) {
+        double dot = 0.0;
+        for (int k = 0; k + shift < n; ++k) {
+            dot += static_cast<double>(fp.low()[static_cast<std::size_t>(k)]) *
+                   fp.low()[static_cast<std::size_t>(k + shift)];
+        }
+        EXPECT_NEAR(dot, 0.0, 1e-6) << "shift " << shift;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, DaubechiesFamily, ::testing::Values(2, 4, 6, 8));
+
+TEST(FilterPair, RejectsUnsupportedSizes) {
+    EXPECT_THROW(FilterPair::daubechies(3), std::invalid_argument);
+    EXPECT_THROW(FilterPair::daubechies(0), std::invalid_argument);
+    EXPECT_THROW(FilterPair::daubechies(10), std::invalid_argument);
+}
+
+TEST(FilterPair, RejectsOddOrEmptyCustomFilters) {
+    EXPECT_THROW(FilterPair({1.0F, 2.0F, 3.0F}), std::invalid_argument);
+    EXPECT_THROW(FilterPair({}), std::invalid_argument);
+}
+
+TEST(FilterPair, CustomFilterKeepsName) {
+    const FilterPair fp({0.5F, 0.5F}, "boxy");
+    EXPECT_EQ(fp.name(), "boxy");
+    EXPECT_FLOAT_EQ(fp.high()[0], 0.5F);
+    EXPECT_FLOAT_EQ(fp.high()[1], -0.5F);
+}
+
+}  // namespace

@@ -1,0 +1,438 @@
+#include "mesh/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/stripe.hpp"
+#include "mesh/collectives.hpp"
+#include "mesh/ledger.hpp"
+#include "mesh/topology.hpp"
+
+namespace {
+
+using wavehpc::mesh::Coord3;
+using wavehpc::mesh::kAnySource;
+using wavehpc::mesh::LinkLedger;
+using wavehpc::mesh::Machine;
+using wavehpc::mesh::MachineProfile;
+using wavehpc::mesh::Message;
+using wavehpc::mesh::NodeCtx;
+using wavehpc::mesh::Topology;
+
+// ---------------------------------------------------------------- topology
+
+TEST(TopologyTest, NodeIdCoordRoundTrip) {
+    const Topology t(4, 16);
+    for (std::size_t id = 0; id < t.nodes(); ++id) {
+        EXPECT_EQ(t.node_id(t.coord(id)), id);
+    }
+    EXPECT_THROW((void)t.coord(64), std::out_of_range);
+    EXPECT_THROW((void)t.node_id({4, 0, 0}), std::out_of_range);
+}
+
+TEST(TopologyTest, MeshHopsAreManhattanDistance) {
+    const Topology t(4, 4);
+    EXPECT_EQ(t.hops({0, 0, 0}, {3, 0, 0}), 3U);
+    EXPECT_EQ(t.hops({0, 0, 0}, {3, 3, 0}), 6U);
+    EXPECT_EQ(t.hops({2, 1, 0}, {2, 1, 0}), 0U);
+}
+
+TEST(TopologyTest, TorusTakesShorterWay) {
+    const Topology t(8, 1, 1, true);
+    EXPECT_EQ(t.hops({0, 0, 0}, {7, 0, 0}), 1U);  // wrap
+    EXPECT_EQ(t.hops({0, 0, 0}, {3, 0, 0}), 3U);
+    EXPECT_EQ(t.hops({0, 0, 0}, {4, 0, 0}), 4U);  // tie -> forward
+}
+
+TEST(TopologyTest, RouteIsDimensionOrderedXThenY) {
+    const Topology t(4, 4);
+    const auto path = t.route({0, 0, 0}, {2, 2, 0});
+    // injection + 2 X-links + 2 Y-links + ejection
+    ASSERT_EQ(path.size(), 6U);
+    EXPECT_EQ(path.front(), t.injection_link(t.node_id({0, 0, 0})));
+    EXPECT_EQ(path.back(), t.ejection_link(t.node_id({2, 2, 0})));
+    // All six channel ids must be distinct.
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        for (std::size_t j = i + 1; j < path.size(); ++j) {
+            EXPECT_NE(path[i], path[j]);
+        }
+    }
+}
+
+TEST(TopologyTest, OppositeDirectionSharesHalfDuplexLink) {
+    const Topology t(3, 1);
+    const auto east = t.route({0, 0, 0}, {1, 0, 0});
+    const auto west = t.route({1, 0, 0}, {0, 0, 0});
+    // The axis link (element 1 of each route) is the same physical channel.
+    ASSERT_EQ(east.size(), 3U);
+    ASSERT_EQ(west.size(), 3U);
+    EXPECT_EQ(east[1], west[1]);
+}
+
+TEST(TopologyTest, SelfRouteRejected) {
+    const Topology t(2, 2);
+    EXPECT_THROW((void)t.route({0, 0, 0}, {0, 0, 0}), std::invalid_argument);
+}
+
+TEST(TopologyTest, ThreeDimensionalTorusRoutes) {
+    const Topology t(4, 4, 4, true, true, true);
+    EXPECT_EQ(t.nodes(), 64U);
+    EXPECT_EQ(t.hops({0, 0, 0}, {3, 3, 3}), 3U);  // one wrap per axis
+    const auto path = t.route({0, 0, 0}, {1, 1, 1});
+    EXPECT_EQ(path.size(), 2U + 3U);
+}
+
+// ------------------------------------------------------------------ ledger
+
+TEST(LedgerTest, NoConflictStartsAtReadyTime) {
+    LinkLedger ledger(4);
+    const std::size_t path[] = {0, 1, 2};
+    EXPECT_DOUBLE_EQ(ledger.reserve_path(path, 1.0, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(ledger.total_contention_delay(), 0.0);
+}
+
+TEST(LedgerTest, OverlappingPathsSerialize) {
+    LinkLedger ledger(4);
+    const std::size_t a[] = {0, 1};
+    const std::size_t b[] = {1, 2};
+    EXPECT_DOUBLE_EQ(ledger.reserve_path(a, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(ledger.reserve_path(b, 0.0, 1.0), 1.0);  // waits for link 1
+    EXPECT_DOUBLE_EQ(ledger.total_contention_delay(), 1.0);
+    EXPECT_DOUBLE_EQ(ledger.busy_seconds(1), 2.0);
+}
+
+TEST(LedgerTest, DisjointPathsProceedInParallel) {
+    LinkLedger ledger(4);
+    const std::size_t a[] = {0, 1};
+    const std::size_t b[] = {2, 3};
+    EXPECT_DOUBLE_EQ(ledger.reserve_path(a, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(ledger.reserve_path(b, 0.0, 1.0), 0.0);
+}
+
+TEST(LedgerTest, FitsIntoGapBetweenReservations) {
+    LinkLedger ledger(2);
+    const std::size_t p[] = {0};
+    (void)ledger.reserve_path(p, 0.0, 1.0);   // [0,1)
+    (void)ledger.reserve_path(p, 5.0, 1.0);   // [5,6)
+    EXPECT_DOUBLE_EQ(ledger.reserve_path(p, 0.5, 1.0), 1.0);  // fits in [1,2)
+}
+
+TEST(LedgerTest, RejectsBadArguments) {
+    LinkLedger ledger(2);
+    const std::size_t bad[] = {5};
+    EXPECT_THROW((void)ledger.reserve_path(bad, 0.0, 1.0), std::out_of_range);
+    const std::size_t ok[] = {0};
+    EXPECT_THROW((void)ledger.reserve_path(ok, -1.0, 1.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- machine
+
+MachineProfile tiny(std::size_t sx = 4, std::size_t sy = 4) {
+    return MachineProfile::test_profile(sx, sy);
+}
+
+TEST(MachineTest, PointToPointTimingMatchesModel) {
+    Machine m(tiny());
+    double recv_done = -1.0;
+    const auto res = m.run(2, [&](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            const std::vector<std::byte> payload(100);
+            ctx.csend(7, 1, payload);
+        } else {
+            const Message msg = ctx.crecv(7, 0);
+            EXPECT_EQ(msg.data.size(), 100U);
+            EXPECT_EQ(msg.src, 0);
+            recv_done = ctx.now();
+        }
+    });
+    // send overhead 1ms; wire = 1 hop * 0.1ms + 100 B * 1us = 0.2ms;
+    // recv overhead 1ms -> receiver finishes at 2.2ms.
+    EXPECT_NEAR(recv_done, 2.2e-3, 1e-12);
+    EXPECT_NEAR(res.makespan, 2.2e-3, 1e-12);
+    EXPECT_EQ(res.messages, 1U);
+}
+
+TEST(MachineTest, DataIntegrityAcrossNodes) {
+    Machine m(tiny());
+    m.run(2, [&](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            std::vector<float> v{1.5F, -2.5F, 3.25F};
+            ctx.send_span<float>(1, 1, v);
+        } else {
+            const auto v = ctx.recv_vector<float>(1, 0);
+            ASSERT_EQ(v.size(), 3U);
+            EXPECT_EQ(v[1], -2.5F);
+        }
+    });
+}
+
+TEST(MachineTest, FifoOrderPerSenderTagPair) {
+    Machine m(tiny());
+    m.run(2, [&](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            for (int i = 0; i < 5; ++i) ctx.send_value<int>(3, 1, i);
+        } else {
+            for (int i = 0; i < 5; ++i) {
+                EXPECT_EQ(ctx.recv_value<int>(3, 0), i);
+            }
+        }
+    });
+}
+
+TEST(MachineTest, TagAndSourceFiltering) {
+    Machine m(tiny());
+    m.run(3, [&](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            ctx.send_value<int>(10, 2, 100);
+        } else if (ctx.rank() == 1) {
+            ctx.send_value<int>(20, 2, 200);
+        } else {
+            // Receive out of arrival order by filtering on tag.
+            EXPECT_EQ(ctx.recv_value<int>(20), 200);
+            int src = -1;
+            EXPECT_EQ(ctx.recv_value<int>(10, kAnySource, &src), 100);
+            EXPECT_EQ(src, 0);
+        }
+    });
+}
+
+TEST(MachineTest, SharedLinkMessagesContend) {
+    // Ranks 0 and 1 both send large payloads through the link into node 2.
+    Machine m(tiny(3, 1));
+    const auto res = m.run(3, [&](NodeCtx& ctx) {
+        if (ctx.rank() == 0 || ctx.rank() == 1) {
+            const std::vector<std::byte> payload(10000);
+            ctx.csend(1, 2, payload);
+        } else {
+            (void)ctx.crecv(1);
+            (void)ctx.crecv(1);
+        }
+    });
+    EXPECT_GT(res.contention_delay, 0.0);
+}
+
+TEST(MachineTest, HalfDuplexOppositeTrafficContends) {
+    Machine m(tiny(2, 1));
+    const auto res = m.run(2, [&](NodeCtx& ctx) {
+        const std::vector<std::byte> payload(10000);
+        ctx.csend(1, 1 - ctx.rank(), payload);
+        (void)ctx.crecv(1);
+    });
+    EXPECT_GT(res.contention_delay, 0.0);
+}
+
+TEST(MachineTest, StatsAccountCommAndCompute) {
+    Machine m(tiny());
+    const auto res = m.run(2, [&](NodeCtx& ctx) {
+        ctx.compute(0.5);
+        ctx.compute_redundant(0.25);
+        if (ctx.rank() == 0) {
+            ctx.send_value<int>(1, 1, 42);
+        } else {
+            (void)ctx.recv_value<int>(1, 0);
+        }
+    });
+    EXPECT_DOUBLE_EQ(res.stats[0].useful_seconds, 0.5);
+    EXPECT_DOUBLE_EQ(res.stats[0].redundant_seconds, 0.25);
+    EXPECT_NEAR(res.stats[0].comm_seconds, 1e-3, 1e-12);  // send overhead
+    EXPECT_GT(res.stats[1].comm_seconds, 1e-3);           // includes the wait
+    EXPECT_EQ(res.stats[0].messages_sent, 1U);
+    EXPECT_EQ(res.stats[0].bytes_sent, sizeof(int));
+    EXPECT_GT(res.stats[1].finish_time, 0.5);
+}
+
+TEST(MachineTest, ChargeCommBooksUnderCommunication) {
+    Machine m(tiny());
+    const auto res = m.run(1, [](NodeCtx& ctx) {
+        ctx.compute(1.0);
+        ctx.charge_comm(0.25);  // e.g. summation inside a global-sum call
+    });
+    EXPECT_DOUBLE_EQ(res.stats[0].useful_seconds, 1.0);
+    EXPECT_DOUBLE_EQ(res.stats[0].comm_seconds, 0.25);
+    EXPECT_DOUBLE_EQ(res.stats[0].redundant_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(res.makespan, 1.25);  // it is real elapsed time
+}
+
+TEST(MachineTest, TraceRecordsEveryMessageInOrder) {
+    Machine m(tiny(3, 1));
+    m.record_trace(true);
+    const auto res = m.run(3, [&](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            ctx.send_value<int>(1, 1, 10);
+            ctx.send_value<int>(2, 2, 20);
+        } else {
+            (void)ctx.crecv();
+        }
+    });
+    ASSERT_EQ(res.trace.size(), 2U);
+    EXPECT_EQ(res.trace[0].src, 0);
+    EXPECT_EQ(res.trace[0].dst, 1);
+    EXPECT_EQ(res.trace[0].tag, 1);
+    EXPECT_EQ(res.trace[0].bytes, sizeof(int));
+    EXPECT_LE(res.trace[0].post_time, res.trace[0].start_time);
+    EXPECT_LT(res.trace[0].start_time, res.trace[0].arrival_time);
+    EXPECT_LE(res.trace[0].post_time, res.trace[1].post_time);
+    // Tracing is off by default.
+    Machine quiet(tiny(3, 1));
+    const auto res2 = quiet.run(2, [&](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            ctx.send_value<int>(1, 1, 10);
+        } else {
+            (void)ctx.crecv();
+        }
+    });
+    EXPECT_TRUE(res2.trace.empty());
+}
+
+TEST(MachineTest, TraceExposesContentionDelays) {
+    Machine m(tiny(3, 1));
+    m.record_trace(true);
+    const auto res = m.run(3, [&](NodeCtx& ctx) {
+        if (ctx.rank() < 2) {
+            const std::vector<std::byte> payload(20000);
+            ctx.csend(1, 2, payload);
+        } else {
+            (void)ctx.crecv(1);
+            (void)ctx.crecv(1);
+        }
+    });
+    // One of the two messages had to wait for the shared link into node 2.
+    double waited = 0.0;
+    for (const auto& ev : res.trace) waited += ev.start_time - ev.post_time;
+    EXPECT_GT(waited, 0.0);
+    EXPECT_NEAR(waited, res.contention_delay, 1e-12);
+}
+
+TEST(MachineTest, InvalidUsageThrows) {
+    Machine m(tiny());
+    EXPECT_THROW(m.run(2,
+                       [](NodeCtx& ctx) {
+                           if (ctx.rank() == 0) {
+                               ctx.send_value<int>(1, 0, 1);  // self-send
+                           } else {
+                               (void)ctx.crecv();
+                           }
+                       }),
+                 std::invalid_argument);
+    EXPECT_THROW(m.run(0, [](NodeCtx&) {}), std::invalid_argument);
+    const std::vector<Coord3> dup{{0, 0, 0}, {0, 0, 0}};
+    EXPECT_THROW(m.run(2, dup, [](NodeCtx&) {}), std::invalid_argument);
+}
+
+TEST(MachineTest, UnmatchedRecvDeadlocks) {
+    Machine m(tiny());
+    EXPECT_THROW(m.run(2,
+                       [](NodeCtx& ctx) {
+                           if (ctx.rank() == 1) (void)ctx.crecv(99);
+                       }),
+                 wavehpc::sim::DeadlockError);
+}
+
+TEST(MachineTest, PlacementFromCorePolicies) {
+    // Snake placement of 8 ranks on the 4-wide mesh is valid and distinct.
+    Machine m(tiny(4, 4));
+    const auto pl2 =
+        wavehpc::core::make_placement(8, 4, wavehpc::core::MappingPolicy::Snake);
+    std::vector<Coord3> placement;
+    for (auto c : pl2) placement.push_back({c.x, c.y, 0});
+    const auto res = m.run(8, placement, [&](NodeCtx& ctx) {
+        if (ctx.rank() + 1 < ctx.nprocs()) {
+            ctx.send_value<int>(1, ctx.rank() + 1, ctx.rank());
+        }
+        if (ctx.rank() > 0) {
+            EXPECT_EQ(ctx.recv_value<int>(1, ctx.rank() - 1), ctx.rank() - 1);
+        }
+    });
+    EXPECT_GT(res.makespan, 0.0);
+}
+
+// ------------------------------------------------------------- collectives
+
+TEST(CollectivesTest, BothGsumsComputeTheSameSum) {
+    for (std::size_t p : {1U, 2U, 3U, 4U, 7U, 8U}) {
+        Machine m(tiny(4, 4));
+        std::vector<double> gssum_out(p, 0.0);
+        std::vector<double> prefix_out(p, 0.0);
+        m.run(p, [&](NodeCtx& ctx) {
+            const double mine = static_cast<double>(ctx.rank() + 1);
+            gssum_out[static_cast<std::size_t>(ctx.rank())] =
+                wavehpc::mesh::gsum_gssum(ctx, mine);
+            prefix_out[static_cast<std::size_t>(ctx.rank())] =
+                wavehpc::mesh::gsum_prefix(ctx, mine);
+        });
+        const double expected = static_cast<double>(p * (p + 1)) / 2.0;
+        for (std::size_t r = 0; r < p; ++r) {
+            EXPECT_DOUBLE_EQ(gssum_out[r], expected) << "p=" << p << " r=" << r;
+            EXPECT_DOUBLE_EQ(prefix_out[r], expected) << "p=" << p << " r=" << r;
+        }
+    }
+}
+
+TEST(CollectivesTest, VectorGsumSumsElementwise) {
+    constexpr std::size_t kP = 4;
+    Machine m(tiny());
+    m.run(kP, [&](NodeCtx& ctx) {
+        std::vector<double> v{static_cast<double>(ctx.rank()), 1.0};
+        wavehpc::mesh::gsum_prefix(ctx, v);
+        EXPECT_DOUBLE_EQ(v[0], 0.0 + 1.0 + 2.0 + 3.0);
+        EXPECT_DOUBLE_EQ(v[1], 4.0);
+    });
+}
+
+TEST(CollectivesTest, PrefixBeatsGssumAtScale) {
+    // Appendix B's observation: the all-to-all gssum stops scaling while the
+    // parallel-prefix version stays cheap.
+    const auto time_gsum = [&](bool prefix) {
+        Machine m(tiny(4, 8));
+        const auto res = m.run(32, [&](NodeCtx& ctx) {
+            std::vector<double> v(512, 1.0);
+            if (prefix) {
+                wavehpc::mesh::gsum_prefix(ctx, v);
+            } else {
+                wavehpc::mesh::gsum_gssum(ctx, v);
+            }
+        });
+        return res.makespan;
+    };
+    EXPECT_LT(time_gsum(true), time_gsum(false));
+}
+
+TEST(CollectivesTest, GsyncSynchronizesClocks) {
+    constexpr std::size_t kP = 5;
+    Machine m(tiny());
+    std::vector<double> after(kP, 0.0);
+    m.run(kP, [&](NodeCtx& ctx) {
+        ctx.compute(0.1 * static_cast<double>(ctx.rank()));
+        wavehpc::mesh::gsync(ctx);
+        after[static_cast<std::size_t>(ctx.rank())] = ctx.now();
+    });
+    // Nobody can leave the barrier before the slowest arrival (0.4s).
+    for (double t : after) EXPECT_GE(t, 0.4);
+}
+
+TEST(CollectivesTest, BroadcastDeliversFromAnyRoot) {
+    for (int root : {0, 2, 5}) {
+        constexpr std::size_t kP = 6;
+        Machine m(tiny());
+        m.run(kP, [&](NodeCtx& ctx) {
+            std::vector<float> v;
+            if (ctx.rank() == root) v = {3.5F, 4.5F, 5.5F};
+            wavehpc::mesh::broadcast_vector(ctx, root, v);
+            ASSERT_EQ(v.size(), 3U);
+            EXPECT_EQ(v[2], 5.5F);
+        });
+    }
+}
+
+TEST(CollectivesTest, SingleRankCollectivesAreNoops) {
+    Machine m(tiny());
+    m.run(1, [&](NodeCtx& ctx) {
+        EXPECT_DOUBLE_EQ(wavehpc::mesh::gsum_gssum(ctx, 5.0), 5.0);
+        EXPECT_DOUBLE_EQ(wavehpc::mesh::gsum_prefix(ctx, 5.0), 5.0);
+        wavehpc::mesh::gsync(ctx);
+        std::vector<int> v{1};
+        wavehpc::mesh::broadcast_vector(ctx, 0, v);
+        EXPECT_EQ(v[0], 1);
+    });
+}
+
+}  // namespace

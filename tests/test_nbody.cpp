@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "mesh/machine.hpp"
+#include "nbody/costzones.hpp"
+#include "nbody/model.hpp"
+#include "nbody/parallel.hpp"
+#include "nbody/quadtree.hpp"
+
+namespace {
+
+using wavehpc::nbody::Body;
+using wavehpc::nbody::costzones;
+using wavehpc::nbody::interacting_galaxies;
+using wavehpc::nbody::NbodyCostModel;
+using wavehpc::nbody::QuadTree;
+using wavehpc::nbody::serial_step;
+using wavehpc::nbody::SimConfig;
+using wavehpc::nbody::StepStats;
+using wavehpc::nbody::Vec2;
+
+std::vector<Body> small_cluster(std::size_t n) { return interacting_galaxies(n, 5); }
+
+// Direct O(n^2) gravity for reference.
+Vec2 direct_acc(const std::vector<Body>& bodies, std::size_t i) {
+    Vec2 acc{0.0, 0.0};
+    for (std::size_t j = 0; j < bodies.size(); ++j) {
+        if (j == i) continue;
+        const Vec2 d = bodies[j].pos - bodies[i].pos;
+        const double r2 = d.norm2() + wavehpc::nbody::kSoftening2;
+        acc += (wavehpc::nbody::kG * bodies[j].mass / (r2 * std::sqrt(r2))) * d;
+    }
+    return acc;
+}
+
+TEST(QuadTreeTest, EveryBodyLandsInExactlyOneLeaf) {
+    const auto bodies = small_cluster(200);
+    QuadTree tree(bodies);
+    std::vector<int> seen(bodies.size(), 0);
+    for (std::size_t i = 0; i < tree.node_count(); ++i) {
+        for (std::uint32_t bi : tree.node(i).bodies) seen[bi]++;
+    }
+    for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST(QuadTreeTest, LeavesHoldAtMostOneBodyBelowDepthCap) {
+    const auto bodies = small_cluster(500);
+    QuadTree tree(bodies);
+    for (std::size_t i = 0; i < tree.node_count(); ++i) {
+        const auto& n = tree.node(i);
+        if (!n.is_leaf()) {
+            EXPECT_TRUE(n.bodies.empty());
+        } else {
+            EXPECT_LE(n.bodies.size(), 1U);  // no coincident bodies here
+        }
+    }
+}
+
+TEST(QuadTreeTest, CoincidentBodiesHandledAtDepthCap) {
+    std::vector<Body> bodies(5);
+    for (auto& b : bodies) b.pos = {1.0, 1.0};  // all identical
+    bodies.push_back(Body{});
+    bodies.back().pos = {2.0, 2.0};
+    QuadTree tree(bodies);
+    tree.compute_centers_of_mass(bodies);
+    EXPECT_NEAR(tree.node(0).mass, 6.0, 1e-12);
+}
+
+TEST(QuadTreeTest, CenterOfMassAggregatesCorrectly) {
+    const auto bodies = small_cluster(64);
+    QuadTree tree(bodies);
+    tree.compute_centers_of_mass(bodies);
+    double mass = 0.0;
+    Vec2 weighted{0.0, 0.0};
+    for (const Body& b : bodies) {
+        mass += b.mass;
+        weighted += b.mass * b.pos;
+    }
+    EXPECT_NEAR(tree.node(0).mass, mass, 1e-9);
+    EXPECT_NEAR(tree.node(0).com.x, weighted.x / mass, 1e-9);
+    EXPECT_NEAR(tree.node(0).com.y, weighted.y / mass, 1e-9);
+}
+
+TEST(QuadTreeTest, ThetaZeroEqualsDirectSummation) {
+    const auto bodies = small_cluster(100);
+    QuadTree tree(bodies);
+    tree.compute_centers_of_mass(bodies);
+    for (std::uint32_t i = 0; i < bodies.size(); i += 7) {
+        std::uint64_t count = 0;
+        const Vec2 a = tree.acceleration(bodies, bodies[i].pos, i, 0.0, &count);
+        const Vec2 d = direct_acc(bodies, i);
+        EXPECT_NEAR(a.x, d.x, 1e-9 * (1.0 + std::abs(d.x)));
+        EXPECT_NEAR(a.y, d.y, 1e-9 * (1.0 + std::abs(d.y)));
+        EXPECT_EQ(count, bodies.size() - 1);
+    }
+}
+
+TEST(QuadTreeTest, LargerThetaMeansFewerInteractions) {
+    const auto bodies = small_cluster(2000);
+    QuadTree tree(bodies);
+    tree.compute_centers_of_mass(bodies);
+    std::uint64_t tight = 0;
+    std::uint64_t loose = 0;
+    (void)tree.acceleration(bodies, bodies[0].pos, 0, 0.3, &tight);
+    (void)tree.acceleration(bodies, bodies[0].pos, 0, 1.2, &loose);
+    EXPECT_LT(loose, tight);
+    EXPECT_LT(loose, bodies.size() - 1);
+}
+
+TEST(QuadTreeTest, ApproximationErrorBoundedForModerateTheta) {
+    const auto bodies = small_cluster(1000);
+    QuadTree tree(bodies);
+    tree.compute_centers_of_mass(bodies);
+    // Monopole-only BH: relative error can spike where forces nearly
+    // cancel, so bound the error against the typical force magnitude.
+    double ref_scale = 0.0;
+    for (std::uint32_t i = 0; i < bodies.size(); i += 97) {
+        ref_scale = std::max(ref_scale, std::sqrt(direct_acc(bodies, i).norm2()));
+    }
+    double worst = 0.0;
+    for (std::uint32_t i = 0; i < bodies.size(); i += 97) {
+        const Vec2 a = tree.acceleration(bodies, bodies[i].pos, i, 0.5);
+        const Vec2 d = direct_acc(bodies, i);
+        worst = std::max(worst, std::sqrt((a - d).norm2()) / ref_scale);
+    }
+    EXPECT_LT(worst, 0.02);
+}
+
+TEST(QuadTreeTest, InorderVisitsEveryBodyOnce) {
+    const auto bodies = small_cluster(333);
+    QuadTree tree(bodies);
+    std::vector<std::uint32_t> order;
+    tree.inorder_bodies(order);
+    ASSERT_EQ(order.size(), bodies.size());
+    std::set<std::uint32_t> uniq(order.begin(), order.end());
+    EXPECT_EQ(uniq.size(), bodies.size());
+}
+
+TEST(GalaxyInit, DeterministicAndFinite) {
+    const auto a = interacting_galaxies(256, 3);
+    const auto b = interacting_galaxies(256, 3);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pos.x, b[i].pos.x);
+        EXPECT_TRUE(std::isfinite(a[i].pos.x));
+        EXPECT_TRUE(std::isfinite(a[i].vel.y));
+        EXPECT_GT(a[i].mass, 0.0);
+    }
+    EXPECT_THROW((void)interacting_galaxies(1), std::invalid_argument);
+}
+
+TEST(SerialStep, MomentumConservedWithExactForces) {
+    auto bodies = small_cluster(128);
+    Vec2 p0{0.0, 0.0};
+    for (const Body& b : bodies) p0 += b.mass * b.vel;
+    SimConfig cfg;
+    cfg.theta = 0.0;  // exact pairwise forces -> Newton's third law holds
+    (void)serial_step(bodies, cfg);
+    Vec2 p1{0.0, 0.0};
+    for (const Body& b : bodies) p1 += b.mass * b.vel;
+    EXPECT_NEAR(p1.x, p0.x, 1e-7);
+    EXPECT_NEAR(p1.y, p0.y, 1e-7);
+}
+
+TEST(SerialStep, CostsReflectInteractions) {
+    auto bodies = small_cluster(512);
+    const StepStats s = serial_step(bodies, SimConfig{});
+    double cost_sum = 0.0;
+    for (const Body& b : bodies) cost_sum += b.cost;
+    EXPECT_DOUBLE_EQ(cost_sum, static_cast<double>(s.interactions));
+    EXPECT_GT(s.tree_steps, bodies.size());
+}
+
+TEST(Costzones, PartitionIsCompleteAndBalanced) {
+    auto bodies = small_cluster(1024);
+    (void)serial_step(bodies, SimConfig{});  // realistic per-body costs
+    QuadTree tree(bodies);
+    tree.compute_centers_of_mass(bodies);
+    for (std::size_t parts : {1U, 2U, 5U, 8U}) {
+        const auto zones = costzones(tree, bodies, parts);
+        ASSERT_EQ(zones.size(), parts);
+        std::size_t total = 0;
+        double max_cost = 0.0;
+        for (const Body& b : bodies) max_cost = std::max(max_cost, b.cost);
+        double lo = 1e300;
+        double hi = 0.0;
+        for (const auto& z : zones) {
+            total += z.size();
+            double c = 0.0;
+            for (std::uint32_t bi : z) c += bodies[bi].cost;
+            lo = std::min(lo, c);
+            hi = std::max(hi, c);
+        }
+        EXPECT_EQ(total, bodies.size());
+        // Zone costs differ by at most two bodies' worth.
+        EXPECT_LE(hi - lo, 2.0 * max_cost) << parts;
+    }
+}
+
+TEST(CostModelTest, AnchorsReproduceTable) {
+    // The calibrated models must return the anchor measurement exactly and
+    // predict the other published N within a reasonable margin.
+    auto bodies = interacting_galaxies(32768);
+    const StepStats anchor = serial_step(bodies, SimConfig{});
+    EXPECT_NEAR(NbodyCostModel::paragon().seconds(anchor, 32768), 237.51, 1e-6);
+    EXPECT_NEAR(NbodyCostModel::t3d().seconds(anchor, 32768), 30.90, 1e-6);
+
+    auto bodies8k = interacting_galaxies(8192);
+    const StepStats s8 = serial_step(bodies8k, SimConfig{});
+    const double predicted = NbodyCostModel::paragon().seconds(s8, 8192);
+    EXPECT_NEAR(predicted, 53.27, 0.5 * 53.27);  // order-of-magnitude check
+}
+
+TEST(CostModelTest, RejectsBadAnchors) {
+    EXPECT_THROW((void)NbodyCostModel::calibrate("x", StepStats{}, 10, 1.0),
+                 std::invalid_argument);
+    const StepStats ok{100, 100};
+    EXPECT_THROW((void)NbodyCostModel::calibrate("x", ok, 10, -1.0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)NbodyCostModel::calibrate("x", ok, 10, 1.0, 0.95, 0.1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)NbodyCostModel::calibrate("x", ok, 0, 1.0),
+                 std::invalid_argument);
+}
+
+class ParallelNbody : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelNbody, BitIdenticalToSerial) {
+    const std::size_t p = GetParam();
+    const auto initial = small_cluster(600);
+
+    auto serial = initial;
+    SimConfig sim;
+    StepStats serial_totals;
+    for (int s = 0; s < 2; ++s) {
+        const auto st = serial_step(serial, sim);
+        serial_totals.tree_steps += st.tree_steps;
+        serial_totals.interactions += st.interactions;
+    }
+
+    wavehpc::mesh::Machine machine(wavehpc::mesh::MachineProfile::paragon_nx());
+    wavehpc::nbody::ParallelNbodyConfig cfg;
+    cfg.sim = sim;
+    cfg.steps = 2;
+    const auto res = wavehpc::nbody::parallel_nbody(machine, initial, cfg, p,
+                                                    NbodyCostModel::paragon());
+    ASSERT_EQ(res.bodies.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(res.bodies[i].pos.x, serial[i].pos.x) << i;
+        EXPECT_EQ(res.bodies[i].pos.y, serial[i].pos.y) << i;
+        EXPECT_EQ(res.bodies[i].vel.x, serial[i].vel.x) << i;
+        EXPECT_EQ(res.bodies[i].cost, serial[i].cost) << i;
+    }
+    EXPECT_EQ(res.totals.interactions, serial_totals.interactions);
+    EXPECT_EQ(res.totals.tree_steps, serial_totals.tree_steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, ParallelNbody, ::testing::Values(1, 2, 4, 7, 8));
+
+TEST(ParallelNbodyTiming, MoreProcessorsAreFasterButSublinear) {
+    const auto initial = small_cluster(2048);
+    const auto time_with = [&](std::size_t p) {
+        wavehpc::mesh::Machine machine(wavehpc::mesh::MachineProfile::paragon_nx());
+        wavehpc::nbody::ParallelNbodyConfig cfg;
+        return wavehpc::nbody::parallel_nbody(machine, initial, cfg, p,
+                                              NbodyCostModel::paragon())
+            .seconds;
+    };
+    const double t1 = time_with(1);
+    const double t8 = time_with(8);
+    EXPECT_LT(t8, t1);
+    EXPECT_GT(t8, t1 / 8.0);  // the serial tree build caps the speedup
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include "perf/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mesh/collectives.hpp"
+#include "perf/report.hpp"
+
+namespace {
+
+using wavehpc::mesh::Machine;
+using wavehpc::mesh::MachineProfile;
+using wavehpc::mesh::NodeCtx;
+using wavehpc::perf::Budget;
+using wavehpc::perf::budget_from_run;
+using wavehpc::perf::speedup_table;
+using wavehpc::perf::TableWriter;
+
+TEST(BudgetTest, ComponentsSumToOne) {
+    Machine m(MachineProfile::test_profile(4, 4));
+    const auto run = m.run(4, [](NodeCtx& ctx) {
+        ctx.compute(0.1 * static_cast<double>(ctx.rank() + 1));
+        ctx.compute_redundant(0.01);
+        wavehpc::mesh::gsync(ctx);
+    });
+    const Budget b = budget_from_run(run);
+    EXPECT_NEAR(b.useful + b.comm + b.redundancy + b.imbalance + b.other, 1.0, 1e-9);
+    EXPECT_GT(b.useful, 0.0);
+    EXPECT_GT(b.comm, 0.0);
+    EXPECT_GT(b.redundancy, 0.0);
+    // The |other| residual must be negligible: all activity is accounted.
+    EXPECT_NEAR(b.other, 0.0, 1e-6);
+}
+
+TEST(BudgetTest, PureComputeIsAllUseful) {
+    Machine m(MachineProfile::test_profile(2, 2));
+    const auto run = m.run(2, [](NodeCtx& ctx) { ctx.compute(1.0); });
+    const Budget b = budget_from_run(run);
+    EXPECT_NEAR(b.useful, 1.0, 1e-9);
+    EXPECT_NEAR(b.comm, 0.0, 1e-12);
+    EXPECT_NEAR(b.imbalance, 0.0, 1e-12);
+}
+
+TEST(BudgetTest, ImbalanceReflectsUnevenFinishTimes) {
+    Machine m(MachineProfile::test_profile(2, 2));
+    const auto run = m.run(2, [](NodeCtx& ctx) {
+        ctx.compute(ctx.rank() == 0 ? 1.0 : 3.0);
+    });
+    const Budget b = budget_from_run(run);
+    // Rank 0 idles 2 of 3 seconds: average idle fraction = 1/3.
+    EXPECT_NEAR(b.imbalance, (2.0 / 3.0) / 2.0, 1e-9);
+}
+
+TEST(BudgetTest, EmptyRunYieldsZeroBudget) {
+    Machine::RunResult empty{};
+    const Budget b = budget_from_run(empty);
+    EXPECT_DOUBLE_EQ(b.parallel_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(b.useful, 0.0);
+}
+
+TEST(SpeedupTableTest, ComputesSpeedupAndEfficiency) {
+    const auto table = speedup_table({1, 2, 4}, {8.0, 5.0, 2.5}, 8.0);
+    ASSERT_EQ(table.size(), 3U);
+    EXPECT_DOUBLE_EQ(table[0].speedup, 1.0);
+    EXPECT_DOUBLE_EQ(table[1].speedup, 1.6);
+    EXPECT_DOUBLE_EQ(table[2].speedup, 3.2);
+    EXPECT_DOUBLE_EQ(table[2].efficiency, 0.8);
+}
+
+TEST(SpeedupTableTest, RejectsBadInput) {
+    EXPECT_THROW((void)speedup_table({1, 2}, {1.0}, 1.0), std::invalid_argument);
+    EXPECT_THROW((void)speedup_table({1}, {1.0}, 0.0), std::invalid_argument);
+    EXPECT_THROW((void)speedup_table({1}, {-1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(TableWriterTest, AlignsColumnsAndFormatsNumbers) {
+    TableWriter tw({"name", "value"});
+    tw.add_row({"alpha", TableWriter::num(1.23456, 3)});
+    tw.add_row({"b", TableWriter::pct(0.5)});
+    std::ostringstream os;
+    tw.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("1.235"), std::string::npos);
+    EXPECT_NE(s.find("50.0%"), std::string::npos);
+    EXPECT_THROW(tw.add_row({"only-one-cell"}), std::invalid_argument);
+    EXPECT_THROW(TableWriter({}), std::invalid_argument);
+}
+
+TEST(TableWriterTest, SpeedupSeriesPrints) {
+    std::ostringstream os;
+    wavehpc::perf::print_speedup_series(os, "demo",
+                                        speedup_table({1, 2}, {2.0, 1.0}, 2.0));
+    EXPECT_NE(os.str().find("speedup"), std::string::npos);
+    EXPECT_NE(os.str().find("2.00"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using wavehpc::runtime::ThreadPool;
+
+TEST(ThreadPool, ConstructsRequestedWorkerCount) {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workers(), 3U);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+    ThreadPool pool;
+    EXPECT_GE(pool.workers(), 1U);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+    ThreadPool pool(4);
+    std::vector<long> partial(pool.workers() * 16, 0);
+    std::atomic<std::size_t> slot{0};
+    std::atomic<long> total{0};
+    pool.parallel_for(1, 10001, [&](std::size_t b, std::size_t e) {
+        long s = 0;
+        for (std::size_t i = b; i < e; ++i) s += static_cast<long>(i);
+        total.fetch_add(s);
+    });
+    EXPECT_EQ(total.load(), 10000L * 10001L / 2);
+    (void)partial;
+    (void)slot;
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.parallel_for(0, 100,
+                                   [](std::size_t b, std::size_t) {
+                                       if (b == 0) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // Pool must still be usable afterwards.
+    std::atomic<int> ok{0};
+    pool.parallel_for(0, 10, [&](std::size_t b, std::size_t e) {
+        ok.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 50; ++i) {
+        pool.submit([&] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletesParallelFor) {
+    ThreadPool pool(1);
+    std::atomic<long> total{0};
+    pool.parallel_for(0, 100, [&](std::size_t b, std::size_t e) {
+        total.fetch_add(static_cast<long>(e - b));
+    });
+    EXPECT_EQ(total.load(), 100);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using wavehpc::sim::DeadlockError;
+using wavehpc::sim::Engine;
+using wavehpc::sim::Proc;
+
+TEST(Engine, EmptyEngineRuns) {
+    Engine e;
+    EXPECT_NO_THROW(e.run());
+    EXPECT_DOUBLE_EQ(e.makespan(), 0.0);
+}
+
+TEST(Engine, SingleProcessAdvancesClock) {
+    Engine e;
+    e.add_process("p0", [](Proc& p) {
+        p.advance(1.5);
+        p.advance(2.5);
+        EXPECT_DOUBLE_EQ(p.now(), 4.0);
+    });
+    e.run();
+    EXPECT_DOUBLE_EQ(e.makespan(), 4.0);
+}
+
+TEST(Engine, MakespanIsMaxOverProcesses) {
+    Engine e;
+    e.add_process("short", [](Proc& p) { p.advance(1.0); });
+    e.add_process("long", [](Proc& p) { p.advance(7.0); });
+    e.run();
+    EXPECT_DOUBLE_EQ(e.makespan(), 7.0);
+}
+
+TEST(Engine, ExecutionFollowsVirtualTimeOrder) {
+    // Two processes record the order of their actions; the min-clock-first
+    // scheduler must interleave them by virtual time, not creation order.
+    Engine e;
+    std::vector<std::pair<std::size_t, double>> log;
+    e.add_process("a", [&](Proc& p) {
+        p.advance(2.0);  // now 2
+        log.emplace_back(p.pid(), p.now());
+        p.advance(4.0);  // now 6
+        log.emplace_back(p.pid(), p.now());
+    });
+    e.add_process("b", [&](Proc& p) {
+        p.advance(1.0);  // now 1
+        log.emplace_back(p.pid(), p.now());
+        p.advance(2.0);  // now 3
+        log.emplace_back(p.pid(), p.now());
+    });
+    e.run();
+    ASSERT_EQ(log.size(), 4U);
+    for (std::size_t i = 1; i < log.size(); ++i) {
+        EXPECT_LE(log[i - 1].second, log[i].second) << "event " << i;
+    }
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+    const auto record = [] {
+        Engine e;
+        std::vector<std::size_t> order;
+        for (std::size_t i = 0; i < 5; ++i) {
+            e.add_process("p" + std::to_string(i), [&order, i](Proc& p) {
+                for (int k = 0; k < 3; ++k) {
+                    p.advance(0.1 * static_cast<double>(i + 1));
+                    order.push_back(i);
+                }
+            });
+        }
+        e.run();
+        return order;
+    };
+    const auto a = record();
+    const auto b = record();
+    EXPECT_EQ(a, b);
+}
+
+TEST(Engine, BlockAndNotifyDeliverAtArrivalTime) {
+    Engine e;
+    double producer_done = 0.0;
+    bool flag = false;
+    double flag_time = 0.0;
+    std::size_t consumer_pid = 0;
+
+    consumer_pid = e.add_process("consumer", [&](Proc& p) {
+        p.block([&]() -> std::optional<double> {
+            if (flag) return flag_time;
+            return std::nullopt;
+        });
+        EXPECT_DOUBLE_EQ(p.now(), 3.5);  // max(own clock 0, arrival 3.5)
+    });
+    e.add_process("producer", [&](Proc& p) {
+        p.advance(3.0);
+        flag = true;
+        flag_time = 3.5;  // in-flight for 0.5
+        p.notify(consumer_pid);
+        producer_done = p.now();
+    });
+    e.run();
+    EXPECT_DOUBLE_EQ(producer_done, 3.0);
+    EXPECT_DOUBLE_EQ(e.makespan(), 3.5);
+}
+
+TEST(Engine, ImmediatelySatisfiableBlockDoesNotHang) {
+    Engine e;
+    e.add_process("p", [](Proc& p) {
+        p.advance(1.0);
+        p.block([]() -> std::optional<double> { return 0.5; });
+        EXPECT_DOUBLE_EQ(p.now(), 1.0);  // wake in the past clamps to now
+        p.block([]() -> std::optional<double> { return 2.0; });
+        EXPECT_DOUBLE_EQ(p.now(), 2.0);
+    });
+    e.run();
+}
+
+TEST(Engine, DeadlockIsDetectedAndReported) {
+    Engine e;
+    e.add_process("stuck1", [](Proc& p) {
+        p.block([]() -> std::optional<double> { return std::nullopt; });
+    });
+    e.add_process("stuck2", [](Proc& p) {
+        p.advance(1.0);
+        p.block([]() -> std::optional<double> { return std::nullopt; });
+    });
+    EXPECT_THROW(e.run(), DeadlockError);
+}
+
+TEST(Engine, ProcessExceptionPropagatesAndUnblocksOthers) {
+    Engine e;
+    e.add_process("waiter", [](Proc& p) {
+        p.block([]() -> std::optional<double> { return std::nullopt; });
+    });
+    e.add_process("thrower", [](Proc& p) {
+        p.advance(1.0);
+        throw std::runtime_error("node failure");
+    });
+    EXPECT_THROW(e.run(), std::runtime_error);
+}
+
+TEST(Engine, NegativeAdvanceRejected) {
+    Engine e;
+    e.add_process("p", [](Proc& p) { p.advance(-1.0); });
+    EXPECT_THROW(e.run(), std::invalid_argument);
+}
+
+TEST(Engine, AddProcessAfterRunRejected) {
+    Engine e;
+    e.add_process("p", [](Proc& p) { p.advance(0.0); });
+    e.run();
+    EXPECT_THROW(e.add_process("late", [](Proc&) {}), std::logic_error);
+}
+
+TEST(Engine, ManyProcessesPingPongThroughSharedState) {
+    // A relay: process i waits for counter == i, then increments it.
+    Engine e;
+    constexpr std::size_t kN = 16;
+    std::size_t counter = 0;
+    std::vector<std::size_t> pids(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        pids[i] = e.add_process("relay" + std::to_string(i), [&, i](Proc& p) {
+            p.block([&, i]() -> std::optional<double> {
+                if (counter == i) return static_cast<double>(i);
+                return std::nullopt;
+            });
+            ++counter;
+            // Wake everybody still waiting; only the next one matches.
+            for (std::size_t j = 0; j < kN; ++j) {
+                if (j != i) p.notify(pids[j]);
+            }
+        });
+    }
+    e.run();
+    EXPECT_EQ(counter, kN);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Reconstruction backends (the paper's figure 2): the gather-form
+// sequential reference, the thread-pool backend, and the distributed mesh
+// backend must agree bit-for-bit, and all must invert the decomposition.
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "core/synthetic.hpp"
+#include "wavelet/mesh_dwt.hpp"
+#include "wavelet/mesh_idwt.hpp"
+#include "wavelet/threads_dwt.hpp"
+
+namespace {
+
+using wavehpc::core::BoundaryMode;
+using wavehpc::core::FilterPair;
+using wavehpc::core::ImageF;
+using wavehpc::core::Pyramid;
+using wavehpc::core::SequentialCostModel;
+using wavehpc::mesh::Machine;
+using wavehpc::mesh::MachineProfile;
+
+Pyramid sample_pyramid(int taps, int levels, std::size_t size = 64) {
+    const ImageF img = wavehpc::core::landsat_tm_like(size, size, 71);
+    return wavehpc::core::decompose(img, FilterPair::daubechies(taps), levels);
+}
+
+TEST(GatherReconstruct, MatchesScatterReconstructWithinRounding) {
+    for (int taps : {2, 4, 8}) {
+        const Pyramid pyr = sample_pyramid(taps, 3);
+        const FilterPair fp = FilterPair::daubechies(taps);
+        const ImageF a = wavehpc::core::reconstruct(pyr, fp);
+        const ImageF b = wavehpc::core::reconstruct_gather(pyr, fp);
+        EXPECT_LT(wavehpc::core::max_abs_diff(a, b), 1e-3) << taps;
+    }
+}
+
+TEST(GatherReconstruct, IsPerfectReconstruction) {
+    const ImageF img = wavehpc::core::landsat_tm_like(64, 64, 73);
+    for (int taps : {2, 4, 8}) {
+        const FilterPair fp = FilterPair::daubechies(taps);
+        const Pyramid pyr = wavehpc::core::decompose(img, fp, 2);
+        const ImageF back = wavehpc::core::reconstruct_gather(pyr, fp);
+        EXPECT_LT(wavehpc::core::max_abs_diff(img, back), 2e-3) << taps;
+    }
+}
+
+TEST(GatherReconstruct, DeepLevelsWhereBandIsSmallerThanFilter) {
+    // 64 -> 4 levels leaves 4x4 bands with an 8-tap filter: the synthesis
+    // window wraps more than once.
+    const ImageF img = wavehpc::core::landsat_tm_like(64, 64, 75);
+    const FilterPair fp = FilterPair::daubechies(8);
+    const Pyramid pyr = wavehpc::core::decompose(img, fp, 4);
+    const ImageF back = wavehpc::core::reconstruct_gather(pyr, fp);
+    EXPECT_LT(wavehpc::core::max_abs_diff(img, back), 3e-3);
+}
+
+TEST(ThreadsReconstruct, BitIdenticalToGatherReference) {
+    wavehpc::runtime::ThreadPool pool(3);
+    for (int taps : {2, 8}) {
+        const Pyramid pyr = sample_pyramid(taps, 3);
+        const FilterPair fp = FilterPair::daubechies(taps);
+        const ImageF ref = wavehpc::core::reconstruct_gather(pyr, fp);
+        const ImageF par = wavehpc::wavelet::reconstruct_parallel(pyr, fp, pool);
+        EXPECT_EQ(ref, par) << taps;
+    }
+}
+
+struct IdwtCase {
+    int taps;
+    int levels;
+    std::size_t nprocs;
+};
+
+class MeshReconstruct : public ::testing::TestWithParam<IdwtCase> {};
+
+TEST_P(MeshReconstruct, BitIdenticalToGatherReference) {
+    const auto [taps, levels, nprocs] = GetParam();
+    const Pyramid pyr = sample_pyramid(taps, levels);
+    const FilterPair fp = FilterPair::daubechies(taps);
+    const ImageF ref = wavehpc::core::reconstruct_gather(pyr, fp);
+
+    Machine machine(MachineProfile::paragon_pvm());
+    wavehpc::wavelet::MeshIdwtConfig cfg;
+    const auto res = wavehpc::wavelet::mesh_reconstruct(
+        machine, pyr, fp, cfg, nprocs, SequentialCostModel::paragon_node());
+    EXPECT_EQ(res.image, ref);
+    EXPECT_GT(res.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MeshReconstruct,
+                         ::testing::Values(IdwtCase{8, 1, 1}, IdwtCase{8, 1, 4},
+                                           IdwtCase{8, 2, 8}, IdwtCase{4, 2, 5},
+                                           IdwtCase{2, 4, 4}, IdwtCase{8, 3, 8},
+                                           IdwtCase{4, 1, 7}));
+
+TEST(MeshReconstructRoundTrip, DistributedAnalysisThenDistributedSynthesis) {
+    const ImageF img = wavehpc::core::landsat_tm_like(128, 128, 77);
+    const FilterPair fp = FilterPair::daubechies(8);
+
+    Machine m1(MachineProfile::paragon_pvm());
+    wavehpc::wavelet::MeshDwtConfig dcfg;
+    dcfg.levels = 2;
+    dcfg.mode = BoundaryMode::Periodic;
+    const auto dec = wavehpc::wavelet::mesh_decompose(
+        m1, img, fp, dcfg, 8, SequentialCostModel::paragon_node());
+
+    Machine m2(MachineProfile::paragon_pvm());
+    const auto rec = wavehpc::wavelet::mesh_reconstruct(
+        m2, dec.pyramid, fp, {}, 8, SequentialCostModel::paragon_node());
+    EXPECT_LT(wavehpc::core::max_abs_diff(img, rec.image), 2e-3);
+}
+
+TEST(MeshReconstructTiming, ScalesWithProcessors) {
+    const Pyramid pyr = sample_pyramid(8, 1, 256);
+    const FilterPair fp = FilterPair::daubechies(8);
+    const auto time_with = [&](std::size_t p) {
+        Machine machine(MachineProfile::paragon_pvm());
+        return wavehpc::wavelet::mesh_reconstruct(machine, pyr, fp, {}, p,
+                                                  SequentialCostModel::paragon_node())
+            .seconds;
+    };
+    EXPECT_LT(time_with(4), time_with(1));
+}
+
+TEST(MeshReconstruct, EmptyPyramidRejected) {
+    Machine machine(MachineProfile::paragon_pvm());
+    EXPECT_THROW((void)wavehpc::wavelet::mesh_reconstruct(
+                     machine, Pyramid{}, FilterPair::daubechies(2), {}, 2,
+                     SequentialCostModel::paragon_node()),
+                 std::invalid_argument);
+}
+
+TEST(SynthesisGuardRows, CoversTheSupportAndWraps) {
+    // Output rows 0..3 with an 8-tap filter over 16 coefficient rows: needs
+    // rows 0, 1 and the wrap rows 13, 14, 15.
+    const auto needed = wavehpc::wavelet::detail::synthesis_rows_needed(0, 4, 16, 8);
+    EXPECT_TRUE(std::find(needed.begin(), needed.end(), 0U) != needed.end());
+    EXPECT_TRUE(std::find(needed.begin(), needed.end(), 15U) != needed.end());
+    for (std::size_t g : needed) EXPECT_LT(g, 16U);
+    // Interior rows: no wrap, contiguous window.
+    const auto mid = wavehpc::wavelet::detail::synthesis_rows_needed(16, 4, 16, 4);
+    EXPECT_EQ(mid.front(), 7U);  // (16 - 3 + 32) % 32 / 2
+    EXPECT_EQ(mid.back(), 9U);
+}
+
+}  // namespace

@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/centroid.hpp"
+#include "workload/kernels.hpp"
+#include "workload/matrix.hpp"
+#include "workload/oracle.hpp"
+
+namespace {
+
+using wavehpc::workload::Centroid;
+using wavehpc::workload::centroid_of;
+using wavehpc::workload::Instruction;
+using wavehpc::workload::kOpTypes;
+using wavehpc::workload::list_schedule;
+using wavehpc::workload::NasKernel;
+using wavehpc::workload::OpType;
+using wavehpc::workload::oracle_schedule;
+using wavehpc::workload::ParallelismMatrix;
+using wavehpc::workload::Schedule;
+using wavehpc::workload::similarity;
+using wavehpc::workload::Trace;
+using wavehpc::workload::WeightedPi;
+
+Trace chain(std::size_t n, OpType type = OpType::Int) {
+    Trace t;
+    for (std::size_t i = 0; i < n; ++i) {
+        Instruction in;
+        in.type = type;
+        if (i > 0) in.deps.push_back(static_cast<std::uint32_t>(i - 1));
+        t.push_back(in);
+    }
+    return t;
+}
+
+Trace independent(std::size_t n, OpType type = OpType::Fp) {
+    Trace t(n);
+    for (auto& in : t) in.type = type;
+    return t;
+}
+
+// Deterministic random DAG: each op depends on up to 3 random earlier ops.
+Trace random_dag(std::size_t n, std::uint64_t seed) {
+    Trace t(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        t[i].type = static_cast<OpType>((seed + i) % kOpTypes);
+        const std::size_t ndeps = (i == 0) ? 0 : (i * seed) % 4;
+        for (std::size_t k = 0; k < ndeps; ++k) {
+            t[i].deps.push_back(
+                static_cast<std::uint32_t>((i * 2654435761U + k * seed) % i));
+        }
+    }
+    return t;
+}
+
+// ------------------------------------------------------------------ oracle
+
+TEST(OracleSchedule, ChainTakesOneCyclePerOp) {
+    const Schedule s = oracle_schedule(chain(10));
+    EXPECT_EQ(s.length(), 10U);
+    EXPECT_DOUBLE_EQ(s.average_parallelism(), 1.0);
+}
+
+TEST(OracleSchedule, IndependentOpsPackIntoOneCycle) {
+    const Schedule s = oracle_schedule(independent(64));
+    EXPECT_EQ(s.length(), 1U);
+    EXPECT_DOUBLE_EQ(s.cycles[0].counts[static_cast<std::size_t>(OpType::Fp)], 64.0);
+}
+
+TEST(OracleSchedule, CriticalPathIsLongestChain) {
+    // Diamond: a; b,c depend on a; d depends on b and c.
+    Trace t(4);
+    t[1].deps = {0};
+    t[2].deps = {0};
+    t[3].deps = {1, 2};
+    const Schedule s = oracle_schedule(t);
+    EXPECT_EQ(s.length(), 3U);
+    EXPECT_DOUBLE_EQ(s.cycles[1].total(), 2.0);
+}
+
+TEST(OracleSchedule, RejectsForwardDependencies) {
+    Trace t(2);
+    t[0].deps = {1};
+    EXPECT_THROW((void)oracle_schedule(t), std::invalid_argument);
+    Trace self(1);
+    self[0].deps = {0};
+    EXPECT_THROW((void)oracle_schedule(self), std::invalid_argument);
+}
+
+class RandomDagProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagProperty, OracleRespectsEveryDependency) {
+    const Trace t = random_dag(500, GetParam());
+    // Recover per-op levels by replaying the schedule definition.
+    std::vector<std::size_t> level(t.size(), 0);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        for (auto d : t[i].deps) level[i] = std::max(level[i], level[d] + 1);
+    }
+    const Schedule s = oracle_schedule(t);
+    std::size_t max_level = 0;
+    for (std::size_t lv : level) max_level = std::max(max_level, lv);
+    EXPECT_EQ(s.length(), max_level + 1);
+    EXPECT_EQ(s.operations, t.size());
+    double total = 0.0;
+    for (const auto& c : s.cycles) total += c.total();
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(t.size()));
+}
+
+TEST_P(RandomDagProperty, ListScheduleNeverExceedsWidthAndNeverBeatsOracle) {
+    const Trace t = random_dag(400, GetParam());
+    const Schedule oracle = oracle_schedule(t);
+    for (std::size_t width : {1U, 2U, 5U, 16U}) {
+        const Schedule s = list_schedule(t, width);
+        for (const auto& c : s.cycles) {
+            EXPECT_LE(c.total(), static_cast<double>(width));
+        }
+        EXPECT_GE(s.length(), oracle.length());
+        EXPECT_GE(s.length(), (t.size() + width - 1) / width);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty,
+                         ::testing::Values(1, 3, 17, 99, 12345));
+
+TEST(ListSchedule, WidthOneIsFullySerial) {
+    const Schedule s = list_schedule(independent(20), 1);
+    EXPECT_EQ(s.length(), 20U);
+    EXPECT_THROW((void)list_schedule(independent(4), 0), std::invalid_argument);
+}
+
+TEST(Smoothability, ChainIsPerfectlySmooth) {
+    const auto r = wavehpc::workload::smoothability(chain(50));
+    EXPECT_DOUBLE_EQ(r.smoothability, 1.0);
+    EXPECT_DOUBLE_EQ(r.avg_op_delay, 0.0);
+}
+
+TEST(Smoothability, BurstyTraceIsNotSmooth) {
+    // A long chain followed by a burst of 200 ops gated on the chain's end:
+    // the oracle executes the burst in one cycle, the width-limited machine
+    // must spread it out after the chain.
+    Trace t = chain(50);
+    for (int i = 0; i < 200; ++i) {
+        t.push_back(Instruction{OpType::Fp, {49}});
+    }
+    const auto r = wavehpc::workload::smoothability(t);
+    EXPECT_LT(r.smoothability, 1.0);
+    EXPECT_GT(r.smoothability, 0.0);
+    EXPECT_GT(r.avg_op_delay, 0.0);
+}
+
+// ---------------------------------------------------------------- centroid
+
+TEST(CentroidTest, AveragesScheduleCycles) {
+    Trace t = chain(2, OpType::Mem);
+    t.push_back(Instruction{OpType::Fp, {}});  // packs into cycle 0
+    const Centroid c = centroid_of(oracle_schedule(t));
+    // cycle 0: 1 Mem + 1 Fp; cycle 1: 1 Mem.
+    EXPECT_DOUBLE_EQ(c[static_cast<std::size_t>(OpType::Mem)], 1.0);
+    EXPECT_DOUBLE_EQ(c[static_cast<std::size_t>(OpType::Fp)], 0.5);
+}
+
+TEST(CentroidTest, WeightedPiAverage) {
+    const std::vector<WeightedPi> pis{{1, {4, 7, 2}}, {3, {0, 1, 2}}};
+    const Centroid c = centroid_of(pis);
+    EXPECT_DOUBLE_EQ(c[0], 1.0);
+    EXPECT_DOUBLE_EQ(c[1], 2.5);
+    EXPECT_DOUBLE_EQ(c[2], 2.0);
+    EXPECT_THROW((void)centroid_of(std::vector<WeightedPi>{}), std::invalid_argument);
+}
+
+TEST(SimilarityTest, ReproducesThePaperWorkedExample) {
+    // Section 3.3: Sim(WL2, WL3) with centroids (3.12, 2.71, 0.412) and
+    // (0.883, 0.589, 0.824): d = 3.110073, d_max = 4.214, Sim = 0.738.
+    const Centroid a{3.12, 2.71, 0.412};
+    const Centroid b{0.883, 0.589, 0.824};
+    EXPECT_NEAR(similarity(a, b), 0.738, 0.001);
+}
+
+TEST(SimilarityTest, MetricProperties) {
+    const Centroid a{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(similarity(a, a), 0.0);                      // identical
+    EXPECT_DOUBLE_EQ(similarity({1, 0}, {0, 1}), 1.0);            // orthogonal
+    EXPECT_DOUBLE_EQ(similarity(a, {2, 1, 0}), similarity({2, 1, 0}, a));
+    EXPECT_DOUBLE_EQ(similarity({0, 0}, {0, 0}), 0.0);            // both null
+    EXPECT_THROW((void)similarity(a, {1.0}), std::invalid_argument);
+    const double s = similarity(a, {1.5, 2.5, 2.0});
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+}
+
+// ------------------------------------------------------------------ matrix
+
+TEST(MatrixTest, IdenticalDistributionsDifferByZero) {
+    const auto s = oracle_schedule(random_dag(300, 5));
+    const auto m = ParallelismMatrix::from_schedule(s);
+    EXPECT_DOUBLE_EQ(m.difference(m), 0.0);
+}
+
+TEST(MatrixTest, DisjointSupportsDifferByOne) {
+    const auto a = ParallelismMatrix::from_pis({{4, {1, 0}}});
+    const auto b = ParallelismMatrix::from_pis({{9, {0, 1}}});
+    EXPECT_DOUBLE_EQ(a.difference(b), 1.0);
+}
+
+TEST(MatrixTest, FractionsAndCells) {
+    const auto m = ParallelismMatrix::from_pis({{1, {1, 1}}, {3, {2, 0}}});
+    EXPECT_EQ(m.cells(), 2U);
+    EXPECT_DOUBLE_EQ(m.fraction({1, 1}), 0.25);
+    EXPECT_DOUBLE_EQ(m.fraction({2, 0}), 0.75);
+    EXPECT_DOUBLE_EQ(m.fraction({9, 9}), 0.0);
+    EXPECT_THROW((void)ParallelismMatrix::from_pis({}), std::invalid_argument);
+}
+
+TEST(MatrixTest, InsensitiveToNonIdenticalButSimilarPis) {
+    // The paper's criticism: similar-but-not-identical PIs contribute the
+    // full difference, so the matrix cannot tell "close" from "far"...
+    const auto base = ParallelismMatrix::from_pis({{10, {4, 4}}});
+    const auto close = ParallelismMatrix::from_pis({{10, {4, 5}}});
+    const auto far = ParallelismMatrix::from_pis({{10, {40, 50}}});
+    EXPECT_DOUBLE_EQ(base.difference(close), base.difference(far));
+    // ...whereas the centroid similarity scales with the actual distance.
+    const Centroid cb{4, 4};
+    EXPECT_LT(similarity(cb, {4, 5}), similarity(cb, {40, 50}));
+}
+
+// ----------------------------------------------------------------- kernels
+
+TEST(KernelsTest, DeterministicAndValid) {
+    for (auto k : wavehpc::workload::kAllKernels) {
+        const Trace a = wavehpc::workload::make_kernel(k, 1);
+        const Trace b = wavehpc::workload::make_kernel(k, 1);
+        ASSERT_EQ(a.size(), b.size()) << wavehpc::workload::kernel_name(k);
+        EXPECT_GT(a.size(), 500U);
+        EXPECT_NO_THROW((void)oracle_schedule(a));
+    }
+    EXPECT_THROW((void)wavehpc::workload::make_kernel(NasKernel::Buk, 0),
+                 std::invalid_argument);
+}
+
+TEST(KernelsTest, MixesMatchTheirComputationalCharacter) {
+    const auto mix = [](NasKernel k) {
+        const auto s = oracle_schedule(wavehpc::workload::make_kernel(k, 2));
+        Centroid c = centroid_of(s);
+        double total = 0.0;
+        for (double v : c) total += v;
+        for (double& v : c) v /= total;
+        return c;
+    };
+    const auto buk = mix(NasKernel::Buk);
+    const auto embar = mix(NasKernel::Embar);
+    const auto appbt = mix(NasKernel::Appbt);
+    const std::size_t fp = static_cast<std::size_t>(OpType::Fp);
+    const std::size_t in = static_cast<std::size_t>(OpType::Int);
+    EXPECT_LT(buk[fp], 0.02);      // integer sort: essentially no FP
+    EXPECT_GT(embar[fp], 0.2);     // Monte Carlo: FP heavy
+    EXPECT_GT(appbt[fp], buk[fp]);
+    EXPECT_GT(buk[in], 0.3);
+}
+
+TEST(KernelsTest, EmbarFarMoreParallelThanBuk) {
+    const auto para = [](NasKernel k) {
+        return oracle_schedule(wavehpc::workload::make_kernel(k, 2))
+            .average_parallelism();
+    };
+    EXPECT_GT(para(NasKernel::Embar), 10.0 * para(NasKernel::Buk));
+}
+
+TEST(WaveletTraceTest, IsAValidWideFpHeavyWorkload) {
+    const Trace t = wavehpc::workload::make_wavelet_trace(16, 16, 4, 2);
+    EXPECT_GT(t.size(), 3000U);
+    const Schedule s = oracle_schedule(t);  // throws on a malformed DAG
+    // Wide data parallelism: all outputs of a level are independent.
+    EXPECT_GT(s.average_parallelism(), 50.0);
+    // FP-dominated mix (the MAC chains).
+    const Centroid c = centroid_of(s);
+    EXPECT_GT(c[static_cast<std::size_t>(OpType::Fp)],
+              c[static_cast<std::size_t>(OpType::Int)]);
+    EXPECT_THROW((void)wavehpc::workload::make_wavelet_trace(0, 4, 4, 1),
+                 std::invalid_argument);
+}
+
+TEST(WaveletTraceTest, MoreLevelsMakeADeeperTrace) {
+    const Schedule s1 =
+        oracle_schedule(wavehpc::workload::make_wavelet_trace(16, 16, 4, 1));
+    const Schedule s2 =
+        oracle_schedule(wavehpc::workload::make_wavelet_trace(16, 16, 4, 2));
+    EXPECT_GT(s2.length(), s1.length());  // levels serialize on the LL chain
+}
+
+TEST(ExampleSuiteTest, MatchesPaperTables) {
+    const auto suite = wavehpc::workload::example_suite();
+    ASSERT_EQ(suite.size(), 6U);
+    EXPECT_STREQ(suite[0].name, "WL1");
+    // WL1 centroid from the printed table: 17 PIs, MEM 12/17, FP 3/17,
+    // INT 7/17.
+    const Centroid c1 = centroid_of(suite[0].pis);
+    EXPECT_NEAR(c1[0], 12.0 / 17.0, 1e-12);
+    EXPECT_NEAR(c1[1], 3.0 / 17.0, 1e-12);
+    EXPECT_NEAR(c1[2], 7.0 / 17.0, 1e-12);
+}
+
+TEST(PublishedCentroidsTest, TableSevenShapeChecks) {
+    const auto table = wavehpc::workload::published_nas_centroids();
+    ASSERT_EQ(table.size(), 8U);
+    for (const auto& [name, c] : table) {
+        ASSERT_EQ(c.size(), kOpTypes) << name;
+        for (double v : c) EXPECT_GE(v, 0.0);
+    }
+    // Published qualitative claim: buk and cgm are the most similar pair
+    // among the small-parallelism kernels.
+    const auto& cgm = table[2].second;
+    const auto& buk = table[4].second;
+    const auto& appsp = table[6].second;
+    EXPECT_LT(similarity(cgm, buk), similarity(cgm, appsp));
+}
+
+}  // namespace
