@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_reconstruction.dir/bench_fig2_reconstruction.cpp.o"
+  "CMakeFiles/bench_fig2_reconstruction.dir/bench_fig2_reconstruction.cpp.o.d"
+  "bench_fig2_reconstruction"
+  "bench_fig2_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

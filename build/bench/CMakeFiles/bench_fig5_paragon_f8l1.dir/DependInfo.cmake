@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_paragon_f8l1.cpp" "bench/CMakeFiles/bench_fig5_paragon_f8l1.dir/bench_fig5_paragon_f8l1.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_paragon_f8l1.dir/bench_fig5_paragon_f8l1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wavelet/CMakeFiles/wavehpc_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/wavehpc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wavehpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wavehpc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavehpc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavehpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figA34_decomposition_ablation.dir/bench_figA34_decomposition_ablation.cpp.o"
+  "CMakeFiles/bench_figA34_decomposition_ablation.dir/bench_figA34_decomposition_ablation.cpp.o.d"
+  "bench_figA34_decomposition_ablation"
+  "bench_figA34_decomposition_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA34_decomposition_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

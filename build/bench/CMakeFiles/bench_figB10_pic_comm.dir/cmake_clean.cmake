@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figB10_pic_comm.dir/bench_figB10_pic_comm.cpp.o"
+  "CMakeFiles/bench_figB10_pic_comm.dir/bench_figB10_pic_comm.cpp.o.d"
+  "bench_figB10_pic_comm"
+  "bench_figB10_pic_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figB10_pic_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

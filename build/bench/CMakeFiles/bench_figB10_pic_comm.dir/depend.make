@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figB10_pic_comm.
+# This may be replaced when dependencies are built.

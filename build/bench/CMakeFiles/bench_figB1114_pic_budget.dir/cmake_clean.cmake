@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figB1114_pic_budget.dir/bench_figB1114_pic_budget.cpp.o"
+  "CMakeFiles/bench_figB1114_pic_budget.dir/bench_figB1114_pic_budget.cpp.o.d"
+  "bench_figB1114_pic_budget"
+  "bench_figB1114_pic_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figB1114_pic_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

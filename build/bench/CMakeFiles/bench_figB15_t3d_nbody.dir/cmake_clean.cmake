@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figB15_t3d_nbody.dir/bench_figB15_t3d_nbody.cpp.o"
+  "CMakeFiles/bench_figB15_t3d_nbody.dir/bench_figB15_t3d_nbody.cpp.o.d"
+  "bench_figB15_t3d_nbody"
+  "bench_figB15_t3d_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figB15_t3d_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

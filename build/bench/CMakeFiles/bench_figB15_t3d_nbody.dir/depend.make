@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figB15_t3d_nbody.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figB19_t3d_pic.dir/bench_figB19_t3d_pic.cpp.o"
+  "CMakeFiles/bench_figB19_t3d_pic.dir/bench_figB19_t3d_pic.cpp.o.d"
+  "bench_figB19_t3d_pic"
+  "bench_figB19_t3d_pic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figB19_t3d_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

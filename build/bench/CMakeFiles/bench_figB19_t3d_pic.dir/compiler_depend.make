@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_figB19_t3d_pic.
+# This may be replaced when dependencies are built.

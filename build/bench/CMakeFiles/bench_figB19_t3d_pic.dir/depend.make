@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figB19_t3d_pic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figB3_nbody_scal.dir/bench_figB3_nbody_scal.cpp.o"
+  "CMakeFiles/bench_figB3_nbody_scal.dir/bench_figB3_nbody_scal.cpp.o.d"
+  "bench_figB3_nbody_scal"
+  "bench_figB3_nbody_scal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figB3_nbody_scal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_figB3_nbody_scal.
+# This may be replaced when dependencies are built.

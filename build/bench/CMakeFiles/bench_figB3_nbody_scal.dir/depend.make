@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figB3_nbody_scal.
+# This may be replaced when dependencies are built.

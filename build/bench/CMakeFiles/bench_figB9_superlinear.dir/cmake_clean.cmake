@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figB9_superlinear.dir/bench_figB9_superlinear.cpp.o"
+  "CMakeFiles/bench_figB9_superlinear.dir/bench_figB9_superlinear.cpp.o.d"
+  "bench_figB9_superlinear"
+  "bench_figB9_superlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figB9_superlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

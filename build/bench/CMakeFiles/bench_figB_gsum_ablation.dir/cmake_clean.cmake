@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figB_gsum_ablation.dir/bench_figB_gsum_ablation.cpp.o"
+  "CMakeFiles/bench_figB_gsum_ablation.dir/bench_figB_gsum_ablation.cpp.o.d"
+  "bench_figB_gsum_ablation"
+  "bench_figB_gsum_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figB_gsum_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

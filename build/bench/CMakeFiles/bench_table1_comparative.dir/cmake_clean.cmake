@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_comparative.dir/bench_table1_comparative.cpp.o"
+  "CMakeFiles/bench_table1_comparative.dir/bench_table1_comparative.cpp.o.d"
+  "bench_table1_comparative"
+  "bench_table1_comparative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_comparative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

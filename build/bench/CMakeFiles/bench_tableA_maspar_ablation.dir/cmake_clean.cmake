@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableA_maspar_ablation.dir/bench_tableA_maspar_ablation.cpp.o"
+  "CMakeFiles/bench_tableA_maspar_ablation.dir/bench_tableA_maspar_ablation.cpp.o.d"
+  "bench_tableA_maspar_ablation"
+  "bench_tableA_maspar_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableA_maspar_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

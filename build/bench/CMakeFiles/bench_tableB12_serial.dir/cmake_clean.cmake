@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableB12_serial.dir/bench_tableB12_serial.cpp.o"
+  "CMakeFiles/bench_tableB12_serial.dir/bench_tableB12_serial.cpp.o.d"
+  "bench_tableB12_serial"
+  "bench_tableB12_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableB12_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tableB12_serial.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableC134_example_suite.dir/bench_tableC134_example_suite.cpp.o"
+  "CMakeFiles/bench_tableC134_example_suite.dir/bench_tableC134_example_suite.cpp.o.d"
+  "bench_tableC134_example_suite"
+  "bench_tableC134_example_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableC134_example_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

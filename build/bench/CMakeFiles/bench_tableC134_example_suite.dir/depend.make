@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tableC134_example_suite.
+# This may be replaced when dependencies are built.

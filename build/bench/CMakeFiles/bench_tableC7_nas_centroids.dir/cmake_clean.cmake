@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableC7_nas_centroids.dir/bench_tableC7_nas_centroids.cpp.o"
+  "CMakeFiles/bench_tableC7_nas_centroids.dir/bench_tableC7_nas_centroids.cpp.o.d"
+  "bench_tableC7_nas_centroids"
+  "bench_tableC7_nas_centroids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableC7_nas_centroids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableC8_nas_similarity.dir/bench_tableC8_nas_similarity.cpp.o"
+  "CMakeFiles/bench_tableC8_nas_similarity.dir/bench_tableC8_nas_similarity.cpp.o.d"
+  "bench_tableC8_nas_similarity"
+  "bench_tableC8_nas_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableC8_nas_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tableC8_nas_similarity.
+# This may be replaced when dependencies are built.

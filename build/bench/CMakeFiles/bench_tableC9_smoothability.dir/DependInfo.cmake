@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tableC9_smoothability.cpp" "bench/CMakeFiles/bench_tableC9_smoothability.dir/bench_tableC9_smoothability.cpp.o" "gcc" "bench/CMakeFiles/bench_tableC9_smoothability.dir/bench_tableC9_smoothability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/wavehpc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/wavehpc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavehpc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavehpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableC9_smoothability.dir/bench_tableC9_smoothability.cpp.o"
+  "CMakeFiles/bench_tableC9_smoothability.dir/bench_tableC9_smoothability.cpp.o.d"
+  "bench_tableC9_smoothability"
+  "bench_tableC9_smoothability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableC9_smoothability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_workloads.dir/characterize_workloads.cpp.o"
+  "CMakeFiles/characterize_workloads.dir/characterize_workloads.cpp.o.d"
+  "characterize_workloads"
+  "characterize_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registration_features.dir/registration_features.cpp.o"
+  "CMakeFiles/registration_features.dir/registration_features.cpp.o.d"
+  "registration_features"
+  "registration_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registration_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

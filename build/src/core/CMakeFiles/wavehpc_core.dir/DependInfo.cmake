@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compress.cpp" "src/core/CMakeFiles/wavehpc_core.dir/compress.cpp.o" "gcc" "src/core/CMakeFiles/wavehpc_core.dir/compress.cpp.o.d"
+  "/root/repo/src/core/convolve.cpp" "src/core/CMakeFiles/wavehpc_core.dir/convolve.cpp.o" "gcc" "src/core/CMakeFiles/wavehpc_core.dir/convolve.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/wavehpc_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/wavehpc_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/dwt.cpp" "src/core/CMakeFiles/wavehpc_core.dir/dwt.cpp.o" "gcc" "src/core/CMakeFiles/wavehpc_core.dir/dwt.cpp.o.d"
+  "/root/repo/src/core/filters.cpp" "src/core/CMakeFiles/wavehpc_core.dir/filters.cpp.o" "gcc" "src/core/CMakeFiles/wavehpc_core.dir/filters.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/wavehpc_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/wavehpc_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/pgm_io.cpp" "src/core/CMakeFiles/wavehpc_core.dir/pgm_io.cpp.o" "gcc" "src/core/CMakeFiles/wavehpc_core.dir/pgm_io.cpp.o.d"
+  "/root/repo/src/core/stripe.cpp" "src/core/CMakeFiles/wavehpc_core.dir/stripe.cpp.o" "gcc" "src/core/CMakeFiles/wavehpc_core.dir/stripe.cpp.o.d"
+  "/root/repo/src/core/synthetic.cpp" "src/core/CMakeFiles/wavehpc_core.dir/synthetic.cpp.o" "gcc" "src/core/CMakeFiles/wavehpc_core.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavehpc_core.dir/compress.cpp.o"
+  "CMakeFiles/wavehpc_core.dir/compress.cpp.o.d"
+  "CMakeFiles/wavehpc_core.dir/convolve.cpp.o"
+  "CMakeFiles/wavehpc_core.dir/convolve.cpp.o.d"
+  "CMakeFiles/wavehpc_core.dir/cost_model.cpp.o"
+  "CMakeFiles/wavehpc_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/wavehpc_core.dir/dwt.cpp.o"
+  "CMakeFiles/wavehpc_core.dir/dwt.cpp.o.d"
+  "CMakeFiles/wavehpc_core.dir/filters.cpp.o"
+  "CMakeFiles/wavehpc_core.dir/filters.cpp.o.d"
+  "CMakeFiles/wavehpc_core.dir/metrics.cpp.o"
+  "CMakeFiles/wavehpc_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/wavehpc_core.dir/pgm_io.cpp.o"
+  "CMakeFiles/wavehpc_core.dir/pgm_io.cpp.o.d"
+  "CMakeFiles/wavehpc_core.dir/stripe.cpp.o"
+  "CMakeFiles/wavehpc_core.dir/stripe.cpp.o.d"
+  "CMakeFiles/wavehpc_core.dir/synthetic.cpp.o"
+  "CMakeFiles/wavehpc_core.dir/synthetic.cpp.o.d"
+  "libwavehpc_core.a"
+  "libwavehpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavehpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maspar/cycle_model.cpp" "src/maspar/CMakeFiles/wavehpc_maspar.dir/cycle_model.cpp.o" "gcc" "src/maspar/CMakeFiles/wavehpc_maspar.dir/cycle_model.cpp.o.d"
+  "/root/repo/src/maspar/maspar_dwt.cpp" "src/maspar/CMakeFiles/wavehpc_maspar.dir/maspar_dwt.cpp.o" "gcc" "src/maspar/CMakeFiles/wavehpc_maspar.dir/maspar_dwt.cpp.o.d"
+  "/root/repo/src/maspar/pe_array.cpp" "src/maspar/CMakeFiles/wavehpc_maspar.dir/pe_array.cpp.o" "gcc" "src/maspar/CMakeFiles/wavehpc_maspar.dir/pe_array.cpp.o.d"
+  "/root/repo/src/maspar/simulate.cpp" "src/maspar/CMakeFiles/wavehpc_maspar.dir/simulate.cpp.o" "gcc" "src/maspar/CMakeFiles/wavehpc_maspar.dir/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wavehpc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

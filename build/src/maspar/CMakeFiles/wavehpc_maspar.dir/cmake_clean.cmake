@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavehpc_maspar.dir/cycle_model.cpp.o"
+  "CMakeFiles/wavehpc_maspar.dir/cycle_model.cpp.o.d"
+  "CMakeFiles/wavehpc_maspar.dir/maspar_dwt.cpp.o"
+  "CMakeFiles/wavehpc_maspar.dir/maspar_dwt.cpp.o.d"
+  "CMakeFiles/wavehpc_maspar.dir/pe_array.cpp.o"
+  "CMakeFiles/wavehpc_maspar.dir/pe_array.cpp.o.d"
+  "CMakeFiles/wavehpc_maspar.dir/simulate.cpp.o"
+  "CMakeFiles/wavehpc_maspar.dir/simulate.cpp.o.d"
+  "libwavehpc_maspar.a"
+  "libwavehpc_maspar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavehpc_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

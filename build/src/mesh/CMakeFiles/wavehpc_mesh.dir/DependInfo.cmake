@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/collectives.cpp" "src/mesh/CMakeFiles/wavehpc_mesh.dir/collectives.cpp.o" "gcc" "src/mesh/CMakeFiles/wavehpc_mesh.dir/collectives.cpp.o.d"
+  "/root/repo/src/mesh/ledger.cpp" "src/mesh/CMakeFiles/wavehpc_mesh.dir/ledger.cpp.o" "gcc" "src/mesh/CMakeFiles/wavehpc_mesh.dir/ledger.cpp.o.d"
+  "/root/repo/src/mesh/machine.cpp" "src/mesh/CMakeFiles/wavehpc_mesh.dir/machine.cpp.o" "gcc" "src/mesh/CMakeFiles/wavehpc_mesh.dir/machine.cpp.o.d"
+  "/root/repo/src/mesh/topology.cpp" "src/mesh/CMakeFiles/wavehpc_mesh.dir/topology.cpp.o" "gcc" "src/mesh/CMakeFiles/wavehpc_mesh.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wavehpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

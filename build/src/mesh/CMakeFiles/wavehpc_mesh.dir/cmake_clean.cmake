@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavehpc_mesh.dir/collectives.cpp.o"
+  "CMakeFiles/wavehpc_mesh.dir/collectives.cpp.o.d"
+  "CMakeFiles/wavehpc_mesh.dir/ledger.cpp.o"
+  "CMakeFiles/wavehpc_mesh.dir/ledger.cpp.o.d"
+  "CMakeFiles/wavehpc_mesh.dir/machine.cpp.o"
+  "CMakeFiles/wavehpc_mesh.dir/machine.cpp.o.d"
+  "CMakeFiles/wavehpc_mesh.dir/topology.cpp.o"
+  "CMakeFiles/wavehpc_mesh.dir/topology.cpp.o.d"
+  "libwavehpc_mesh.a"
+  "libwavehpc_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavehpc_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

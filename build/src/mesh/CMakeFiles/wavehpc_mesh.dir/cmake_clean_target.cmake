@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwavehpc_mesh.a"
+)

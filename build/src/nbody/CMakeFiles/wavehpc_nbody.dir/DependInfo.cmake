@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nbody/costzones.cpp" "src/nbody/CMakeFiles/wavehpc_nbody.dir/costzones.cpp.o" "gcc" "src/nbody/CMakeFiles/wavehpc_nbody.dir/costzones.cpp.o.d"
+  "/root/repo/src/nbody/model.cpp" "src/nbody/CMakeFiles/wavehpc_nbody.dir/model.cpp.o" "gcc" "src/nbody/CMakeFiles/wavehpc_nbody.dir/model.cpp.o.d"
+  "/root/repo/src/nbody/parallel.cpp" "src/nbody/CMakeFiles/wavehpc_nbody.dir/parallel.cpp.o" "gcc" "src/nbody/CMakeFiles/wavehpc_nbody.dir/parallel.cpp.o.d"
+  "/root/repo/src/nbody/quadtree.cpp" "src/nbody/CMakeFiles/wavehpc_nbody.dir/quadtree.cpp.o" "gcc" "src/nbody/CMakeFiles/wavehpc_nbody.dir/quadtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/wavehpc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavehpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

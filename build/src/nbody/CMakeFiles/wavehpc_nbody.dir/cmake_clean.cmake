@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavehpc_nbody.dir/costzones.cpp.o"
+  "CMakeFiles/wavehpc_nbody.dir/costzones.cpp.o.d"
+  "CMakeFiles/wavehpc_nbody.dir/model.cpp.o"
+  "CMakeFiles/wavehpc_nbody.dir/model.cpp.o.d"
+  "CMakeFiles/wavehpc_nbody.dir/parallel.cpp.o"
+  "CMakeFiles/wavehpc_nbody.dir/parallel.cpp.o.d"
+  "CMakeFiles/wavehpc_nbody.dir/quadtree.cpp.o"
+  "CMakeFiles/wavehpc_nbody.dir/quadtree.cpp.o.d"
+  "libwavehpc_nbody.a"
+  "libwavehpc_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavehpc_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

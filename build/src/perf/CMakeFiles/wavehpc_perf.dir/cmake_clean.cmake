@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavehpc_perf.dir/budget.cpp.o"
+  "CMakeFiles/wavehpc_perf.dir/budget.cpp.o.d"
+  "CMakeFiles/wavehpc_perf.dir/report.cpp.o"
+  "CMakeFiles/wavehpc_perf.dir/report.cpp.o.d"
+  "libwavehpc_perf.a"
+  "libwavehpc_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavehpc_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pic/fft.cpp" "src/pic/CMakeFiles/wavehpc_pic.dir/fft.cpp.o" "gcc" "src/pic/CMakeFiles/wavehpc_pic.dir/fft.cpp.o.d"
+  "/root/repo/src/pic/parallel.cpp" "src/pic/CMakeFiles/wavehpc_pic.dir/parallel.cpp.o" "gcc" "src/pic/CMakeFiles/wavehpc_pic.dir/parallel.cpp.o.d"
+  "/root/repo/src/pic/serial.cpp" "src/pic/CMakeFiles/wavehpc_pic.dir/serial.cpp.o" "gcc" "src/pic/CMakeFiles/wavehpc_pic.dir/serial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/wavehpc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavehpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavehpc_pic.dir/fft.cpp.o"
+  "CMakeFiles/wavehpc_pic.dir/fft.cpp.o.d"
+  "CMakeFiles/wavehpc_pic.dir/parallel.cpp.o"
+  "CMakeFiles/wavehpc_pic.dir/parallel.cpp.o.d"
+  "CMakeFiles/wavehpc_pic.dir/serial.cpp.o"
+  "CMakeFiles/wavehpc_pic.dir/serial.cpp.o.d"
+  "libwavehpc_pic.a"
+  "libwavehpc_pic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavehpc_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

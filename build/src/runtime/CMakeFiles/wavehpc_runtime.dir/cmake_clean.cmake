@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavehpc_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/wavehpc_runtime.dir/thread_pool.cpp.o.d"
+  "libwavehpc_runtime.a"
+  "libwavehpc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavehpc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

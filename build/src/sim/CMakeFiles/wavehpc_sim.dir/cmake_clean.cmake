@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavehpc_sim.dir/engine.cpp.o"
+  "CMakeFiles/wavehpc_sim.dir/engine.cpp.o.d"
+  "libwavehpc_sim.a"
+  "libwavehpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavehpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwavehpc_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavelet/mesh_dwt.cpp" "src/wavelet/CMakeFiles/wavehpc_wavelet.dir/mesh_dwt.cpp.o" "gcc" "src/wavelet/CMakeFiles/wavehpc_wavelet.dir/mesh_dwt.cpp.o.d"
+  "/root/repo/src/wavelet/mesh_dwt_block.cpp" "src/wavelet/CMakeFiles/wavehpc_wavelet.dir/mesh_dwt_block.cpp.o" "gcc" "src/wavelet/CMakeFiles/wavehpc_wavelet.dir/mesh_dwt_block.cpp.o.d"
+  "/root/repo/src/wavelet/mesh_idwt.cpp" "src/wavelet/CMakeFiles/wavehpc_wavelet.dir/mesh_idwt.cpp.o" "gcc" "src/wavelet/CMakeFiles/wavehpc_wavelet.dir/mesh_idwt.cpp.o.d"
+  "/root/repo/src/wavelet/threads_dwt.cpp" "src/wavelet/CMakeFiles/wavehpc_wavelet.dir/threads_dwt.cpp.o" "gcc" "src/wavelet/CMakeFiles/wavehpc_wavelet.dir/threads_dwt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wavehpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavehpc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wavehpc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavehpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

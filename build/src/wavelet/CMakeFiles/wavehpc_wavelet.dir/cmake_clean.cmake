@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavehpc_wavelet.dir/mesh_dwt.cpp.o"
+  "CMakeFiles/wavehpc_wavelet.dir/mesh_dwt.cpp.o.d"
+  "CMakeFiles/wavehpc_wavelet.dir/mesh_dwt_block.cpp.o"
+  "CMakeFiles/wavehpc_wavelet.dir/mesh_dwt_block.cpp.o.d"
+  "CMakeFiles/wavehpc_wavelet.dir/mesh_idwt.cpp.o"
+  "CMakeFiles/wavehpc_wavelet.dir/mesh_idwt.cpp.o.d"
+  "CMakeFiles/wavehpc_wavelet.dir/threads_dwt.cpp.o"
+  "CMakeFiles/wavehpc_wavelet.dir/threads_dwt.cpp.o.d"
+  "libwavehpc_wavelet.a"
+  "libwavehpc_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavehpc_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/centroid.cpp" "src/workload/CMakeFiles/wavehpc_workload.dir/centroid.cpp.o" "gcc" "src/workload/CMakeFiles/wavehpc_workload.dir/centroid.cpp.o.d"
+  "/root/repo/src/workload/kernels.cpp" "src/workload/CMakeFiles/wavehpc_workload.dir/kernels.cpp.o" "gcc" "src/workload/CMakeFiles/wavehpc_workload.dir/kernels.cpp.o.d"
+  "/root/repo/src/workload/matrix.cpp" "src/workload/CMakeFiles/wavehpc_workload.dir/matrix.cpp.o" "gcc" "src/workload/CMakeFiles/wavehpc_workload.dir/matrix.cpp.o.d"
+  "/root/repo/src/workload/oracle.cpp" "src/workload/CMakeFiles/wavehpc_workload.dir/oracle.cpp.o" "gcc" "src/workload/CMakeFiles/wavehpc_workload.dir/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavehpc_workload.dir/centroid.cpp.o"
+  "CMakeFiles/wavehpc_workload.dir/centroid.cpp.o.d"
+  "CMakeFiles/wavehpc_workload.dir/kernels.cpp.o"
+  "CMakeFiles/wavehpc_workload.dir/kernels.cpp.o.d"
+  "CMakeFiles/wavehpc_workload.dir/matrix.cpp.o"
+  "CMakeFiles/wavehpc_workload.dir/matrix.cpp.o.d"
+  "CMakeFiles/wavehpc_workload.dir/oracle.cpp.o"
+  "CMakeFiles/wavehpc_workload.dir/oracle.cpp.o.d"
+  "libwavehpc_workload.a"
+  "libwavehpc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavehpc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

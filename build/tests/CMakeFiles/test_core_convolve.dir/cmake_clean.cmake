@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_convolve.dir/test_convolve.cpp.o"
+  "CMakeFiles/test_core_convolve.dir/test_convolve.cpp.o.d"
+  "test_core_convolve"
+  "test_core_convolve.pdb"
+  "test_core_convolve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_convolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dwt.dir/test_dwt.cpp.o"
+  "CMakeFiles/test_core_dwt.dir/test_dwt.cpp.o.d"
+  "test_core_dwt"
+  "test_core_dwt.pdb"
+  "test_core_dwt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

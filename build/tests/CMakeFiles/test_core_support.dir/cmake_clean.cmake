@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_support.dir/test_core_support.cpp.o"
+  "CMakeFiles/test_core_support.dir/test_core_support.cpp.o.d"
+  "test_core_support"
+  "test_core_support.pdb"
+  "test_core_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maspar.dir/test_maspar.cpp.o"
+  "CMakeFiles/test_maspar.dir/test_maspar.cpp.o.d"
+  "test_maspar"
+  "test_maspar.pdb"
+  "test_maspar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maspar_simulate.dir/test_maspar_simulate.cpp.o"
+  "CMakeFiles/test_maspar_simulate.dir/test_maspar_simulate.cpp.o.d"
+  "test_maspar_simulate"
+  "test_maspar_simulate.pdb"
+  "test_maspar_simulate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maspar_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

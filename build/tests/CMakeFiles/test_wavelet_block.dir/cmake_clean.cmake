@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavelet_block.dir/test_wavelet_block.cpp.o"
+  "CMakeFiles/test_wavelet_block.dir/test_wavelet_block.cpp.o.d"
+  "test_wavelet_block"
+  "test_wavelet_block.pdb"
+  "test_wavelet_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavelet_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavelet_parallel.dir/test_wavelet_parallel.cpp.o"
+  "CMakeFiles/test_wavelet_parallel.dir/test_wavelet_parallel.cpp.o.d"
+  "test_wavelet_parallel"
+  "test_wavelet_parallel.pdb"
+  "test_wavelet_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavelet_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_wavelet_reconstruct.cpp" "tests/CMakeFiles/test_wavelet_reconstruct.dir/test_wavelet_reconstruct.cpp.o" "gcc" "tests/CMakeFiles/test_wavelet_reconstruct.dir/test_wavelet_reconstruct.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wavelet/CMakeFiles/wavehpc_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wavehpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/wavehpc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wavehpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wavehpc_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

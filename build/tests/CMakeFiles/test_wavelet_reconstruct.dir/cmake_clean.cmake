@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavelet_reconstruct.dir/test_wavelet_reconstruct.cpp.o"
+  "CMakeFiles/test_wavelet_reconstruct.dir/test_wavelet_reconstruct.cpp.o.d"
+  "test_wavelet_reconstruct"
+  "test_wavelet_reconstruct.pdb"
+  "test_wavelet_reconstruct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavelet_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core_image[1]_include.cmake")
+include("/root/repo/build/tests/test_core_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_core_convolve[1]_include.cmake")
+include("/root/repo/build/tests/test_core_dwt[1]_include.cmake")
+include("/root/repo/build/tests/test_core_support[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_wavelet_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_maspar[1]_include.cmake")
+include("/root/repo/build/tests/test_maspar_simulate[1]_include.cmake")
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_nbody[1]_include.cmake")
+include("/root/repo/build/tests/test_pic[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_wavelet_block[1]_include.cmake")
+include("/root/repo/build/tests/test_wavelet_reconstruct[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_machine[1]_include.cmake")
