@@ -53,18 +53,54 @@ void BM_SequentialDecompose(benchmark::State& state) {
 }
 BENCHMARK(BM_SequentialDecompose)->Args({8, 1})->Args({4, 2})->Args({2, 4});
 
+// Attach the pool-overhead counters (tasks, helper-run tasks, idle wait,
+// queue high-water) per decomposition level, the way the paper's Appendix B
+// budgets report per-run overhead next to useful time.
+void report_pool_overhead(benchmark::State& state,
+                          const wavehpc::runtime::PoolMetrics& before,
+                          const wavehpc::runtime::PoolMetrics& after, int levels) {
+    const double per_level =
+        1.0 / (static_cast<double>(state.iterations()) * levels);
+    state.counters["tasks/level"] = benchmark::Counter(
+        static_cast<double>(after.tasks_executed - before.tasks_executed) * per_level);
+    state.counters["helped/level"] = benchmark::Counter(
+        static_cast<double>(after.helper_tasks - before.helper_tasks) * per_level);
+    state.counters["idle_us/level"] = benchmark::Counter(
+        (after.idle_seconds - before.idle_seconds) * 1e6 * per_level);
+    state.counters["q_hwm"] =
+        benchmark::Counter(static_cast<double>(after.queue_high_water));
+}
+
 void BM_ThreadedDecompose(benchmark::State& state) {
     const FilterPair fp = FilterPair::daubechies(static_cast<int>(state.range(0)));
     const int levels = static_cast<int>(state.range(1));
     const ImageF& img = scene512();
     wavehpc::runtime::ThreadPool pool;
+    pool.reset_metrics();
+    const auto before = pool.metrics();
     for (auto _ : state) {
         auto pyr = wavehpc::wavelet::decompose_parallel(img, fp, levels,
                                                         BoundaryMode::Periodic, pool);
         benchmark::DoNotOptimize(pyr);
     }
+    report_pool_overhead(state, before, pool.metrics(), levels);
 }
 BENCHMARK(BM_ThreadedDecompose)->Args({8, 1})->Args({4, 2})->Args({2, 4});
+
+void BM_ThreadedReconstruct(benchmark::State& state) {
+    const FilterPair fp = FilterPair::daubechies(8);
+    const int levels = 2;
+    const auto pyr = wavehpc::core::decompose(scene512(), fp, levels);
+    wavehpc::runtime::ThreadPool pool;
+    pool.reset_metrics();
+    const auto before = pool.metrics();
+    for (auto _ : state) {
+        auto img = wavehpc::wavelet::reconstruct_parallel(pyr, fp, pool);
+        benchmark::DoNotOptimize(img);
+    }
+    report_pool_overhead(state, before, pool.metrics(), levels);
+}
+BENCHMARK(BM_ThreadedReconstruct);
 
 void BM_Reconstruct(benchmark::State& state) {
     const FilterPair fp = FilterPair::daubechies(8);

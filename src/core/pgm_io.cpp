@@ -9,14 +9,22 @@ namespace wavehpc::core {
 
 namespace {
 
+// Refuse headers that would make us allocate multi-GB buffers: the paper's
+// scenes are 512x512; allow generous headroom but nothing hostile.
+constexpr std::size_t kMaxDim = 1U << 16;      // 65536 px per side
+constexpr std::size_t kMaxPixels = 1U << 26;   // 64 Mpx = 256 MiB as float
+
 // Skip whitespace and '#' comment lines between PGM header tokens.
 void skip_separators(std::istream& in) {
     for (;;) {
         const int c = in.peek();
+        if (c == std::char_traits<char>::eof()) return;
         if (c == '#') {
             std::string line;
             std::getline(in, line);
-        } else if (std::isspace(c) != 0) {
+        } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            // The cast matters: passing a plain char with the high bit set
+            // (negative) to std::isspace is undefined behaviour.
             in.get();
         } else {
             return;
@@ -47,6 +55,9 @@ ImageF read_pgm(const std::string& path) {
     }
     const std::size_t cols = read_header_value(in, "width");
     const std::size_t rows = read_header_value(in, "height");
+    if (cols > kMaxDim || rows > kMaxDim || cols * rows > kMaxPixels) {
+        throw std::runtime_error("read_pgm: implausible image dimensions in " + path);
+    }
     const std::size_t maxval = read_header_value(in, "maxval");
     if (maxval > 65535) throw std::runtime_error("read_pgm: maxval out of range");
 

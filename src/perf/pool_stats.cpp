@@ -1,0 +1,39 @@
+#include "perf/pool_stats.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace wavehpc::perf {
+
+double PoolOverhead::idle_fraction() const noexcept {
+    const double worker_seconds = wall_seconds * static_cast<double>(workers);
+    if (worker_seconds <= 0.0) return 0.0;
+    return idle_seconds / worker_seconds;
+}
+
+PoolOverhead pool_overhead(const runtime::PoolMetrics& before,
+                           const runtime::PoolMetrics& after, double wall_seconds,
+                           std::size_t workers) {
+    PoolOverhead o;
+    o.tasks = after.tasks_executed - before.tasks_executed;
+    o.helper_tasks = after.helper_tasks - before.helper_tasks;
+    o.groups = after.groups_completed - before.groups_completed;
+    o.queue_high_water = after.queue_high_water;
+    o.idle_seconds = after.idle_seconds - before.idle_seconds;
+    o.wall_seconds = wall_seconds;
+    o.workers = workers;
+    return o;
+}
+
+void print_pool_overhead(std::ostream& os, const std::string& label,
+                         const PoolOverhead& overhead) {
+    const auto flags = os.flags();
+    os << label << ": tasks=" << overhead.tasks << " (helped=" << overhead.helper_tasks
+       << ") groups=" << overhead.groups << " q_hwm=" << overhead.queue_high_water
+       << " idle=" << std::fixed << std::setprecision(3)
+       << overhead.idle_seconds * 1e3 << "ms (" << std::setprecision(1)
+       << overhead.idle_fraction() * 100.0 << "% of worker-time)\n";
+    os.flags(flags);
+}
+
+}  // namespace wavehpc::perf

@@ -1,0 +1,42 @@
+#pragma once
+// Thread-pool overhead reporting: turns runtime::PoolMetrics snapshots into
+// the fraction-of-makespan style rows the Appendix B "performance budget"
+// uses, so host-pool runs can be budgeted the same way the simulated
+// machines are.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "runtime/thread_pool.hpp"
+
+namespace wavehpc::perf {
+
+/// Overhead of one timed region, from the difference of two metric
+/// snapshots plus the region's wall time.
+struct PoolOverhead {
+    std::uint64_t tasks = 0;             ///< tasks executed in the region
+    std::uint64_t helper_tasks = 0;      ///< tasks run by helping waiters
+    std::uint64_t groups = 0;            ///< parallel_for / group joins
+    std::uint64_t queue_high_water = 0;  ///< peak queue depth (pool lifetime)
+    double idle_seconds = 0.0;           ///< summed worker idle-wait time
+    double wall_seconds = 0.0;           ///< region makespan
+    std::size_t workers = 0;
+
+    /// Idle worker-seconds over total worker-seconds — the analogue of the
+    /// budget's imbalance/wait fraction for the host pool.
+    [[nodiscard]] double idle_fraction() const noexcept;
+};
+
+/// Assemble the overhead record for a region bounded by two snapshots.
+[[nodiscard]] PoolOverhead pool_overhead(const runtime::PoolMetrics& before,
+                                         const runtime::PoolMetrics& after,
+                                         double wall_seconds, std::size_t workers);
+
+/// One human-readable line:
+///   label: tasks=.. (helped=..) groups=.. q_hwm=.. idle=..ms (..% of worker-time)
+void print_pool_overhead(std::ostream& os, const std::string& label,
+                         const PoolOverhead& overhead);
+
+}  // namespace wavehpc::perf

@@ -1,0 +1,67 @@
+#include "runtime/task_group.hpp"
+
+#include <string>
+#include <utility>
+
+namespace wavehpc::runtime {
+
+std::string ParallelGroupError::describe(const std::vector<std::exception_ptr>& errors) {
+    std::string msg = std::to_string(errors.size()) + " parallel tasks failed";
+    if (!errors.empty()) {
+        try {
+            std::rethrow_exception(errors.front());
+        } catch (const std::exception& e) {
+            msg += std::string("; first: ") + e.what();
+        } catch (...) {
+            msg += "; first: <non-std exception>";
+        }
+    }
+    return msg;
+}
+
+ParallelGroupError::ParallelGroupError(std::vector<std::exception_ptr> errors)
+    : std::runtime_error(describe(errors)), errors_(std::move(errors)) {}
+
+void TaskGroup::add(std::size_t n) {
+    std::lock_guard lk(mu_);
+    pending_ += n;
+}
+
+void TaskGroup::complete(std::exception_ptr error) noexcept {
+    std::lock_guard lk(mu_);
+    if (error) errors_.push_back(std::move(error));
+    // Decrement and notify under mu_: the waiter holds mu_ while checking
+    // pending_, so it cannot return (and recycle this group) until we have
+    // released the lock. This is the whole race fix — do not move the
+    // notify outside the critical section.
+    if (--pending_ == 0) cv_.notify_all();
+}
+
+bool TaskGroup::finished() {
+    std::lock_guard lk(mu_);
+    return pending_ == 0;
+}
+
+void TaskGroup::wait_blocking() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::rethrow_if_error() {
+    std::vector<std::exception_ptr> errors;
+    {
+        std::lock_guard lk(mu_);
+        errors.swap(errors_);
+    }
+    if (errors.empty()) return;
+    if (errors.size() == 1) std::rethrow_exception(errors.front());
+    throw ParallelGroupError(std::move(errors));
+}
+
+void TaskGroup::reset() {
+    std::lock_guard lk(mu_);
+    pending_ = 0;
+    errors_.clear();
+}
+
+}  // namespace wavehpc::runtime

@@ -1,0 +1,83 @@
+#pragma once
+// Completion latch for the thread pool.
+//
+// A TaskGroup counts outstanding tasks and lets one waiter block until all
+// of them have completed. Groups are owned by the ThreadPool (acquired from
+// a free list, recycled after the join) — never by the waiter's stack frame.
+// That ownership rule plus one invariant make the join race-free:
+//
+//   complete() decrements the pending count and notifies the condition
+//   variable *while holding the group mutex*. The waiter's predicate also
+//   runs under that mutex, so it cannot observe pending_ == 0 and return
+//   (letting the pool recycle the group) before the last completer has
+//   released the lock — at which point the completer never touches the
+//   group again.
+//
+// The seed runtime kept the mutex/condvar on the caller's stack and
+// notified after an atomic decrement taken outside the lock; a spurious
+// wakeup could then destroy the pair between the decrement and the notify
+// (use-after-scope). This type exists to make that impossible by
+// construction.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace wavehpc::runtime {
+
+/// Thrown by a group join when more than one task failed. A single failure
+/// is rethrown as the original exception; multiple failures are aggregated
+/// here so none is silently dropped.
+class ParallelGroupError : public std::runtime_error {
+public:
+    explicit ParallelGroupError(std::vector<std::exception_ptr> errors);
+
+    [[nodiscard]] const std::vector<std::exception_ptr>& exceptions() const noexcept {
+        return errors_;
+    }
+
+private:
+    static std::string describe(const std::vector<std::exception_ptr>& errors);
+    std::vector<std::exception_ptr> errors_;
+};
+
+class TaskGroup {
+public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Register `n` tasks that will later call complete(). Must happen
+    /// before the corresponding tasks are enqueued.
+    void add(std::size_t n);
+
+    /// Record one finished task (with its exception, if any). Decrement and
+    /// notify run under the group mutex — see the header comment.
+    void complete(std::exception_ptr error) noexcept;
+
+    /// True once every added task has completed.
+    [[nodiscard]] bool finished();
+
+    /// Block (no helping) until finished. ThreadPool::wait() layers
+    /// help-stealing on top of this for worker-thread callers.
+    void wait_blocking();
+
+    /// Take the collected task errors and rethrow: the original exception
+    /// if exactly one task failed, a ParallelGroupError if several did.
+    void rethrow_if_error();
+
+    /// Drop state so the group can be reused. Only valid once finished and
+    /// after rethrow_if_error (or deliberate error discard).
+    void reset();
+
+private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::size_t pending_ = 0;                  // guarded by mu_
+    std::vector<std::exception_ptr> errors_;   // guarded by mu_
+};
+
+}  // namespace wavehpc::runtime

@@ -1,9 +1,21 @@
 #include "runtime/thread_pool.hpp"
 
-#include <atomic>
-#include <exception>
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
 
 namespace wavehpc::runtime {
+
+namespace {
+
+// Identifies the pool (if any) whose worker_loop is running on this thread,
+// so a nested parallel_for can help-drain the queue instead of deadlocking
+// in a blocking wait.
+thread_local ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
     if (workers == 0) {
@@ -25,17 +37,27 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+    tls_worker_pool = this;
     for (;;) {
-        std::function<void()> task;
+        Task task;
         {
             std::unique_lock lk(mu_);
-            cv_task_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+            if (!stopping_ && queue_.empty()) {
+                const auto idle_start = std::chrono::steady_clock::now();
+                cv_task_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+                idle_ns_.fetch_add(
+                    static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - idle_start)
+                            .count()),
+                    std::memory_order_relaxed);
+            }
             if (queue_.empty()) return;  // stopping and drained
             task = std::move(queue_.front());
             queue_.pop_front();
             ++busy_;
         }
-        task();
+        run_task(task);
         {
             std::lock_guard lk(mu_);
             --busy_;
@@ -44,12 +66,106 @@ void ThreadPool::worker_loop() {
     }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::run_task(Task& task) {
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    if (task.group == nullptr) {
+        // Plain submit(): no join exists to deliver an exception to, so a
+        // throw propagates out of the worker and terminates (documented).
+        task.fn();
+        return;
+    }
+    std::exception_ptr error;
+    try {
+        task.fn();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    task.group->complete(std::move(error));
+}
+
+bool ThreadPool::try_help_one() {
+    Task task;
     {
         std::lock_guard lk(mu_);
+        if (queue_.empty()) return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++busy_;
+    }
+    helper_tasks_.fetch_add(1, std::memory_order_relaxed);
+    run_task(task);
+    {
+        std::lock_guard lk(mu_);
+        --busy_;
+        if (queue_.empty() && busy_ == 0) cv_idle_.notify_all();
+    }
+    return true;
+}
+
+void ThreadPool::enqueue(Task task) {
+    {
+        std::lock_guard lk(mu_);
+        assert(!stopping_ && "ThreadPool: submit after stop");
+        if (stopping_) {
+            throw std::logic_error(
+                "ThreadPool: submit on a stopping pool (task would be dropped)");
+        }
         queue_.push_back(std::move(task));
+        queue_high_water_ = std::max<std::uint64_t>(queue_high_water_, queue_.size());
     }
     cv_task_.notify_one();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    enqueue(Task{std::move(task), nullptr});
+}
+
+void ThreadPool::submit(TaskGroup& group, std::function<void()> task) {
+    group.add(1);
+    try {
+        enqueue(Task{std::move(task), &group});
+    } catch (...) {
+        group.complete(nullptr);  // re-balance the latch
+        throw;
+    }
+}
+
+void ThreadPool::wait(TaskGroup& group) {
+    if (tls_worker_pool == this) {
+        // Called from inside a worker: drain queued tasks while the group
+        // is outstanding so the occupied slot keeps making progress (a
+        // blocking wait here deadlocked the seed runtime on 1-worker pools
+        // and starved larger ones).
+        while (!group.finished()) {
+            if (!try_help_one()) {
+                // Queue empty: every remaining task of the group is already
+                // running on another worker; block until they signal.
+                group.wait_blocking();
+                break;
+            }
+        }
+    } else {
+        group.wait_blocking();
+    }
+    groups_completed_.fetch_add(1, std::memory_order_relaxed);
+    group.rethrow_if_error();
+}
+
+TaskGroup& ThreadPool::acquire_group() {
+    std::lock_guard lk(group_mu_);
+    if (free_groups_.empty()) {
+        group_storage_.push_back(std::make_unique<TaskGroup>());
+        free_groups_.push_back(group_storage_.back().get());
+    }
+    TaskGroup* g = free_groups_.back();
+    free_groups_.pop_back();
+    g->reset();
+    return *g;
+}
+
+void ThreadPool::release_group(TaskGroup& group) noexcept {
+    std::lock_guard lk(group_mu_);
+    free_groups_.push_back(&group);
 }
 
 void ThreadPool::wait_idle() {
@@ -62,33 +178,133 @@ void ThreadPool::parallel_for(std::size_t first, std::size_t last,
     if (first >= last) return;
     const std::size_t n = last - first;
     const std::size_t parts = std::min(n, workers());
-
-    std::atomic<std::size_t> remaining{parts};
-    std::exception_ptr error;
-    std::mutex err_mu;
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-
-    for (std::size_t p = 0; p < parts; ++p) {
-        const std::size_t chunk_first = first + n * p / parts;
-        const std::size_t chunk_last = first + n * (p + 1) / parts;
-        submit([&, chunk_first, chunk_last] {
-            try {
-                fn(chunk_first, chunk_last);
-            } catch (...) {
-                std::lock_guard lk(err_mu);
-                if (!error) error = std::current_exception();
-            }
-            if (remaining.fetch_sub(1) == 1) {
-                std::lock_guard lk(done_mu);
-                done_cv.notify_all();
-            }
-        });
+    if (parts <= 1) {
+        // Single chunk (or 1-worker pool): run inline on the caller — no
+        // queue round-trip, and trivially correct when nested.
+        tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+        groups_completed_.fetch_add(1, std::memory_order_relaxed);
+        fn(first, last);
+        return;
     }
 
-    std::unique_lock lk(done_mu);
-    done_cv.wait(lk, [&] { return remaining.load() == 0; });
-    if (error) std::rethrow_exception(error);
+    TaskGroup& group = acquire_group();
+    group.add(parts);
+    std::size_t enqueued = 0;
+    try {
+        for (std::size_t p = 0; p < parts; ++p) {
+            const std::size_t chunk_first = first + n * p / parts;
+            const std::size_t chunk_last = first + n * (p + 1) / parts;
+            enqueue(Task{[&fn, chunk_first, chunk_last] { fn(chunk_first, chunk_last); },
+                         &group});
+            ++enqueued;
+        }
+    } catch (...) {
+        // enqueue refused (pool stopping): balance the latch for the chunks
+        // that never made it in, join what did, and hand the group back.
+        for (std::size_t p = enqueued; p < parts; ++p) group.complete(nullptr);
+        try {
+            wait(group);
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+        }
+        release_group(group);
+        throw;
+    }
+    try {
+        wait(group);
+    } catch (...) {
+        release_group(group);
+        throw;
+    }
+    release_group(group);
+}
+
+void ThreadPool::parallel_for_2d(
+    std::size_t row_first, std::size_t row_last, std::size_t col_first,
+    std::size_t col_last,
+    const std::function<void(std::size_t, std::size_t, std::size_t, std::size_t)>& fn) {
+    if (row_first >= row_last || col_first >= col_last) return;
+    const std::size_t nr = row_last - row_first;
+    const std::size_t nc = col_last - col_first;
+    const std::size_t row_parts = std::min(nr, workers());
+    const std::size_t col_parts =
+        std::min(nc, std::max<std::size_t>(1, workers() / row_parts));
+    if (row_parts * col_parts <= 1) {
+        tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+        groups_completed_.fetch_add(1, std::memory_order_relaxed);
+        fn(row_first, row_last, col_first, col_last);
+        return;
+    }
+
+    TaskGroup& group = acquire_group();
+    group.add(row_parts * col_parts);
+    std::size_t enqueued = 0;
+    try {
+        for (std::size_t i = 0; i < row_parts; ++i) {
+            const std::size_t rb = row_first + nr * i / row_parts;
+            const std::size_t re = row_first + nr * (i + 1) / row_parts;
+            for (std::size_t j = 0; j < col_parts; ++j) {
+                const std::size_t cb = col_first + nc * j / col_parts;
+                const std::size_t ce = col_first + nc * (j + 1) / col_parts;
+                enqueue(Task{[&fn, rb, re, cb, ce] { fn(rb, re, cb, ce); }, &group});
+                ++enqueued;
+            }
+        }
+    } catch (...) {
+        for (std::size_t p = enqueued; p < row_parts * col_parts; ++p) {
+            group.complete(nullptr);
+        }
+        try {
+            wait(group);
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+        }
+        release_group(group);
+        throw;
+    }
+    try {
+        wait(group);
+    } catch (...) {
+        release_group(group);
+        throw;
+    }
+    release_group(group);
+}
+
+PoolMetrics ThreadPool::metrics() const {
+    PoolMetrics m;
+    m.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+    m.helper_tasks = helper_tasks_.load(std::memory_order_relaxed);
+    m.groups_completed = groups_completed_.load(std::memory_order_relaxed);
+    m.idle_seconds =
+        static_cast<double>(idle_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    {
+        std::lock_guard lk(mu_);
+        m.queue_high_water = queue_high_water_;
+    }
+    return m;
+}
+
+void ThreadPool::reset_metrics() {
+    tasks_executed_.store(0, std::memory_order_relaxed);
+    helper_tasks_.store(0, std::memory_order_relaxed);
+    groups_completed_.store(0, std::memory_order_relaxed);
+    idle_ns_.store(0, std::memory_order_relaxed);
+    std::lock_guard lk(mu_);
+    queue_high_water_ = 0;
+}
+
+ScopedTaskGroup::~ScopedTaskGroup() {
+    if (!joined_) {
+        try {
+            pool_.wait(*group_);
+        } catch (...) {  // NOLINT(bugprone-empty-catch) — dtor must not throw
+        }
+    }
+    pool_.release_group(*group_);
+}
+
+void ScopedTaskGroup::wait() {
+    joined_ = true;
+    pool_.wait(*group_);
 }
 
 }  // namespace wavehpc::runtime

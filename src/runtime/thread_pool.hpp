@@ -3,16 +3,40 @@
 // blocking parallel_for. This is the "modern HPC node" backend for the
 // wavelet kernels — the simulators model the 1990s machines, this runs the
 // same decomposition for real on the host.
+//
+// Completion is built on pool-owned TaskGroup latches (task_group.hpp), not
+// on waiter-stack condvars, which makes the join race-free. Waiting from
+// inside a worker is supported: the waiter helps by draining queued tasks
+// instead of blocking a slot, so nested parallel_for calls cannot deadlock.
+// Every failed task's exception is collected; a join rethrows the single
+// failure or a ParallelGroupError aggregating all of them.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "runtime/task_group.hpp"
+
 namespace wavehpc::runtime {
+
+/// Counters the pool keeps about its own overhead, for the Appendix-B-style
+/// "performance budget" reporting in bench output (see perf/pool_stats.hpp).
+/// Snapshot with ThreadPool::metrics(); subtract two snapshots to meter a
+/// region.
+struct PoolMetrics {
+    std::uint64_t tasks_executed = 0;    ///< tasks run, by workers or helpers
+    std::uint64_t helper_tasks = 0;      ///< subset run by waiters helping
+    std::uint64_t groups_completed = 0;  ///< parallel_for / group joins
+    std::uint64_t queue_high_water = 0;  ///< max tasks ever queued at once
+    double idle_seconds = 0.0;           ///< total worker time blocked for work
+};
 
 class ThreadPool {
 public:
@@ -27,27 +51,111 @@ public:
 
     /// Run fn(begin, end) over [first, last) split into roughly equal chunks,
     /// one per worker (static scheduling, like an OpenMP static for).
-    /// Blocks until every chunk finished; rethrows the first worker exception.
+    /// Blocks until every chunk finished; rethrows the single worker
+    /// exception, or ParallelGroupError when several chunks threw.
+    /// A single-chunk range runs inline on the caller. Safe to call from
+    /// inside a worker (the nested wait helps drain the queue) and from
+    /// many caller threads concurrently.
     void parallel_for(std::size_t first, std::size_t last,
                       const std::function<void(std::size_t, std::size_t)>& fn);
 
+    /// 2-D variant: run fn(rb, re, cb, ce) over the rectangle
+    /// [row_first, row_last) x [col_first, col_last) split into tiles
+    /// (rows split first; columns split when there are fewer rows than
+    /// workers). Same blocking/exception semantics as parallel_for.
+    void parallel_for_2d(std::size_t row_first, std::size_t row_last,
+                         std::size_t col_first, std::size_t col_last,
+                         const std::function<void(std::size_t, std::size_t,
+                                                  std::size_t, std::size_t)>& fn);
+
     /// Enqueue an arbitrary task; used by tests and by callers composing
-    /// their own joins.
+    /// their own joins. The task must not throw (a throwing group-less task
+    /// terminates, as there is no join to deliver the exception to).
+    /// Throws std::logic_error if the pool is already stopping: the seed
+    /// runtime silently enqueued such tasks and dropped them on drain.
     void submit(std::function<void()> task);
 
-    /// Block until the queue is drained and all workers are idle.
+    /// Enqueue a task attached to a caller-held group (see acquire_group /
+    /// ScopedTaskGroup). Exceptions are captured into the group and
+    /// rethrown by wait(group).
+    void submit(TaskGroup& group, std::function<void()> task);
+
+    /// Block until `group` finished, then rethrow its collected errors.
+    /// When called from a worker of this pool, drains queued tasks while
+    /// waiting instead of blocking the slot.
+    void wait(TaskGroup& group);
+
+    /// Take a reusable group from the pool's free list (grown on demand;
+    /// storage lives as long as the pool). Pair with release_group, or use
+    /// ScopedTaskGroup. The group must outlive its last complete(), which
+    /// wait() guarantees — hence pool ownership, never the waiter's stack.
+    [[nodiscard]] TaskGroup& acquire_group();
+
+    /// Return a finished group to the free list.
+    void release_group(TaskGroup& group) noexcept;
+
+    /// Block until the queue is drained and all workers are idle. Only
+    /// meaningful when no other thread is submitting concurrently.
     void wait_idle();
 
+    /// Snapshot of the overhead counters (cheap; atomics + one lock).
+    [[nodiscard]] PoolMetrics metrics() const;
+
+    /// Zero all overhead counters (e.g. between bench phases).
+    void reset_metrics();
+
 private:
+    struct Task {
+        std::function<void()> fn;
+        TaskGroup* group = nullptr;  ///< completion latch; null for submit()
+    };
+
     void worker_loop();
+    void run_task(Task& task);
+    bool try_help_one();  ///< steal one queued task; false if queue empty
+    void enqueue(Task task);
 
     std::vector<std::thread> threads_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mu_;
+    std::deque<Task> queue_;
+    mutable std::mutex mu_;
     std::condition_variable cv_task_;
     std::condition_variable cv_idle_;
-    std::size_t busy_ = 0;
-    bool stopping_ = false;
+    std::size_t busy_ = 0;      // workers + helpers running a task
+    bool stopping_ = false;     // guarded by mu_
+
+    std::mutex group_mu_;
+    std::vector<std::unique_ptr<TaskGroup>> group_storage_;
+    std::vector<TaskGroup*> free_groups_;
+
+    std::atomic<std::uint64_t> tasks_executed_{0};
+    std::atomic<std::uint64_t> helper_tasks_{0};
+    std::atomic<std::uint64_t> groups_completed_{0};
+    std::atomic<std::uint64_t> idle_ns_{0};
+    std::uint64_t queue_high_water_ = 0;  // guarded by mu_
+};
+
+/// RAII join for composing custom task sets:
+///     ScopedTaskGroup g(pool);
+///     g.submit([..]{ ... });   // any number of tasks
+///     g.wait();                // blocks, rethrows task errors
+/// The destructor waits (discarding errors) if wait() was never reached and
+/// returns the group to the pool.
+class ScopedTaskGroup {
+public:
+    explicit ScopedTaskGroup(ThreadPool& pool)
+        : pool_(pool), group_(&pool.acquire_group()) {}
+    ~ScopedTaskGroup();
+
+    ScopedTaskGroup(const ScopedTaskGroup&) = delete;
+    ScopedTaskGroup& operator=(const ScopedTaskGroup&) = delete;
+
+    void submit(std::function<void()> task) { pool_.submit(*group_, std::move(task)); }
+    void wait();
+
+private:
+    ThreadPool& pool_;
+    TaskGroup* group_;
+    bool joined_ = false;
 };
 
 }  // namespace wavehpc::runtime

@@ -10,8 +10,10 @@
 namespace wavehpc::wavelet {
 
 /// Bit-identical to core::decompose(img, fp, levels, mode): every output
-/// coefficient is computed by the same expression, only the loop over rows
-/// is split across workers.
+/// coefficient accumulates its taps in the same order, only the loop over
+/// rows is split across workers and the passes are fused — one sweep
+/// produces the low/high row intermediates, and one cache-tiled sweep
+/// produces all four subbands (LL/LH/HL/HH) of a level.
 [[nodiscard]] core::Pyramid decompose_parallel(const core::ImageF& img,
                                                const core::FilterPair& fp, int levels,
                                                core::BoundaryMode mode,

@@ -78,6 +78,45 @@ TEST_F(PgmRoundTrip, ReadRejectsGarbage) {
                  std::runtime_error);
 }
 
+TEST_F(PgmRoundTrip, RejectsHostileHeaderDimensions) {
+    // A hostile header must not trigger a multi-GB allocation attempt.
+    {
+        std::ofstream out(path_);
+        out << "P5\n70000 70000\n255\n";
+    }
+    EXPECT_THROW((void)wavehpc::core::read_pgm(path_), std::runtime_error);
+    {
+        std::ofstream out(path_);
+        out << "P2\n100000 2\n255\n0 0\n";  // single dimension over the cap
+    }
+    EXPECT_THROW((void)wavehpc::core::read_pgm(path_), std::runtime_error);
+    {
+        std::ofstream out(path_);
+        // Both dimensions individually fine; the pixel-count cap must trip.
+        out << "P5\n65536 65536\n255\n";
+    }
+    EXPECT_THROW((void)wavehpc::core::read_pgm(path_), std::runtime_error);
+}
+
+TEST_F(PgmRoundTrip, HighBitHeaderBytesFailCleanly) {
+    // Bytes >= 0x80 between header tokens are negative as plain char; they
+    // must reach std::isspace via unsigned char (UB otherwise) and lead to
+    // a clean parse error, not a crash.
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out << "P2\n\xFF\xA0 2 2\n255\n1 2 3 4\n";
+    }
+    EXPECT_THROW((void)wavehpc::core::read_pgm(path_), std::runtime_error);
+}
+
+TEST_F(PgmRoundTrip, TruncatedHeaderHitsEofNotInfiniteLoop) {
+    {
+        std::ofstream out(path_);
+        out << "P5\n16 ";  // height and maxval missing
+    }
+    EXPECT_THROW((void)wavehpc::core::read_pgm(path_), std::runtime_error);
+}
+
 TEST_F(PgmRoundTrip, ReadsAsciiP2) {
     {
         std::ofstream out(path_);

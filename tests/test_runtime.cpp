@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -83,6 +87,170 @@ TEST(ThreadPool, SingleWorkerStillCompletesParallelFor) {
         total.fetch_add(static_cast<long>(e - b));
     });
     EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForAggregatesEveryChunkException) {
+    ThreadPool pool(4);
+    try {
+        pool.parallel_for(0, 4, [](std::size_t, std::size_t) {
+            throw std::runtime_error("chunk failed");
+        });
+        FAIL() << "expected a throw";
+    } catch (const wavehpc::runtime::ParallelGroupError& e) {
+        // Every one of the 4 chunks threw; none may be dropped.
+        EXPECT_EQ(e.exceptions().size(), 4U);
+        EXPECT_NE(std::string(e.what()).find("chunk failed"), std::string::npos);
+    } catch (const std::runtime_error&) {
+        // Permitted only if scheduling let a single chunk observe the error
+        // — cannot happen with 4 independent throwing chunks.
+        FAIL() << "all four chunks throw; aggregate expected";
+    }
+    // Pool must still be usable afterwards.
+    std::atomic<int> ok{0};
+    pool.parallel_for(0, 10, [&](std::size_t b, std::size_t e) {
+        ok.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, SingleChunkExceptionKeepsOriginalType) {
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(0, 1,
+                                   [](std::size_t, std::size_t) {
+                                       throw std::invalid_argument("inline chunk");
+                                   }),
+                 std::invalid_argument);
+}
+
+// Regression: the seed runtime deadlocked when a worker called parallel_for
+// (the blocked waiter occupied a slot no other task could fill). The new
+// runtime helps: a waiting worker drains queued tasks.
+TEST(ThreadPool, NestedParallelForFromWorkerCompletes) {
+    for (std::size_t workers : {1U, 2U, 4U}) {
+        ThreadPool pool(workers);
+        std::atomic<long> total{0};
+        pool.parallel_for(0, 8, [&](std::size_t ob, std::size_t oe) {
+            for (std::size_t i = ob; i < oe; ++i) {
+                pool.parallel_for(0, 32, [&](std::size_t b, std::size_t e) {
+                    total.fetch_add(static_cast<long>(e - b));
+                });
+            }
+        });
+        EXPECT_EQ(total.load(), 8 * 32) << "workers=" << workers;
+    }
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallel_for(0, 2,
+                          [&](std::size_t b, std::size_t) {
+                              pool.parallel_for(0, 4, [&](std::size_t ib, std::size_t) {
+                                  if (b == 0 && ib == 0) {
+                                      throw std::runtime_error("inner");
+                                  }
+                              });
+                          }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelFor2dCoversEveryCellExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr std::size_t kRows = 37;
+    constexpr std::size_t kCols = 23;
+    std::vector<std::atomic<int>> hits(kRows * kCols);
+    pool.parallel_for_2d(0, kRows, 0, kCols,
+                         [&](std::size_t rb, std::size_t re, std::size_t cb,
+                             std::size_t ce) {
+                             for (std::size_t r = rb; r < re; ++r) {
+                                 for (std::size_t c = cb; c < ce; ++c) {
+                                     hits[r * kCols + c].fetch_add(1);
+                                 }
+                             }
+                         });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelFor2dEmptyRangeIsNoop) {
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallel_for_2d(3, 3, 0, 10,
+                         [&](std::size_t, std::size_t, std::size_t, std::size_t) {
+                             called = true;
+                         });
+    pool.parallel_for_2d(0, 10, 5, 5,
+                         [&](std::size_t, std::size_t, std::size_t, std::size_t) {
+                             called = true;
+                         });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ScopedTaskGroupJoinsAndRethrows) {
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    {
+        wavehpc::runtime::ScopedTaskGroup group(pool);
+        for (int i = 0; i < 20; ++i) {
+            group.submit([&] { count.fetch_add(1); });
+        }
+        group.wait();
+        EXPECT_EQ(count.load(), 20);
+    }
+    {
+        wavehpc::runtime::ScopedTaskGroup group(pool);
+        group.submit([] { throw std::runtime_error("task boom"); });
+        EXPECT_THROW(group.wait(), std::runtime_error);
+    }
+    // A group abandoned without wait() must still join in the destructor.
+    std::atomic<int> late{0};
+    {
+        wavehpc::runtime::ScopedTaskGroup group(pool);
+        group.submit([&] { late.fetch_add(1); });
+    }
+    EXPECT_EQ(late.load(), 1);
+}
+
+// Regression: the seed silently enqueued tasks submitted after stopping_
+// was set and dropped them when the drained workers returned. submit must
+// reject instead.
+TEST(ThreadPool, SubmitAfterStopIsRejected) {
+    std::atomic<bool> rejected{false};
+    std::atomic<bool> done{false};
+    {
+        ThreadPool pool(1);
+        pool.submit([&] {
+            // Keep probing until the destructor (running concurrently on
+            // the main thread) flips stopping_ — then submit must throw.
+            for (int i = 0; i < 500000 && !rejected.load(); ++i) {
+                try {
+                    pool.submit([] {});
+                } catch (const std::logic_error&) {
+                    rejected.store(true);
+                }
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+            }
+            done.store(true);
+        });
+        // Destructor runs now: sets stopping_, then joins the probe task.
+    }
+    EXPECT_TRUE(done.load());
+    EXPECT_TRUE(rejected.load());
+}
+
+TEST(ThreadPool, MetricsCountTasksGroupsAndQueueDepth) {
+    ThreadPool pool(4);
+    pool.reset_metrics();
+    pool.parallel_for(0, 100, [](std::size_t, std::size_t) {});
+    const auto m = pool.metrics();
+    EXPECT_EQ(m.tasks_executed, 4U);  // one chunk per worker
+    EXPECT_EQ(m.groups_completed, 1U);
+    EXPECT_GE(m.queue_high_water, 1U);
+    EXPECT_LE(m.queue_high_water, 4U);
+
+    pool.reset_metrics();
+    const auto z = pool.metrics();
+    EXPECT_EQ(z.tasks_executed, 0U);
+    EXPECT_EQ(z.queue_high_water, 0U);
 }
 
 }  // namespace

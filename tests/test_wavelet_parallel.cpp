@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "core/metrics.hpp"
 #include "core/synthetic.hpp"
 #include "mesh/machine.hpp"
@@ -213,6 +216,82 @@ TEST(ThreadsDwt, ReconstructionRoundTripsThroughParallelAnalysis) {
         img, fp, 3, BoundaryMode::Periodic, pool);
     const ImageF back = wavehpc::core::reconstruct(pyr, fp);
     EXPECT_LT(wavehpc::core::max_abs_diff(img, back), 2e-3);
+}
+
+// Pool-size sweep: the fused threaded kernels must stay bit-identical to
+// the serial decompose_level/reconstruct_level references for every
+// boundary mode at pool sizes 1, 2 and hardware_concurrency. The 8-tap
+// filter on a 64-row image drives extend_index past the edge at every
+// level, so ZeroPad exercises the "missing row" sentinel in the fused
+// column sweep.
+class ThreadsDwtPoolSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadsDwtPoolSweep, DecomposeMatchesSerialForAllModes) {
+    wavehpc::runtime::ThreadPool pool(GetParam());
+    const ImageF img = wavehpc::core::landsat_tm_like(64, 96, 47);
+    for (int taps : {2, 4, 8}) {
+        const FilterPair fp = FilterPair::daubechies(taps);
+        for (auto mode : {BoundaryMode::Periodic, BoundaryMode::Symmetric,
+                          BoundaryMode::ZeroPad}) {
+            const Pyramid seq = wavehpc::core::decompose(img, fp, 3, mode);
+            const Pyramid par =
+                wavehpc::wavelet::decompose_parallel(img, fp, 3, mode, pool);
+            expect_pyramids_identical(par, seq);
+        }
+    }
+}
+
+TEST_P(ThreadsDwtPoolSweep, SingleLevelMatchesDecomposeLevel) {
+    wavehpc::runtime::ThreadPool pool(GetParam());
+    const ImageF img = wavehpc::core::landsat_tm_like(64, 64, 51);
+    const FilterPair fp = FilterPair::daubechies(8);
+    for (auto mode : {BoundaryMode::Periodic, BoundaryMode::Symmetric,
+                      BoundaryMode::ZeroPad}) {
+        const auto sb = wavehpc::core::decompose_level(img, fp, mode);
+        const Pyramid par =
+            wavehpc::wavelet::decompose_parallel(img, fp, 1, mode, pool);
+        ASSERT_EQ(par.depth(), 1U);
+        EXPECT_EQ(par.approx, sb.ll);
+        EXPECT_EQ(par.levels[0].lh, sb.detail.lh);
+        EXPECT_EQ(par.levels[0].hl, sb.detail.hl);
+        EXPECT_EQ(par.levels[0].hh, sb.detail.hh);
+    }
+}
+
+TEST_P(ThreadsDwtPoolSweep, ReconstructMatchesSerialGatherReference) {
+    wavehpc::runtime::ThreadPool pool(GetParam());
+    const ImageF img = wavehpc::core::landsat_tm_like(64, 64, 53);
+    for (int taps : {2, 4, 8}) {
+        const FilterPair fp = FilterPair::daubechies(taps);
+        const Pyramid pyr =
+            wavehpc::core::decompose(img, fp, 2, BoundaryMode::Periodic);
+        const ImageF serial = wavehpc::core::reconstruct_gather(pyr, fp);
+        const ImageF par = wavehpc::wavelet::reconstruct_parallel(pyr, fp, pool);
+        EXPECT_EQ(par, serial) << "taps " << taps;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoolSizes, ThreadsDwtPoolSweep,
+    ::testing::Values(std::size_t{1}, std::size_t{2},
+                      std::max<std::size_t>(1, std::thread::hardware_concurrency())));
+
+// Regression for the seed deadlock: decompositions driven from inside a
+// worker of the same pool (nested parallel_for) must complete and match.
+TEST(ThreadsDwt, DecomposeFromInsideWorkerMatchesSerial) {
+    wavehpc::runtime::ThreadPool pool(2);
+    const ImageF img = wavehpc::core::landsat_tm_like(32, 32, 59);
+    const FilterPair fp = FilterPair::daubechies(4);
+    const Pyramid seq = wavehpc::core::decompose(img, fp, 1, BoundaryMode::Periodic);
+    Pyramid par;
+    wavehpc::runtime::ScopedTaskGroup group(pool);
+    group.submit([&] {
+        // Runs on a worker thread; the nested parallel_for joins by helping.
+        par = wavehpc::wavelet::decompose_parallel(img, fp, 1,
+                                                   BoundaryMode::Periodic, pool);
+    });
+    group.wait();
+    expect_pyramids_identical(par, seq);
 }
 
 TEST(MeshDwtDetail, LevelRangeHalvesExactly) {
