@@ -45,8 +45,7 @@ inline void nbody_budgets(std::ostream& os, const mesh::MachineProfile& profile,
     for (std::size_t n : sizes) {
         const auto initial = nbody::interacting_galaxies(n);
         os << "performance budget, " << n << " bodies (" << profile.name << "):\n";
-        perf::TableWriter tw({"procs", "seconds", "useful", "comm", "redundancy",
-                              "imbalance", "other"});
+        perf::TableWriter tw(perf::budget_headers("procs"));
         for (std::size_t p : procs) {
             mesh::Machine machine(profile);
             nbody::ParallelNbodyConfig cfg;
@@ -107,8 +106,7 @@ inline void pic_budgets(std::ostream& os, const mesh::MachineProfile& profile,
     for (std::size_t np : particle_counts) {
         os << "performance budget, " << np / 1024 << "K particles, m="
            << model.grid_n << " (" << profile.name << "):\n";
-        perf::TableWriter tw({"procs", "seconds", "useful", "comm", "redundancy",
-                              "imbalance", "other"});
+        perf::TableWriter tw(perf::budget_headers("procs"));
         for (std::size_t p : procs) {
             mesh::Machine::RunResult run;
             (void)pic_run_seconds(profile, model, np, p, pic::GsumKind::Prefix, &run);

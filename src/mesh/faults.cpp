@@ -1,0 +1,92 @@
+#include "mesh/faults.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace wavehpc::mesh {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+/// splitmix64: full-period mix with good avalanche; one draw per key.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+[[nodiscard]] double u01(std::uint64_t x) {
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed) {
+    std::uint32_t c = seed ^ 0xFFFFFFFFU;
+    for (std::byte b : data) {
+        c = kCrcTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFU] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFFU;
+}
+
+bool FaultPlan::enabled() const noexcept {
+    return drop_probability > 0.0 || corrupt_probability > 0.0 ||
+           !drop_exact.empty() || !degradations.empty() || !failures.empty();
+}
+
+FaultDecision FaultPlan::decide(std::uint64_t index) const {
+    FaultDecision d;
+    if (std::find(drop_exact.begin(), drop_exact.end(), index) != drop_exact.end()) {
+        d.drop = true;
+        return d;
+    }
+    if (drop_probability > 0.0 &&
+        u01(mix64(seed ^ (index * 2 + 0))) < drop_probability) {
+        d.drop = true;
+        return d;
+    }
+    if (corrupt_probability > 0.0) {
+        const std::uint64_t h = mix64(seed ^ (index * 2 + 1));
+        if (u01(h) < corrupt_probability) {
+            d.corrupt = true;
+            const std::uint64_t h2 = mix64(h);
+            d.flip_byte = static_cast<std::size_t>(h2 >> 3);
+            d.flip_bit = static_cast<unsigned>(h2 & 7U);
+        }
+    }
+    return d;
+}
+
+double FaultPlan::degradation_factor(double t) const noexcept {
+    double f = 1.0;
+    for (const LinkDegradation& w : degradations) {
+        if (t >= w.t_begin && t < w.t_end) f = std::max(f, w.factor);
+    }
+    return f;
+}
+
+std::optional<double> FaultPlan::fail_time(int rank) const noexcept {
+    std::optional<double> at;
+    for (const NodeFailure& nf : failures) {
+        if (nf.rank != rank) continue;
+        if (!at.has_value() || nf.at < *at) at = nf.at;
+    }
+    return at;
+}
+
+}  // namespace wavehpc::mesh

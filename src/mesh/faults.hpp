@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic fault injection for the mesh machine.
+//
+// A FaultPlan is a seeded, replayable schedule of network and node faults:
+// per-message drop and bit-flip corruption draws, exact-index drops for
+// targeted tests, link-degradation windows that dilate wire time, and
+// per-rank fail-stop times. All per-message decisions are pure functions of
+// (seed, message index); the discrete-event engine delivers messages in a
+// deterministic order, so a run under a given plan replays bit-identically.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wavehpc::mesh {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over a byte span; `seed` chains
+/// multi-span checksums: crc32(b, crc32(a)) == crc32(a ++ b).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data,
+                                  std::uint32_t seed = 0);
+
+/// One window of degraded wire performance: every transfer whose network
+/// entry time falls in [t_begin, t_end) takes `factor` times as long
+/// (factor > 1 models a link renegotiating down; the window applies
+/// machine-wide, matching the single shared ledger clock).
+struct LinkDegradation {
+    double t_begin = 0.0;
+    double t_end = 0.0;
+    double factor = 1.0;
+};
+
+/// A rank that fail-stops at virtual time `at`: the node executes nothing
+/// from `at` on — no sends, no acks, no further compute.
+struct NodeFailure {
+    int rank = 0;
+    double at = 0.0;
+};
+
+/// Per-message fault decision, derived deterministically from the plan seed
+/// and the global message index.
+struct FaultDecision {
+    bool drop = false;
+    bool corrupt = false;
+    std::size_t flip_byte = 0;  ///< byte index to flip (mod frame size)
+    unsigned flip_bit = 0;      ///< bit 0-7 within that byte
+};
+
+struct FaultPlan {
+    std::uint64_t seed = 1;
+    double drop_probability = 0.0;     ///< i.i.d. per message (data and acks)
+    double corrupt_probability = 0.0;  ///< i.i.d. per message, one bit flipped
+    std::vector<std::uint64_t> drop_exact;  ///< message indices always dropped
+    std::vector<LinkDegradation> degradations;
+    std::vector<NodeFailure> failures;
+
+    /// True if any fault source is configured.
+    [[nodiscard]] bool enabled() const noexcept;
+
+    /// Deterministic decision for the `index`-th message handed to the
+    /// network (counting every frame: payloads, retransmissions, acks).
+    [[nodiscard]] FaultDecision decide(std::uint64_t index) const;
+
+    /// Wire-time dilation factor at network entry time `t` (>= 1).
+    [[nodiscard]] double degradation_factor(double t) const noexcept;
+
+    /// Fail-stop time of `rank`, if scheduled.
+    [[nodiscard]] std::optional<double> fail_time(int rank) const noexcept;
+};
+
+}  // namespace wavehpc::mesh

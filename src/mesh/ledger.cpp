@@ -33,6 +33,11 @@ void LinkLedger::insert(std::size_t link, double start, double duration) {
 
 double LinkLedger::reserve_path(std::span<const std::size_t> path, double ready,
                                 double duration) {
+    return reserve_path_ex(path, ready, duration).start;
+}
+
+LinkLedger::Reservation LinkLedger::reserve_path_ex(std::span<const std::size_t> path,
+                                                    double ready, double duration) {
     if (ready < 0.0 || duration < 0.0) {
         throw std::invalid_argument("LinkLedger::reserve_path: negative time");
     }
@@ -41,7 +46,8 @@ double LinkLedger::reserve_path(std::span<const std::size_t> path, double ready,
             throw std::out_of_range("LinkLedger::reserve_path: bad link id");
         }
     }
-    if (duration == 0.0 || path.empty()) return ready;
+    if (dilation_) duration *= dilation_(ready);
+    if (duration == 0.0 || path.empty()) return {ready, duration};
 
     double start = ready;
     for (;;) {
@@ -55,7 +61,7 @@ double LinkLedger::reserve_path(std::span<const std::size_t> path, double ready,
     for (std::size_t l : path) insert(l, start, duration);
     delay_ += start - ready;
     ++reservations_;
-    return start;
+    return {start, duration};
 }
 
 double LinkLedger::busy_seconds(std::size_t link) const {

@@ -7,6 +7,7 @@
 // which is exactly the mechanism behind the paper's naive-mapping plateau.
 
 #include <cstddef>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,24 @@ public:
     /// `duration` seconds; the interval is reserved on all of them.
     /// Returns the start time. duration may be 0 (no reservation recorded).
     double reserve_path(std::span<const std::size_t> path, double ready, double duration);
+
+    struct Reservation {
+        double start = 0.0;     ///< when the transfer enters the wires
+        double duration = 0.0;  ///< actual occupancy, after dilation
+    };
+
+    /// Like reserve_path, but returns the (possibly dilated) duration too:
+    /// with a time-dilation hook installed, the reserved occupancy is
+    /// duration * dilation(ready) — the fault model's link-degradation
+    /// windows stretch transfers that enter the network inside a window.
+    Reservation reserve_path_ex(std::span<const std::size_t> path, double ready,
+                                double duration);
+
+    /// Install (or clear, with nullptr) the wire-time dilation hook; called
+    /// with the network entry time, must return a factor >= 1.
+    void set_time_dilation(std::function<double(double)> dilation) {
+        dilation_ = std::move(dilation);
+    }
 
     /// Total contention delay accumulated so far (sum of start - ready).
     [[nodiscard]] double total_contention_delay() const noexcept { return delay_; }
@@ -40,6 +59,7 @@ private:
 
     std::vector<std::vector<Interval>> links_;  // per link, sorted by start
     std::vector<double> busy_;
+    std::function<double(double)> dilation_;
     double delay_ = 0.0;
     std::size_t reservations_ = 0;
 };

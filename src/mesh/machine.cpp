@@ -1,9 +1,79 @@
 #include "mesh/machine.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace wavehpc::mesh {
+
+namespace {
+
+// Internal unwind signal for a fail-stopped node: tears down the node body
+// without erroring the run. Deliberately not derived from std::exception so
+// node programs cannot swallow it.
+struct NodeFailStopSignal {};
+
+constexpr std::uint32_t kFrameMagic = 0x57485243U;  // "WHRC"
+constexpr std::size_t kFrameHeaderBytes = 12;       // magic + seq + crc
+constexpr std::size_t kAckBytes = 16;               // NIC-level ack frame
+
+void put_u32(std::byte* dst, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        dst[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFFU);
+    }
+}
+
+std::uint32_t get_u32(const std::byte* src) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(src[i]) << (8 * i);
+    }
+    return v;
+}
+
+/// CRC over everything the header protects: the sequence number bytes
+/// chained with the payload (the CRC slot itself is excluded).
+std::uint32_t frame_crc(const std::vector<std::byte>& frame) {
+    const std::uint32_t seq_crc = crc32({frame.data() + 4, 4});
+    return crc32({frame.data() + kFrameHeaderBytes, frame.size() - kFrameHeaderBytes},
+                 seq_crc);
+}
+
+std::vector<std::byte> build_frame(std::uint32_t seq, std::span<const std::byte> data) {
+    std::vector<std::byte> frame(kFrameHeaderBytes + data.size());
+    put_u32(frame.data(), kFrameMagic);
+    put_u32(frame.data() + 4, seq);
+    std::copy(data.begin(), data.end(), frame.begin() + kFrameHeaderBytes);
+    // CRC covers seq + payload; it is written last, after what it protects.
+    put_u32(frame.data() + 8, frame_crc(frame));
+    return frame;
+}
+
+bool frame_valid(const std::vector<std::byte>& frame) {
+    if (frame.size() < kFrameHeaderBytes) return false;
+    if (get_u32(frame.data()) != kFrameMagic) return false;
+    return get_u32(frame.data() + 8) == frame_crc(frame);
+}
+
+std::string recv_desc(int tag, int src, const char* verb) {
+    std::ostringstream os;
+    os << verb << "(tag=";
+    if (tag == kAnyTag) {
+        os << "any";
+    } else {
+        os << tag;
+    }
+    os << ", src=";
+    if (src == kAnySource) {
+        os << "any";
+    } else {
+        os << src;
+    }
+    os << ')';
+    return os.str();
+}
+
+}  // namespace
 
 MachineProfile MachineProfile::paragon_pvm() {
     return {
@@ -13,6 +83,7 @@ MachineProfile MachineProfile::paragon_pvm() {
         .recv_overhead = 0.6e-3,
         .per_hop = 20e-6,
         .byte_time = 1.0 / 3.0e6,
+        .faults = {},
     };
 }
 
@@ -24,6 +95,7 @@ MachineProfile MachineProfile::paragon_nx() {
         .recv_overhead = 60e-6,
         .per_hop = 10e-6,
         .byte_time = 1.0 / 35.0e6,
+        .faults = {},
     };
 }
 
@@ -35,6 +107,7 @@ MachineProfile MachineProfile::cray_t3d_pvm() {
         .recv_overhead = 150e-6,
         .per_hop = 2e-6,
         .byte_time = 1.0 / 25.0e6,
+        .faults = {},
     };
 }
 
@@ -46,6 +119,7 @@ MachineProfile MachineProfile::test_profile(std::size_t sx, std::size_t sy) {
         .recv_overhead = 1e-3,
         .per_hop = 1e-4,
         .byte_time = 1e-6,
+        .faults = {},
     };
 }
 
@@ -53,26 +127,47 @@ int NodeCtx::nprocs() const noexcept {
     return static_cast<int>(machine_->rs_->pid_of_rank.size());
 }
 
-void NodeCtx::compute(double seconds) {
-    machine_->rs_->stats[static_cast<std::size_t>(rank_)].useful_seconds += seconds;
-    proc_->advance(seconds);
+void NodeCtx::charge(double seconds, double NodeStats::*category) {
+    machine_->advance_with_fail(*this, seconds, category);
 }
+
+void NodeCtx::compute(double seconds) { charge(seconds, &NodeStats::useful_seconds); }
 
 void NodeCtx::compute_redundant(double seconds) {
-    machine_->rs_->stats[static_cast<std::size_t>(rank_)].redundant_seconds += seconds;
-    proc_->advance(seconds);
+    charge(seconds, &NodeStats::redundant_seconds);
 }
 
-void NodeCtx::charge_comm(double seconds) {
-    machine_->rs_->stats[static_cast<std::size_t>(rank_)].comm_seconds += seconds;
-    proc_->advance(seconds);
-}
+void NodeCtx::charge_comm(double seconds) { charge(seconds, &NodeStats::comm_seconds); }
 
 void NodeCtx::csend(int tag, int dst, std::span<const std::byte> data) {
+    if (machine_->reliable_.has_value()) {
+        if (!machine_->do_send_reliable(*this, tag, dst, data, *machine_->reliable_)) {
+            std::ostringstream os;
+            os << "csend_reliable: no ack from rank " << dst << " after "
+               << machine_->reliable_->max_retries + 1 << " attempts (tag " << tag
+               << ')';
+            throw TransportError(os.str());
+        }
+        return;
+    }
     machine_->do_send(*this, tag, dst, data);
 }
 
-Message NodeCtx::crecv(int tag, int src) { return machine_->do_recv(*this, tag, src); }
+Message NodeCtx::crecv(int tag, int src) {
+    auto m = machine_->do_recv(*this, tag, src, std::nullopt);
+    if (!m.has_value()) throw std::logic_error("crecv: impossible timeout");
+    return std::move(*m);
+}
+
+std::optional<Message> NodeCtx::crecv_timeout(int tag, int src, double timeout) {
+    if (timeout < 0.0) throw std::invalid_argument("crecv_timeout: negative timeout");
+    return machine_->do_recv(*this, tag, src, timeout);
+}
+
+bool NodeCtx::csend_reliable(int tag, int dst, std::span<const std::byte> data,
+                             const ReliableParams& params) {
+    return machine_->do_send_reliable(*this, tag, dst, data, params);
+}
 
 const NodeStats& NodeCtx::stats() const {
     return machine_->rs_->stats[static_cast<std::size_t>(rank_)];
@@ -80,19 +175,43 @@ const NodeStats& NodeCtx::stats() const {
 
 Machine::Machine(MachineProfile profile) : profile_(std::move(profile)) {}
 
-void Machine::do_send(NodeCtx& ctx, int tag, int dst, std::span<const std::byte> data) {
-    RunState& rs = *rs_;
-    const auto nprocs = static_cast<int>(rs.pid_of_rank.size());
+void Machine::check_fail_stop(NodeCtx& ctx) const {
+    const auto fail = fail_time_of(ctx.rank());
+    if (fail.has_value() && ctx.proc_->now() >= *fail) throw NodeFailStopSignal{};
+}
+
+void Machine::advance_with_fail(NodeCtx& ctx, double dt, double NodeStats::*category) {
+    if (dt < 0.0) throw std::invalid_argument("charge: negative seconds");
+    NodeStats& st = rs_->stats[static_cast<std::size_t>(ctx.rank())];
+    double* slot = ctx.recovery_ ? &st.recovery_seconds : &(st.*category);
+    const auto fail = fail_time_of(ctx.rank());
+    if (fail.has_value() && ctx.proc_->now() + dt >= *fail) {
+        const double partial = std::max(0.0, *fail - ctx.proc_->now());
+        *slot += partial;
+        ctx.proc_->advance(partial);
+        throw NodeFailStopSignal{};
+    }
+    *slot += dt;
+    ctx.proc_->advance(dt);
+}
+
+void Machine::validate_send(const NodeCtx& ctx, int tag, int dst) const {
+    const auto nprocs = static_cast<int>(rs_->pid_of_rank.size());
     if (dst < 0 || dst >= nprocs) throw std::invalid_argument("csend: bad destination");
     if (dst == ctx.rank()) throw std::invalid_argument("csend: self messages unsupported");
     if (tag < 0) throw std::invalid_argument("csend: tag must be >= 0");
+}
+
+void Machine::do_send(NodeCtx& ctx, int tag, int dst, std::span<const std::byte> data) {
+    RunState& rs = *rs_;
+    validate_send(ctx, tag, dst);
+    check_fail_stop(ctx);
 
     NodeStats& st = rs.stats[static_cast<std::size_t>(ctx.rank())];
-    const double t_call = ctx.proc_->now();
 
     // Software send overhead; the call returns once the message is handed
     // to the network (buffered send, NX csend flavour).
-    ctx.proc_->advance(profile_.send_overhead);
+    advance_with_fail(ctx, profile_.send_overhead, &NodeStats::comm_seconds);
     const double ready = ctx.proc_->now();
 
     const Coord3 src_at = rs.placement[static_cast<std::size_t>(ctx.rank())];
@@ -101,67 +220,232 @@ void Machine::do_send(NodeCtx& ctx, int tag, int dst, std::span<const std::byte>
     const double duration =
         static_cast<double>(profile_.topo.hops(src_at, dst_at)) * profile_.per_hop +
         static_cast<double>(data.size()) * profile_.byte_time;
-    const double start = rs.ledger.reserve_path(path, ready, duration);
+    const auto res = rs.ledger.reserve_path_ex(path, ready, duration);
+    const double arrival = res.start + res.duration;
 
-    Message msg;
-    msg.src = ctx.rank();
-    msg.tag = tag;
-    msg.data.assign(data.begin(), data.end());
-    msg.arrival = start + duration;
-    rs.mailbox[static_cast<std::size_t>(dst)].push_back(std::move(msg));
-
-    if (record_trace_) {
-        rs.trace.push_back({ready, start, start + duration, ctx.rank(), dst, tag,
-                            data.size()});
+    const FaultDecision fd = profile_.faults.decide(rs.msg_counter++);
+    if (fd.drop) {
+        ++rs.injected_drops;
+    } else {
+        Message msg;
+        msg.src = ctx.rank();
+        msg.tag = tag;
+        msg.data.assign(data.begin(), data.end());
+        msg.arrival = arrival;
+        if (fd.corrupt && !msg.data.empty()) {
+            // Raw transport carries no checksum: the flipped payload is
+            // delivered as-is and the receiver cannot tell.
+            ++rs.injected_corruptions;
+            msg.data[fd.flip_byte % msg.data.size()] ^=
+                static_cast<std::byte>(1U << fd.flip_bit);
+        }
+        rs.mailbox[static_cast<std::size_t>(dst)].push_back(std::move(msg));
+        ctx.proc_->notify(rs.pid_of_rank[static_cast<std::size_t>(dst)]);
     }
 
-    st.comm_seconds += ctx.proc_->now() - t_call;
+    if (record_trace_) {
+        rs.trace.push_back({ready, res.start, arrival, ctx.rank(), dst, tag,
+                            data.size()});
+    }
     ++st.messages_sent;
     st.bytes_sent += data.size();
-    ctx.proc_->notify(rs.pid_of_rank[static_cast<std::size_t>(dst)]);
 }
 
-Message Machine::do_recv(NodeCtx& ctx, int tag, int src) {
+bool Machine::do_send_reliable(NodeCtx& ctx, int tag, int dst,
+                               std::span<const std::byte> data,
+                               const ReliableParams& params) {
+    RunState& rs = *rs_;
+    validate_send(ctx, tag, dst);
+    check_fail_stop(ctx);
+
+    NodeStats& st = rs.stats[static_cast<std::size_t>(ctx.rank())];
+    NodeStats& peer_st = rs.stats[static_cast<std::size_t>(dst)];
+
+    const Coord3 src_at = rs.placement[static_cast<std::size_t>(ctx.rank())];
+    const Coord3 dst_at = rs.placement[static_cast<std::size_t>(dst)];
+    const auto path = profile_.topo.route(src_at, dst_at);
+    const auto back_path = profile_.topo.route(dst_at, src_at);
+    const double hop_time =
+        static_cast<double>(profile_.topo.hops(src_at, dst_at)) * profile_.per_hop;
+
+    const auto key = std::make_tuple(ctx.rank(), dst, tag);
+    const std::uint32_t seq = rs.next_seq[key];
+    const std::vector<std::byte> frame = build_frame(seq, data);
+
+    const double data_wire =
+        hop_time + static_cast<double>(frame.size()) * profile_.byte_time;
+    const double ack_wire =
+        hop_time + static_cast<double>(kAckBytes) * profile_.byte_time;
+    const double rtt =
+        data_wire + ack_wire + profile_.send_overhead + profile_.recv_overhead;
+    const double rto0 = params.rto0 > 0.0 ? params.rto0 : 2.0 * rtt;
+    const double rto_cap = params.rto_cap > 0.0 ? params.rto_cap : 64.0 * rto0;
+
+    double rto = rto0;
+    for (int attempt = 0; attempt <= params.max_retries; ++attempt) {
+        if (attempt > 0) ++st.retransmits;
+        advance_with_fail(ctx, profile_.send_overhead, &NodeStats::comm_seconds);
+        const double ready = ctx.proc_->now();
+
+        const auto res = rs.ledger.reserve_path_ex(path, ready, data_wire);
+        const double arrival = res.start + res.duration;
+        ++st.messages_sent;
+        st.bytes_sent += frame.size();
+        if (record_trace_) {
+            rs.trace.push_back({ready, res.start, arrival, ctx.rank(), dst, tag,
+                                frame.size()});
+        }
+
+        // NIC-level outcome of this attempt, resolved synchronously: the
+        // engine runs actions in causal virtual-time order and this channel
+        // is stop-and-wait, so nothing can race on its sequence state.
+        bool ack_ok = false;
+        double ack_arrival = 0.0;
+        const auto peer_fail = fail_time_of(dst);
+        const FaultDecision fd = profile_.faults.decide(rs.msg_counter++);
+        if (fd.drop) {
+            ++rs.injected_drops;
+        } else if (peer_fail.has_value() && arrival >= *peer_fail) {
+            // The peer's NIC went down with it: the frame is lost on
+            // arrival and no ack will ever come.
+        } else {
+            std::vector<std::byte> wire_frame = frame;
+            if (fd.corrupt) {
+                ++rs.injected_corruptions;
+                wire_frame[fd.flip_byte % wire_frame.size()] ^=
+                    static_cast<std::byte>(1U << fd.flip_bit);
+            }
+            if (!frame_valid(wire_frame)) {
+                // Receiver NIC rejects the frame (CRC/magic); no ack.
+                ++peer_st.corruptions_detected;
+            } else {
+                std::uint32_t& expected = rs.expected_seq[key];
+                if (seq == expected) {
+                    ++expected;
+                    Message msg;
+                    msg.src = ctx.rank();
+                    msg.tag = tag;
+                    msg.data.assign(wire_frame.begin() +
+                                        static_cast<std::ptrdiff_t>(kFrameHeaderBytes),
+                                    wire_frame.end());
+                    msg.arrival = arrival;
+                    rs.mailbox[static_cast<std::size_t>(dst)].push_back(std::move(msg));
+                    ctx.proc_->notify(rs.pid_of_rank[static_cast<std::size_t>(dst)]);
+                }
+                // Valid frames — fresh or duplicate — are acknowledged by
+                // the receiving NIC; the ack travels the reverse route and
+                // is itself subject to the fault plan.
+                const FaultDecision fa = profile_.faults.decide(rs.msg_counter++);
+                const auto ares = rs.ledger.reserve_path_ex(back_path, arrival, ack_wire);
+                if (fa.drop) {
+                    ++rs.injected_drops;
+                } else if (fa.corrupt) {
+                    // A corrupted ack is rejected by the sender's NIC.
+                    ++rs.injected_corruptions;
+                    ++st.corruptions_detected;
+                } else {
+                    ack_ok = true;
+                    ack_arrival = ares.start + ares.duration;
+                }
+            }
+        }
+
+        if (ack_ok) {
+            // Wait out the ack's flight time (dying mid-wait if the fail
+            // time strikes first).
+            const double wait = std::max(0.0, ack_arrival - ctx.proc_->now());
+            advance_with_fail(ctx, wait, &NodeStats::comm_seconds);
+            rs.next_seq[key] = seq + 1;
+            return true;
+        }
+
+        // No ack will come from this attempt: sleep out the retransmission
+        // timer (dying at the fail time if it strikes first), then back off.
+        advance_with_fail(ctx, rto, &NodeStats::comm_seconds);
+        ++st.recv_timeouts;
+        rto = std::min(rto * 2.0, rto_cap);
+    }
+    return false;
+}
+
+std::optional<Message> Machine::do_recv(NodeCtx& ctx, int tag, int src,
+                                        std::optional<double> timeout) {
     RunState& rs = *rs_;
     const auto nprocs = static_cast<int>(rs.pid_of_rank.size());
     if (src != kAnySource && (src < 0 || src >= nprocs)) {
         throw std::invalid_argument("crecv: bad source");
     }
+    check_fail_stop(ctx);
 
     auto& box = rs.mailbox[static_cast<std::size_t>(ctx.rank())];
     const auto match = [tag, src](const Message& m) {
         return (tag == kAnyTag || m.tag == tag) && (src == kAnySource || m.src == src);
     };
+    // Earliest-arrival matching message (ties broken by insertion order),
+    // so wildcard receives observe network arrival order, not the order in
+    // which senders happened to be scheduled.
+    const auto best_match = [&]() -> std::size_t {
+        std::size_t best = box.size();
+        for (std::size_t i = 0; i < box.size(); ++i) {
+            if (match(box[i]) && (best == box.size() || box[i].arrival < box[best].arrival)) {
+                best = i;
+            }
+        }
+        return best;
+    };
 
+    NodeStats& st = rs.stats[static_cast<std::size_t>(ctx.rank())];
     const double t_call = ctx.proc_->now();
-    std::size_t found = box.size();
-    ctx.proc_->block([&]() -> std::optional<double> {
-        for (std::size_t i = 0; i < box.size(); ++i) {
-            if (match(box[i])) {
-                found = i;
-                return box[i].arrival;
-            }
-        }
-        return std::nullopt;
-    });
-    if (found >= box.size() || !match(box[found])) {
-        // The poll stored `found` when it fired; re-scan defensively in case
-        // an earlier matching message was inserted before we were resumed.
-        found = box.size();
-        for (std::size_t i = 0; i < box.size(); ++i) {
-            if (match(box[i])) {
-                found = i;
-                break;
-            }
-        }
-        if (found == box.size()) throw std::logic_error("crecv: woken without message");
+    const auto fail = fail_time_of(ctx.rank());
+
+    std::optional<double> user_deadline;
+    if (timeout.has_value()) user_deadline = t_call + *timeout;
+    std::optional<double> deadline = user_deadline;
+    if (fail.has_value() && (!deadline.has_value() || *fail < *deadline)) {
+        deadline = fail;
     }
+
+    const auto poll = [&]() -> std::optional<double> {
+        const std::size_t i = best_match();
+        if (i == box.size()) return std::nullopt;
+        return box[i].arrival;
+    };
+    const std::string desc = recv_desc(tag, src, "crecv");
+
+    bool satisfied;
+    if (deadline.has_value()) {
+        satisfied = ctx.proc_->block_until(poll, *deadline, desc);
+    } else {
+        ctx.proc_->block(poll, desc);
+        satisfied = true;
+    }
+
+    const auto book_wait = [&] {
+        const double wait = ctx.proc_->now() - t_call;
+        double* slot =
+            ctx.recovery_ ? &st.recovery_seconds : &st.comm_seconds;
+        *slot += wait;
+    };
+
+    if (!satisfied) {
+        book_wait();
+        // The deadline that fired is the earlier of fail-stop and the user
+        // timeout; fail-stop wins ties (the node is dead either way).
+        if (fail.has_value() &&
+            (!user_deadline.has_value() || *fail <= *user_deadline)) {
+            throw NodeFailStopSignal{};
+        }
+        ++st.recv_timeouts;
+        return std::nullopt;
+    }
+
+    const std::size_t found = best_match();
+    if (found == box.size()) throw std::logic_error("crecv: woken without message");
     Message msg = std::move(box[found]);
     box.erase(box.begin() + static_cast<std::ptrdiff_t>(found));
 
-    ctx.proc_->advance(profile_.recv_overhead);
-    rs.stats[static_cast<std::size_t>(ctx.rank())].comm_seconds +=
-        ctx.proc_->now() - t_call;
+    book_wait();
+    advance_with_fail(ctx, profile_.recv_overhead, &NodeStats::comm_seconds);
     return msg;
 }
 
@@ -181,17 +465,47 @@ Machine::RunResult Machine::run(std::size_t nprocs, const std::vector<Coord3>& p
     }
 
     rs_ = std::make_unique<RunState>(profile_.topo.link_count());
+    // The run state must not outlive this call even when a node body (or the
+    // engine) throws; a stale state would poison the next run().
+    struct RunStateGuard {
+        std::unique_ptr<RunState>& rs;
+        ~RunStateGuard() { rs.reset(); }
+    } guard{rs_};
+
     rs_->mailbox.resize(nprocs);
     rs_->placement = placement;
     rs_->stats.resize(nprocs);
     rs_->pid_of_rank.resize(nprocs);
+    if (!profile_.faults.degradations.empty()) {
+        rs_->ledger.set_time_dilation(
+            [this](double t) { return profile_.faults.degradation_factor(t); });
+    }
 
     sim::Engine engine;
     for (std::size_t r = 0; r < nprocs; ++r) {
         rs_->pid_of_rank[r] = engine.add_process(
             "rank" + std::to_string(r), [this, r, &body](sim::Proc& proc) {
                 NodeCtx ctx(this, &proc, static_cast<int>(r));
-                body(ctx);
+                const auto annotate = [r](const char* what) {
+                    return "rank" + std::to_string(r) + ": " + what;
+                };
+                try {
+                    body(ctx);
+                } catch (const NodeFailStopSignal&) {
+                    // Scheduled fail-stop: the node simply ends here.
+                    rs_->stats[r].fail_stopped = true;
+                } catch (const std::invalid_argument& e) {
+                    throw std::invalid_argument(annotate(e.what()));
+                } catch (const std::logic_error& e) {
+                    throw std::logic_error(annotate(e.what()));
+                } catch (const TransportError& e) {
+                    throw TransportError(annotate(e.what()));
+                } catch (const std::runtime_error& e) {
+                    throw std::runtime_error(annotate(e.what()));
+                } catch (const std::exception& e) {
+                    throw std::runtime_error(annotate(e.what()));
+                }
+                // Engine-internal signals (abort) pass through untouched.
                 rs_->stats[r].finish_time = proc.now();
             });
     }
@@ -202,8 +516,9 @@ Machine::RunResult Machine::run(std::size_t nprocs, const std::vector<Coord3>& p
     res.stats = std::move(rs_->stats);
     res.contention_delay = rs_->ledger.total_contention_delay();
     res.messages = rs_->ledger.reservations();
+    res.injected_drops = rs_->injected_drops;
+    res.injected_corruptions = rs_->injected_corruptions;
     res.trace = std::move(rs_->trace);
-    rs_.reset();
     return res;
 }
 

@@ -13,18 +13,21 @@ Budget budget_from_run(const mesh::Machine::RunResult& run) {
     double useful = 0.0;
     double comm = 0.0;
     double redundant = 0.0;
+    double recovery = 0.0;
     double idle = 0.0;
     for (const auto& st : run.stats) {
         useful += st.useful_seconds;
         comm += st.comm_seconds;
         redundant += st.redundant_seconds;
+        recovery += st.recovery_seconds;
         idle += run.makespan - st.finish_time;
     }
     b.useful = useful / n / run.makespan;
     b.comm = comm / n / run.makespan;
     b.redundancy = redundant / n / run.makespan;
+    b.recovery = recovery / n / run.makespan;
     b.imbalance = idle / n / run.makespan;
-    b.other = 1.0 - b.useful - b.comm - b.redundancy - b.imbalance;
+    b.other = 1.0 - b.useful - b.comm - b.redundancy - b.recovery - b.imbalance;
     return b;
 }
 

@@ -16,11 +16,12 @@ struct Budget {
     double useful = 0.0;            ///< avg useful compute / makespan
     double comm = 0.0;              ///< avg time inside send/recv / makespan
     double redundancy = 0.0;        ///< avg redundancy compute / makespan
+    double recovery = 0.0;          ///< avg fault-recovery activity / makespan
     double imbalance = 0.0;         ///< avg end-of-run idle / makespan
     double other = 0.0;             ///< residual (should be ~0)
 
     [[nodiscard]] double overhead_total() const noexcept {
-        return comm + redundancy + imbalance + other;
+        return comm + redundancy + recovery + imbalance + other;
     }
 };
 

@@ -62,10 +62,16 @@ void print_speedup_series(std::ostream& os, const std::string& title,
     tw.print(os);
 }
 
+std::vector<std::string> budget_headers(const std::string& first) {
+    return {first,        "seconds",   "useful", "comm",
+            "redundancy", "recovery",  "imbalance", "other"};
+}
+
 void print_budget_row(TableWriter& tw, const std::string& label, const Budget& b) {
     tw.add_row({label, TableWriter::num(b.parallel_seconds), TableWriter::pct(b.useful),
                 TableWriter::pct(b.comm), TableWriter::pct(b.redundancy),
-                TableWriter::pct(b.imbalance), TableWriter::pct(b.other)});
+                TableWriter::pct(b.recovery), TableWriter::pct(b.imbalance),
+                TableWriter::pct(b.other)});
 }
 
 }  // namespace wavehpc::perf

@@ -30,6 +30,10 @@ private:
 void print_speedup_series(std::ostream& os, const std::string& title,
                           const std::vector<SpeedupPoint>& points);
 
+/// Header row matching print_budget_row's cells; `first` labels the key
+/// column (usually "procs").
+[[nodiscard]] std::vector<std::string> budget_headers(const std::string& first);
+
 /// Print a performance-budget stack (Appendix B figures 4-6, 11-14, ...).
 void print_budget_row(TableWriter& tw, const std::string& label, const Budget& b);
 

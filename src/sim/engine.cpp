@@ -20,7 +20,13 @@ double Proc::now() const { return engine_->clock_of(pid_); }
 
 void Proc::advance(double dt) { engine_->advance(pid_, dt); }
 
-void Proc::block(Poll poll) { engine_->block(pid_, std::move(poll)); }
+void Proc::block(Poll poll, std::string waiting_on) {
+    (void)engine_->block(pid_, std::move(poll), std::nullopt, std::move(waiting_on));
+}
+
+bool Proc::block_until(Poll poll, double deadline, std::string waiting_on) {
+    return engine_->block(pid_, std::move(poll), deadline, std::move(waiting_on));
+}
 
 void Proc::notify(std::size_t other_pid) { engine_->notify(other_pid); }
 
@@ -40,12 +46,34 @@ double Engine::clock_of(std::size_t pid) const {
     return procs_.at(pid)->clock;
 }
 
-std::size_t Engine::pick_min_runnable() const {
+std::size_t Engine::pick_next(bool* via_timeout) const {
+    // Candidates are runnable processes (key: clock) and blocked processes
+    // with a timeout (key: the virtual time the timeout fires). On equal
+    // keys a runnable process wins — it may notify() and cancel the timeout
+    // — and lower pid breaks remaining ties, keeping runs deterministic.
     std::size_t best = kNone;
+    double best_key = 0.0;
+    bool best_timeout = false;
     for (std::size_t i = 0; i < procs_.size(); ++i) {
-        if (procs_[i]->state != State::Runnable) continue;
-        if (best == kNone || procs_[i]->clock < procs_[best]->clock) best = i;
+        const Pcb& p = *procs_[i];
+        double key = 0.0;
+        bool is_timeout = false;
+        if (p.state == State::Runnable) {
+            key = p.clock;
+        } else if (p.state == State::Blocked && p.timeout_at.has_value()) {
+            key = std::max(p.clock, *p.timeout_at);
+            is_timeout = true;
+        } else {
+            continue;
+        }
+        if (best == kNone || key < best_key ||
+            (key == best_key && best_timeout && !is_timeout)) {
+            best = i;
+            best_key = key;
+            best_timeout = is_timeout;
+        }
     }
+    if (via_timeout != nullptr) *via_timeout = best_timeout;
     return best;
 }
 
@@ -57,21 +85,34 @@ void Engine::begin_abort() {
 
 void Engine::give_turn_to_next(std::unique_lock<std::mutex>& /*lk*/) {
     if (aborting_) return;
-    const std::size_t next = pick_min_runnable();
+    bool via_timeout = false;
+    const std::size_t next = pick_next(&via_timeout);
     if (next == kNone) {
         if (live_ == 0) return;  // clean completion
-        // Every live process is blocked: deadlock.
+        // Every live process is blocked with no pending timeout: deadlock.
         std::ostringstream os;
         os << "simulation deadlock; blocked processes:";
         for (const auto& p : procs_) {
-            if (p->state == State::Blocked) os << ' ' << p->name << "@t=" << p->clock;
+            if (p->state != State::Blocked) continue;
+            os << ' ' << p->name << "@t=" << p->clock;
+            if (!p->waiting_on.empty()) os << " waiting on " << p->waiting_on;
+            os << ';';
         }
         deadlock_message_ = os.str();
         begin_abort();
         return;
     }
-    procs_[next]->has_turn = true;
-    procs_[next]->cv.notify_all();
+    Pcb& np = *procs_[next];
+    if (via_timeout) {
+        np.clock = std::max(np.clock, *np.timeout_at);
+        np.state = State::Runnable;
+        np.timed_out = true;
+        np.timeout_at.reset();
+        np.poll = nullptr;
+        np.waiting_on.clear();
+    }
+    np.has_turn = true;
+    np.cv.notify_all();
 }
 
 void Engine::check_abort(std::size_t /*pid*/) const {
@@ -82,7 +123,7 @@ void Engine::yield_and_wait(std::unique_lock<std::mutex>& lk, std::size_t pid) {
     Pcb& me = *procs_[pid];
     // Fast path: if we are still the minimum runnable process, keep the turn.
     if (me.state == State::Runnable) {
-        const std::size_t next = pick_min_runnable();
+        const std::size_t next = pick_next(nullptr);
         if (next == pid && !aborting_) return;
     }
     me.has_turn = false;
@@ -99,19 +140,31 @@ void Engine::advance(std::size_t pid, double dt) {
     yield_and_wait(lk, pid);
 }
 
-void Engine::block(std::size_t pid, Proc::Poll poll) {
+bool Engine::block(std::size_t pid, Proc::Poll poll, std::optional<double> deadline,
+                   std::string waiting_on) {
     std::unique_lock lk(mu_);
     check_abort(pid);
     Pcb& me = *procs_[pid];
+    me.timed_out = false;
     if (auto wake = poll()) {
+        if (deadline.has_value() && *wake > *deadline) {
+            // Satisfiable, but only after the deadline: the timeout wins.
+            me.clock = std::max(me.clock, *deadline);
+            me.timed_out = true;
+            yield_and_wait(lk, pid);
+            return false;
+        }
         me.clock = std::max(me.clock, *wake);
         // Condition already satisfiable: still yield so earlier processes run.
         yield_and_wait(lk, pid);
-        return;
+        return true;
     }
     me.state = State::Blocked;
     me.poll = std::move(poll);
+    me.timeout_at = deadline;
+    me.waiting_on = std::move(waiting_on);
     yield_and_wait(lk, pid);
+    return !me.timed_out;
 }
 
 void Engine::notify(std::size_t pid) {
@@ -119,9 +172,15 @@ void Engine::notify(std::size_t pid) {
     Pcb& p = *procs_.at(pid);
     if (p.state != State::Blocked || !p.poll) return;
     if (auto wake = p.poll()) {
+        // A wake past the deadline loses to the timeout; stay blocked and
+        // let the scheduler fire the timeout event at the right time.
+        if (p.timeout_at.has_value() && *wake > *p.timeout_at) return;
         p.clock = std::max(p.clock, *wake);
         p.state = State::Runnable;
         p.poll = nullptr;
+        p.timeout_at.reset();
+        p.waiting_on.clear();
+        p.timed_out = false;
         // No turn handoff here: the notifier keeps running until its next
         // yield point, at which point min-clock-first takes over.
     }

@@ -30,7 +30,9 @@ namespace wavehpc::sim {
 
 class Engine;
 
-/// Thrown by Engine::run when every live process is blocked.
+/// Thrown by Engine::run when every live process is blocked with no pending
+/// timeout. The message names each blocked process, its virtual time, and
+/// the wait description it registered (e.g. "crecv(tag=7, src=0)").
 class DeadlockError : public std::runtime_error {
 public:
     using std::runtime_error::runtime_error;
@@ -52,7 +54,16 @@ public:
 
     /// Block until `poll` yields a wake time (evaluated immediately, then on
     /// every notify()). On wake, the clock becomes max(clock, wake time).
-    void block(Poll poll);
+    /// `waiting_on` describes the condition for deadlock reports.
+    void block(Poll poll, std::string waiting_on = {});
+
+    /// Like block(), but the wait also completes — unsatisfied — at virtual
+    /// time `deadline`: the timeout is a scheduled event, so it fires in
+    /// correct virtual-time order relative to every other process, and a
+    /// process blocked this way is never counted as deadlocked. Returns true
+    /// if the poll fired, false on timeout (clock becomes max(clock,
+    /// deadline)).
+    bool block_until(Poll poll, double deadline, std::string waiting_on = {});
 
     /// Re-evaluate the poll of a blocked process (no-op otherwise).
     void notify(std::size_t other_pid);
@@ -99,6 +110,9 @@ private:
         double clock = 0.0;
         State state = State::Ready;
         Proc::Poll poll;
+        std::optional<double> timeout_at;  // block_until deadline, if any
+        bool timed_out = false;            // last wait ended by timeout
+        std::string waiting_on;            // wait description for diagnostics
         std::condition_variable cv;
         bool has_turn = false;
         std::exception_ptr error;
@@ -106,13 +120,14 @@ private:
 
     // All private methods below expect mu_ held.
     void give_turn_to_next(std::unique_lock<std::mutex>& lk);
-    [[nodiscard]] std::size_t pick_min_runnable() const;
+    [[nodiscard]] std::size_t pick_next(bool* via_timeout) const;
     void begin_abort();
     void yield_and_wait(std::unique_lock<std::mutex>& lk, std::size_t pid);
     void check_abort(std::size_t pid) const;
 
     void advance(std::size_t pid, double dt);
-    void block(std::size_t pid, Proc::Poll poll);
+    bool block(std::size_t pid, Proc::Poll poll, std::optional<double> deadline,
+               std::string waiting_on);
     void notify(std::size_t pid);
 
     void trampoline(std::size_t pid);

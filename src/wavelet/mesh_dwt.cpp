@@ -30,12 +30,60 @@ std::vector<std::size_t> guard_rows(const core::StripePartition& level0, std::si
     return rows;
 }
 
+void row_pass(const core::ImageF& in, const core::FilterPair& fp,
+              core::BoundaryMode mode, core::ImageF& low, core::ImageF& high) {
+    for (std::size_t r = 0; r < in.rows(); ++r) {
+        core::convolve_decimate_1d(in.row(r), fp.low(), low.row(r), mode);
+        core::convolve_decimate_1d(in.row(r), fp.high(), high.row(r), mode);
+    }
+}
+
+void col_pass(const core::ImageF& low_ext, const core::ImageF& high_ext,
+              const core::FilterPair& fp, core::ImageF& ll, core::DetailBands& bands) {
+    const std::size_t out_h = ll.rows();
+    const std::size_t half_c = ll.cols();
+    const int taps = fp.taps();
+    // Output row k (stripe-local) reads extended rows 2k .. 2k+taps-1.
+    const auto filt = [&](const core::ImageF& ext, std::span<const float> f,
+                          core::ImageF& out) {
+        for (std::size_t k = 0; k < out_h; ++k) {
+            auto dst = out.row(k);
+            for (auto& v : dst) v = 0.0F;
+            for (int n = 0; n < taps; ++n) {
+                const std::size_t src_row = 2 * k + static_cast<std::size_t>(n);
+                const float w = f[static_cast<std::size_t>(n)];
+                const auto src = ext.row(src_row);
+                for (std::size_t c = 0; c < half_c; ++c) dst[c] += w * src[c];
+            }
+        }
+    };
+    filt(low_ext, fp.low(), ll);
+    filt(low_ext, fp.high(), bands.lh);
+    filt(high_ext, fp.low(), bands.hl);
+    filt(high_ext, fp.high(), bands.hh);
+}
+
+std::vector<float> pack_guard(const core::ImageF& low_rows, const core::ImageF& high_rows,
+                              std::size_t my_first, std::span<const std::size_t> rows) {
+    std::vector<float> out;
+    out.reserve(rows.size() * 2 * low_rows.cols());
+    for (std::size_t g : rows) {
+        const std::size_t local = g - my_first;
+        const auto l = low_rows.row(local);
+        const auto h = high_rows.row(local);
+        out.insert(out.end(), l.begin(), l.end());
+        out.insert(out.end(), h.begin(), h.end());
+    }
+    return out;
+}
+
 }  // namespace detail
 
 namespace {
 
 using detail::kNotARow;
 using detail::LevelRange;
+using detail::pack_guard;
 
 constexpr int kTagScatter = 1;
 constexpr int kTagHaloBase = 8;          // + level
@@ -53,23 +101,6 @@ struct NodeScratch {
     core::ImageF current;                       // my stripe of the running LL
     std::vector<core::DetailBands> details;     // my stripes, finest first
 };
-
-/// Pack `rows` (global level-row indices, all owned by the caller) of the
-/// two row-pass band images into one flat float payload: for each row, the
-/// L row then the H row.
-std::vector<float> pack_guard(const core::ImageF& low_rows, const core::ImageF& high_rows,
-                              std::size_t my_first, std::span<const std::size_t> rows) {
-    std::vector<float> out;
-    out.reserve(rows.size() * 2 * low_rows.cols());
-    for (std::size_t g : rows) {
-        const std::size_t local = g - my_first;
-        const auto l = low_rows.row(local);
-        const auto h = high_rows.row(local);
-        out.insert(out.end(), l.begin(), l.end());
-        out.insert(out.end(), h.begin(), h.end());
-    }
-    return out;
-}
 
 }  // namespace
 
@@ -135,12 +166,7 @@ MeshDwtResult mesh_decompose(mesh::Machine& machine, const core::ImageF& img,
             // Row pass: fully local under striping (figure 3).
             core::ImageF low_rows(h, half_c);
             core::ImageF high_rows(h, half_c);
-            for (std::size_t r = 0; r < h; ++r) {
-                core::convolve_decimate_1d(ns.current.row(r), fp.low(), low_rows.row(r),
-                                           cfg.mode);
-                core::convolve_decimate_1d(ns.current.row(r), fp.high(), high_rows.row(r),
-                                           cfg.mode);
-            }
+            detail::row_pass(ns.current, fp, cfg.mode, low_rows, high_rows);
             const std::size_t row_outputs = h * level_cols;  // both bands
             ctx.compute(compute_model.seconds(row_outputs,
                                               row_outputs * static_cast<std::size_t>(taps)));
@@ -217,31 +243,14 @@ MeshDwtResult mesh_decompose(mesh::Machine& machine, const core::ImageF& img,
             ctx.compute_redundant(compute_model.per_output() *
                                   static_cast<double>(2 * guard * half_c));
 
-            // Column pass on the extended stripes. Output row k (global)
-            // reads extended rows 2k-first .. 2k-first+taps-1.
+            // Column pass on the extended stripes.
             const std::size_t out_h = h / 2;
             core::ImageF ll(out_h, half_c);
             core::DetailBands bands;
             bands.lh = core::ImageF(out_h, half_c);
             bands.hl = core::ImageF(out_h, half_c);
             bands.hh = core::ImageF(out_h, half_c);
-            const auto col_filter = [&](const core::ImageF& ext,
-                                        std::span<const float> f, core::ImageF& out) {
-                for (std::size_t k = 0; k < out_h; ++k) {
-                    auto dst = out.row(k);
-                    for (auto& v : dst) v = 0.0F;
-                    for (int n = 0; n < taps; ++n) {
-                        const std::size_t src_row = 2 * k + static_cast<std::size_t>(n);
-                        const float w = f[static_cast<std::size_t>(n)];
-                        const auto src = ext.row(src_row);
-                        for (std::size_t c = 0; c < half_c; ++c) dst[c] += w * src[c];
-                    }
-                }
-            };
-            col_filter(low_ext, fp.low(), ll);
-            col_filter(low_ext, fp.high(), bands.lh);
-            col_filter(high_ext, fp.low(), bands.hl);
-            col_filter(high_ext, fp.high(), bands.hh);
+            detail::col_pass(low_ext, high_ext, fp, ll, bands);
             const std::size_t col_outputs = 4 * out_h * half_c;
             ctx.compute(compute_model.seconds(
                 col_outputs, col_outputs * static_cast<std::size_t>(taps)));

@@ -9,6 +9,8 @@
 // cost model plus the machine's communication model.
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "core/cost_model.hpp"
 #include "core/dwt.hpp"
@@ -63,6 +65,27 @@ inline constexpr std::size_t kNotARow = static_cast<std::size_t>(-1);
                                                   std::size_t rank, int level, int taps,
                                                   std::size_t level_rows,
                                                   core::BoundaryMode mode);
+
+/// Row-pass filter every row of `in` into the pre-sized half-width band
+/// images `low` and `high` (both in.rows() x in.cols()/2).
+void row_pass(const core::ImageF& in, const core::FilterPair& fp,
+              core::BoundaryMode mode, core::ImageF& low, core::ImageF& high);
+
+/// Column-pass the extended (stripe + guard rows) band images into the four
+/// pre-sized subband stripes; output extents are taken from `ll`. Shared by
+/// the plain and resilient decompositions so their arithmetic — and thus
+/// their coefficients — are identical bit for bit.
+void col_pass(const core::ImageF& low_ext, const core::ImageF& high_ext,
+              const core::FilterPair& fp, core::ImageF& ll,
+              core::DetailBands& bands);
+
+/// Pack guard rows (global level-row indices, all owned by the caller whose
+/// stripe starts at `my_first`) of the two row-pass band images into one
+/// flat payload: for each row, the L row then the H row.
+[[nodiscard]] std::vector<float> pack_guard(const core::ImageF& low_rows,
+                                            const core::ImageF& high_rows,
+                                            std::size_t my_first,
+                                            std::span<const std::size_t> rows);
 
 }  // namespace detail
 

@@ -327,6 +327,75 @@ TEST(MachineTest, UnmatchedRecvDeadlocks) {
                  wavehpc::sim::DeadlockError);
 }
 
+TEST(MachineTest, WildcardRecvDeliversEarliestArrivalNotInsertionOrder) {
+    // Rank 2 clogs its own injection link with a big transfer to rank 3,
+    // so the small message it posts to rank 0 right after is *inserted*
+    // into rank 0's mailbox early but *arrives* late (its whole-path
+    // reservation waits for the injection link). Rank 1's message, posted
+    // later, slots into the ejection-link gap and arrives first. A
+    // wildcard recv must deliver by arrival time, not insertion order.
+    Machine m(tiny(4, 4));
+    const std::vector<Coord3> placement{
+        {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}};
+    (void)m.run(4, placement, [](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            // Wait until both messages are in flight, then recv twice.
+            ctx.compute(1.0);
+            const Message first = ctx.crecv(7, kAnySource);
+            const Message second = ctx.crecv(7, kAnySource);
+            EXPECT_EQ(first.src, 1);
+            EXPECT_EQ(second.src, 2);
+            EXPECT_LE(first.arrival, second.arrival);
+        } else if (ctx.rank() == 2) {
+            const std::vector<int> big(8192, 2);
+            ctx.send_span<int>(9, 3, std::span<const int>(big));
+            ctx.send_value<int>(7, 0, 2);  // inserted first, arrives last
+        } else if (ctx.rank() == 1) {
+            ctx.compute(0.005);  // post after rank 2's, arrive before it
+            ctx.send_value<int>(7, 0, 1);
+        } else {
+            (void)ctx.crecv(9, 2);
+        }
+    });
+}
+
+TEST(MachineTest, RunStateResetAfterNodeBodyThrows) {
+    // Regression: a throwing run must not leave stale per-run state behind —
+    // the machine must be reusable for a fresh, correct run afterwards.
+    Machine m(tiny());
+    EXPECT_THROW(m.run(2,
+                       [](NodeCtx& ctx) {
+                           if (ctx.rank() == 0) {
+                               throw std::runtime_error("boom");
+                           }
+                           (void)ctx.crecv(1);
+                       }),
+                 std::runtime_error);
+
+    const auto res = m.run(2, [](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            ctx.send_value<int>(1, 1, 42);
+        } else {
+            EXPECT_EQ(ctx.recv_value<int>(1, 0), 42);
+        }
+    });
+    EXPECT_EQ(res.stats[0].messages_sent, 1U);
+    EXPECT_GT(res.makespan, 0.0);
+}
+
+TEST(MachineTest, NodeBodyExceptionNamesTheFailingRank) {
+    Machine m(tiny());
+    try {
+        (void)m.run(2, [](NodeCtx& ctx) {
+            if (ctx.rank() == 1) throw std::runtime_error("disk on fire");
+            (void)ctx.crecv(1);
+        });
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()), "rank1: disk on fire");
+    }
+}
+
 TEST(MachineTest, PlacementFromCorePolicies) {
     // Snake placement of 8 ranks on the 4-wide mesh is valid and distinct.
     Machine m(tiny(4, 4));

@@ -154,6 +154,109 @@ TEST(Engine, AddProcessAfterRunRejected) {
     EXPECT_THROW(e.add_process("late", [](Proc&) {}), std::logic_error);
 }
 
+TEST(Engine, DeadlockReportNamesEveryBlockedProcessAndItsWait) {
+    Engine e;
+    e.add_process("rank0", [](Proc& p) {
+        p.block([]() -> std::optional<double> { return std::nullopt; },
+                "crecv(tag=7, src=1)");
+    });
+    e.add_process("rank1", [](Proc& p) {
+        p.advance(0.5);
+        p.block([]() -> std::optional<double> { return std::nullopt; },
+                "crecv(tag=9, src=0)");
+    });
+    try {
+        e.run();
+        FAIL() << "expected DeadlockError";
+    } catch (const DeadlockError& err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("rank0"), std::string::npos) << what;
+        EXPECT_NE(what.find("crecv(tag=7, src=1)"), std::string::npos) << what;
+        EXPECT_NE(what.find("rank1"), std::string::npos) << what;
+        EXPECT_NE(what.find("crecv(tag=9, src=0)"), std::string::npos) << what;
+    }
+}
+
+TEST(Engine, BlockUntilTimesOutAtDeadline) {
+    Engine e;
+    e.add_process("p", [](Proc& p) {
+        const bool ok =
+            p.block_until([]() -> std::optional<double> { return std::nullopt; }, 2.5);
+        EXPECT_FALSE(ok);
+        EXPECT_DOUBLE_EQ(p.now(), 2.5);
+    });
+    e.run();  // no DeadlockError: a timed wait is never a deadlock
+}
+
+TEST(Engine, BlockUntilWakesOnNotifyBeforeDeadline) {
+    Engine e;
+    bool ready = false;
+    std::size_t waiter_pid = 0;
+    waiter_pid = e.add_process("waiter", [&](Proc& p) {
+        const bool ok = p.block_until(
+            [&]() -> std::optional<double> {
+                if (ready) return 1.0;
+                return std::nullopt;
+            },
+            100.0);
+        EXPECT_TRUE(ok);
+        EXPECT_DOUBLE_EQ(p.now(), 1.0);
+    });
+    e.add_process("setter", [&](Proc& p) {
+        p.advance(1.0);
+        ready = true;
+        p.notify(waiter_pid);
+    });
+    e.run();
+}
+
+TEST(Engine, BlockUntilTimeoutWinsWhenWakeIsPastDeadline) {
+    // The condition becomes satisfiable only at t=5, after the t=2 deadline:
+    // the wait must end unsatisfied at exactly t=2.
+    Engine e;
+    bool sent = false;
+    std::size_t waiter_pid = 0;
+    waiter_pid = e.add_process("waiter", [&](Proc& p) {
+        const bool ok = p.block_until(
+            [&]() -> std::optional<double> {
+                if (sent) return 5.0;  // arrival after the deadline
+                return std::nullopt;
+            },
+            2.0);
+        EXPECT_FALSE(ok);
+        EXPECT_DOUBLE_EQ(p.now(), 2.0);
+    });
+    e.add_process("sender", [&](Proc& p) {
+        p.advance(0.5);
+        sent = true;
+        p.notify(waiter_pid);
+        p.advance(10.0);
+    });
+    e.run();
+}
+
+TEST(Engine, TimedOutProcessResumesInVirtualTimeOrder) {
+    // A timeout at t=1 must fire between the t=0.5 and t=2 events of the
+    // other process, not after them.
+    Engine e;
+    std::vector<std::string> order;
+    e.add_process("sleeper", [&](Proc& p) {
+        (void)p.block_until([]() -> std::optional<double> { return std::nullopt; }, 1.0);
+        order.push_back("timeout@" + std::to_string(p.now()));
+    });
+    e.add_process("worker", [&](Proc& p) {
+        p.advance(0.5);
+        order.push_back("work@0.5");
+        p.advance(1.5);
+        order.push_back("work@2.0");
+    });
+    e.run();
+    ASSERT_EQ(order.size(), 3U);
+    EXPECT_EQ(order[0], "work@0.5");
+    EXPECT_EQ(order[1], "timeout@1.000000");
+    EXPECT_EQ(order[2], "work@2.0");
+}
+
 TEST(Engine, ManyProcessesPingPongThroughSharedState) {
     // A relay: process i waits for counter == i, then increments it.
     Engine e;
