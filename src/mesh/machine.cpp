@@ -365,6 +365,12 @@ bool Machine::do_send_reliable(NodeCtx& ctx, int tag, int dst,
         ++st.recv_timeouts;
         rto = std::min(rto * 2.0, rto_cap);
     }
+    // Giving up: the data frame may have been consumed even though every ack
+    // was lost, in which case the receiver's expected seq already advanced.
+    // Mirror it (the model-level stand-in for acks carrying the expected seq)
+    // so the next send on this channel is neither suppressed as a duplicate
+    // nor skipped ahead of a never-delivered frame.
+    rs.next_seq[key] = rs.expected_seq[key];
     return false;
 }
 

@@ -16,13 +16,13 @@ namespace {
 using detail::kNotARow;
 
 // Tag space: clear of the plain decomposition's tags (1..192) and far below
-// the collectives' base (1 << 20). Guard and response tags are scoped by
-// (level, attempt), so a frame from an aborted attempt can never satisfy a
-// later attempt's wait — it just rots in the mailbox.
+// the collectives' base (1 << 20). Stripe-data, guard, and response tags are
+// all scoped by (level, attempt), so a frame from an aborted attempt can
+// never satisfy a later attempt's wait — it just rots in the mailbox.
 constexpr int kTagCtrl = 3000;
-constexpr int kTagData = 3001;
 constexpr int kTagGuardBase = 3100;
 constexpr int kTagRespBase = 3800;
+constexpr int kTagDataBase = 4500;
 constexpr int kMaxAttempts = 16;
 
 constexpr int guard_tag(int level, int attempt) {
@@ -30,6 +30,9 @@ constexpr int guard_tag(int level, int attempt) {
 }
 constexpr int resp_tag(int level, int attempt) {
     return kTagRespBase + level * kMaxAttempts + attempt;
+}
+constexpr int data_tag(int level, int attempt) {
+    return kTagDataBase + level * kMaxAttempts + attempt;
 }
 
 constexpr float kRespGather = 0.0F;
@@ -257,7 +260,8 @@ ResilientDwtResult mesh_decompose_resilient(mesh::Machine& machine,
                 std::optional<mesh::ScopedRecovery> rec;
                 if (attempt > 0) rec.emplace(ctx);
 
-                auto dm = ctx.crecv_timeout(kTagData, 0, cfg.detect_timeout);
+                auto dm = ctx.crecv_timeout(data_tag(level, attempt), 0,
+                                            cfg.detect_timeout);
                 if (!dm.has_value()) continue;  // scatter was aborted upstream
                 core::ImageF stripe(row_count, level_cols, to_floats(*dm));
 
@@ -331,7 +335,7 @@ ResilientDwtResult mesh_decompose_resilient(mesh::Machine& machine,
                     }
                     const core::ImageF block = current.sub(part.first_row(idx), 0,
                                                            part.height(idx), level_cols);
-                    if (!send_bytes(kTagData, ranks[idx],
+                    if (!send_bytes(data_tag(level, attempt), ranks[idx],
                                     std::as_bytes(block.flat()), cfg.reliable)) {
                         newly_dead.push_back(ranks[idx]);
                         scatter_ok = false;
@@ -387,7 +391,18 @@ ResilientDwtResult mesh_decompose_resilient(mesh::Machine& machine,
                 newly_dead.erase(std::remove(newly_dead.begin(), newly_dead.end(), 0),
                                  newly_dead.end());
 
-                if (newly_dead.empty() && own.has_value()) {
+                // Commit only when every stripe actually arrived. A worker can
+                // falsely suspect rank 0 (its guard frame delayed past the
+                // detect timeout) and answer kRespFail naming only rank 0 —
+                // the filter above then leaves newly_dead empty while that
+                // worker's resp slot is disengaged, so the level must be
+                // retried, not committed.
+                bool gathered = own.has_value();
+                for (std::size_t idx = 1; gathered && idx < w_count; ++idx) {
+                    gathered = resp[idx].has_value();
+                }
+
+                if (newly_dead.empty() && gathered) {
                     // Commit the level: paste every stripe into the pyramid
                     // and build the next checkpoint.
                     core::ImageF next(level_rows / 2, half_c);

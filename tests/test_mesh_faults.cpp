@@ -208,6 +208,42 @@ TEST(FaultMachine, CsendReliableGivesUpOnSilentPeer) {
     EXPECT_EQ(res.injected_drops, 4U);
 }
 
+TEST(FaultMachine, GiveUpWithLostAcksDoesNotDesyncTheChannel) {
+    // Every transmission of the first message is delivered but every ack is
+    // dropped: csend_reliable gives up even though the receiver has already
+    // consumed the sequence number. The next send on the same channel must
+    // resynchronize to a fresh seq — not be suppressed as a duplicate at the
+    // receiver while still acked (a silently lost payload reported as sent).
+    Machine machine(MachineProfile::test_profile(2, 1));
+    FaultPlan plan;
+    plan.drop_exact = {1, 3, 5, 7};  // the ack draw of attempts 0..3
+    machine.set_faults(plan);
+
+    std::vector<int> got;
+    const auto res = machine.run(2, [&](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            ReliableParams params;
+            params.max_retries = 3;
+            const int a = 111;
+            const int b = 222;
+            EXPECT_FALSE(ctx.csend_reliable(
+                6, 1, std::as_bytes(std::span<const int, 1>(&a, 1)), params));
+            EXPECT_TRUE(ctx.csend_reliable(
+                6, 1, std::as_bytes(std::span<const int, 1>(&b, 1)), params));
+        } else {
+            for (int i = 0; i < 2; ++i) {
+                const auto m = ctx.crecv(6, 0);
+                int v = 0;
+                std::memcpy(&v, m.data.data(), sizeof v);
+                got.push_back(v);
+            }
+        }
+    });
+    EXPECT_EQ(got, (std::vector<int>{111, 222}));
+    EXPECT_EQ(res.stats[0].retransmits, 3U);
+    EXPECT_EQ(res.injected_drops, 4U);
+}
+
 TEST(FaultMachine, TransparentReliableFailureThrowsTransportError) {
     Machine machine(MachineProfile::test_profile(2, 1));
     FaultPlan plan;

@@ -143,6 +143,42 @@ TEST(ResilientDwt, RecoversFromDeathBeforeFirstScatter) {
     EXPECT_EQ(res.failed_ranks, std::vector<int>{1});
 }
 
+TEST(ResilientDwt, FalseSuspicionOfRankZeroRetriesInsteadOfCommitting) {
+    // A stripe only needs guard rows from the stripe below it, so the one way
+    // a worker can falsely suspect rank 0 is its own guard *send* to rank 0
+    // exhausting retries while every frame was in fact delivered (all acks
+    // lost). The worker then answers kRespFail naming only rank 0, which
+    // rank 0 filters out (it cannot die) — leaving the dead list empty while
+    // the worker's subbands never arrived. The level must be redone, not
+    // committed from a disengaged response slot.
+    //
+    // With 2 ranks the fault-plan draw order is fixed: ctrl (0: data, 1: ack),
+    // stripe data (2, 3), then the worker's guard send is the only traffic —
+    // attempts at draws 4/6/8/10 with acks at 5/7/9/11.
+    const ImageF img = wavehpc::core::landsat_tm_like(64, 64, 17);
+    const FilterPair fp = FilterPair::daubechies(4);
+    const Pyramid reference = plain_reference(img, fp, 1);
+
+    Machine machine(MachineProfile::paragon_pvm());
+    FaultPlan plan;
+    plan.drop_exact = {5, 7, 9, 11};
+    machine.set_faults(plan);
+
+    ResilientDwtConfig cfg;
+    cfg.levels = 1;
+    cfg.detect_timeout = 1.0;  // covers the worker's retry backoff
+    cfg.reliable.max_retries = 3;
+    const auto res = wavehpc::wavelet::mesh_decompose_resilient(
+        machine, img, fp, cfg, 2, SequentialCostModel::paragon_node());
+
+    expect_pyramids_identical(res.pyramid, reference);
+    // The false positive costs a redo, never a rank: nobody actually died.
+    EXPECT_GE(res.level_retries, 1U);
+    EXPECT_TRUE(res.failed_ranks.empty());
+    EXPECT_EQ(res.run.injected_drops, 4U);
+    EXPECT_GE(res.run.stats[1].retransmits, 3U);
+}
+
 TEST(ResilientDwt, RejectsPlansThatKillRankZero) {
     const ImageF img = wavehpc::core::landsat_tm_like(32, 32, 3);
     const FilterPair fp = FilterPair::daubechies(4);
