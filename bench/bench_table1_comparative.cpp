@@ -5,7 +5,12 @@
 //   Intel Paragon, 1 and 32 pr — mesh simulator, PVM profile, snake mapping
 //   DEC 5000 workstation       — calibrated sequential cost model
 // Also checks section 5.3's ">= 30 images per second" claim for the MasPar.
+//
+// --smoke: reduced sizes (256x256, F8/L1 only, 8 Paragon procs) so CI can
+// exercise the whole pipeline in well under a second; paper columns are
+// omitted because they only apply to the full-size run.
 
+#include <cstring>
 #include <iostream>
 
 #include "core/cost_model.hpp"
@@ -42,9 +47,40 @@ double paragon_time(const wavehpc::core::ImageF& img, int taps, int levels,
     return res.seconds;
 }
 
+int run_smoke() {
+    // CI pipeline check, not a measurement: one reduced-size configuration
+    // through every backend, asserting only sanity (positive, ordered).
+    const auto img = wavehpc::core::landsat_tm_like(256, 256, 1996);
+    const auto fp = FilterPair::daubechies(8);
+    const auto mp = wavehpc::maspar::maspar_decompose(
+        wavehpc::maspar::MasParProfile::mp2_16k(), img, fp, 1,
+        wavehpc::maspar::Algorithm::Systolic,
+        wavehpc::maspar::Virtualization::Hierarchical);
+    const double p1 = paragon_time(img, 8, 1, 1);
+    const double p8 = paragon_time(img, 8, 1, 8);
+    const WaveletWork w = WaveletWork::analyze(256, 256, 8, 1);
+    const double dec = SequentialCostModel::dec5000().seconds(w);
+
+    TableWriter tw({"machine", "F8/L1 (256x256)"});
+    tw.add_row({"MasPar MP-2 (16K)", TableWriter::num(mp.seconds)});
+    tw.add_row({"Intel Paragon 1 Proc.", TableWriter::num(p1, 3)});
+    tw.add_row({"Intel Paragon 8 Proc.", TableWriter::num(p8, 3)});
+    tw.add_row({"DEC 5000 Workstation", TableWriter::num(dec, 3)});
+    tw.print(std::cout);
+
+    const bool ok = mp.seconds > 0.0 && p8 > 0.0 && p8 < p1 && mp.seconds < p8 &&
+                    p1 < 2.0 * dec;
+    std::cout << "\nsmoke: " << (ok ? "OK" : "FAILED")
+              << " (expects maspar < paragon8 < paragon1 ~< dec)\n";
+    return ok ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+    }
     std::cout << "=== Table 1: Comparative Wavelet Decomposition Performance ===\n"
               << "512x512 synthetic Landsat-TM scene; seconds per decomposition.\n"
               << "'paper' columns are the published measurements.\n\n";

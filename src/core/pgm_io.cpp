@@ -72,7 +72,13 @@ ImageF read_pgm(const std::string& path) {
         return img;
     }
 
-    in.get();  // single whitespace after maxval
+    // Exactly one whitespace byte separates maxval from the raster. Anything
+    // else (junk after maxval) would silently shift every pixel by a byte.
+    const int sep = in.get();
+    if (sep == std::char_traits<char>::eof() ||
+        std::isspace(static_cast<unsigned char>(sep)) == 0) {
+        throw std::runtime_error("read_pgm: junk after maxval in " + path);
+    }
     const bool two_bytes = maxval > 255;
     std::vector<unsigned char> raw(rows * cols * (two_bytes ? 2 : 1));
     in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));

@@ -488,6 +488,9 @@ Machine::RunResult Machine::run(std::size_t nprocs, const std::vector<Coord3>& p
     }
 
     sim::Engine engine;
+    if (schedule_seed_.has_value()) {
+        engine.set_schedule_policy(std::make_unique<sim::SeededTieBreak>(*schedule_seed_));
+    }
     for (std::size_t r = 0; r < nprocs; ++r) {
         rs_->pid_of_rank[r] = engine.add_process(
             "rank" + std::to_string(r), [this, r, &body](sim::Proc& proc) {

@@ -246,6 +246,18 @@ public:
         reliable_ = on ? std::optional<ReliableParams>(params) : std::nullopt;
     }
 
+    /// Explore alternative-but-causally-valid schedules: subsequent runs
+    /// install a sim::SeededTieBreak with this seed, randomizing which of
+    /// several equal-virtual-clock ranks the engine resumes first. Same
+    /// seed → bit-identical interleaving, so a failing seed is a complete
+    /// repro. nullopt restores the default lowest-pid order.
+    void set_schedule_seed(std::optional<std::uint64_t> seed) noexcept {
+        schedule_seed_ = seed;
+    }
+    [[nodiscard]] std::optional<std::uint64_t> schedule_seed() const noexcept {
+        return schedule_seed_;
+    }
+
     /// Run `body` as an SPMD program on `nprocs` ranks placed at
     /// `placement[rank]`. Coordinates must be distinct and inside the mesh.
     RunResult run(std::size_t nprocs, const std::vector<Coord3>& placement,
@@ -297,6 +309,7 @@ private:
     std::unique_ptr<RunState> rs_;
     bool record_trace_ = false;
     std::optional<ReliableParams> reliable_;
+    std::optional<std::uint64_t> schedule_seed_;
 };
 
 }  // namespace wavehpc::mesh

@@ -9,7 +9,25 @@ namespace {
 // Internal unwind signal used to tear down process threads on abort. Not
 // derived from std::exception so well-behaved user code won't swallow it.
 struct AbortSignal {};
+
+std::uint64_t splitmix64_next(std::uint64_t& s) {
+    s += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
 }  // namespace
+
+std::size_t SeededTieBreak::choose(std::span<const std::size_t> tied) {
+    // tied.size() is tiny (bounded by the process count), so the modulo
+    // bias is irrelevant next to keeping the draw cheap under the lock.
+    return static_cast<std::size_t>(splitmix64_next(state_) % tied.size());
+}
+
+std::string SeededTieBreak::describe() const {
+    return "sched_seed=" + std::to_string(seed_);
+}
 
 const std::string& Proc::name() const {
     std::lock_guard lk(engine_->mu_);
@@ -46,7 +64,15 @@ double Engine::clock_of(std::size_t pid) const {
     return procs_.at(pid)->clock;
 }
 
-std::size_t Engine::pick_next(bool* via_timeout) const {
+void Engine::set_schedule_policy(std::unique_ptr<SchedulePolicy> policy) {
+    std::lock_guard lk(mu_);
+    if (started_) {
+        throw std::logic_error("Engine::set_schedule_policy: engine already started");
+    }
+    policy_ = std::move(policy);
+}
+
+std::size_t Engine::pick_next(bool* via_timeout) {
     // Candidates are runnable processes (key: clock) and blocked processes
     // with a timeout (key: the virtual time the timeout fires). On equal
     // keys a runnable process wins — it may notify() and cancel the timeout
@@ -74,7 +100,22 @@ std::size_t Engine::pick_next(bool* via_timeout) const {
         }
     }
     if (via_timeout != nullptr) *via_timeout = best_timeout;
-    return best;
+    if (best == kNone || best_timeout || !policy_) return best;
+    // A policy only ever permutes the choice among runnable processes whose
+    // clocks exactly tie at the minimum — the one place the causal order is
+    // genuinely unconstrained. Timeout events and the runnable-over-timeout
+    // preference are never subject to it.
+    std::vector<std::size_t> tied;
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+        const Pcb& p = *procs_[i];
+        if (p.state == State::Runnable && p.clock == best_key) tied.push_back(i);
+    }
+    if (tied.size() < 2) return best;
+    const std::size_t idx = policy_->choose(tied);
+    if (idx >= tied.size()) {
+        throw std::logic_error("SchedulePolicy::choose returned out-of-range index");
+    }
+    return tied[idx];
 }
 
 void Engine::begin_abort() {

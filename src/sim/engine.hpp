@@ -16,11 +16,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -77,6 +79,43 @@ private:
     std::size_t pid_;
 };
 
+/// Scheduling hook consulted only when several *runnable* processes share
+/// the minimal virtual clock. The scheduler's choice among exact ties is
+/// the one degree of freedom the event order leaves open: any of the tied
+/// processes may legally run first, so every selection explores a causally
+/// valid interleaving while timeouts, clock ordering, and the
+/// runnable-beats-timeout rule stay untouched. The default (no policy) is
+/// lowest pid first — bit-identical to the historical scheduler.
+class SchedulePolicy {
+public:
+    virtual ~SchedulePolicy() = default;
+
+    /// `tied` lists the pids of the tied runnable processes in increasing
+    /// pid order (always size >= 2). Return an index into `tied`. Called
+    /// with the engine lock held; must not reenter the engine.
+    virtual std::size_t choose(std::span<const std::size_t> tied) = 0;
+
+    /// One-line description for failure repros (e.g. "sched_seed=42").
+    [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Seeded schedule exploration: permutes tie-breaks with a splitmix64
+/// stream. The whole simulation is serialized under the engine lock, so
+/// the sequence of choose() calls — and hence the explored interleaving —
+/// is a pure function of the seed: any failure replays exactly by
+/// re-running with the same seed.
+class SeededTieBreak final : public SchedulePolicy {
+public:
+    explicit SeededTieBreak(std::uint64_t seed) : seed_(seed), state_(seed) {}
+    std::size_t choose(std::span<const std::size_t> tied) override;
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+private:
+    std::uint64_t seed_;
+    std::uint64_t state_;
+};
+
 class Engine {
 public:
     using Body = std::function<void(Proc&)>;
@@ -87,6 +126,15 @@ public:
 
     /// Register a process before run(). Returns its pid.
     std::size_t add_process(std::string name, Body body);
+
+    /// Install a tie-break policy (nullptr restores the lowest-pid
+    /// default). Must be called before run().
+    void set_schedule_policy(std::unique_ptr<SchedulePolicy> policy);
+
+    /// The installed policy, or nullptr when running the default order.
+    [[nodiscard]] const SchedulePolicy* schedule_policy() const noexcept {
+        return policy_.get();
+    }
 
     /// Execute all processes to completion. Rethrows the first process
     /// exception (in virtual-time order) and throws DeadlockError if all
@@ -120,7 +168,8 @@ private:
 
     // All private methods below expect mu_ held.
     void give_turn_to_next(std::unique_lock<std::mutex>& lk);
-    [[nodiscard]] std::size_t pick_next(bool* via_timeout) const;
+    // Non-const: a stateful policy (seeded RNG) advances on every tie.
+    [[nodiscard]] std::size_t pick_next(bool* via_timeout);
     void begin_abort();
     void yield_and_wait(std::unique_lock<std::mutex>& lk, std::size_t pid);
     void check_abort(std::size_t pid) const;
@@ -136,6 +185,7 @@ private:
 
     mutable std::mutex mu_;
     std::condition_variable done_cv_;
+    std::unique_ptr<SchedulePolicy> policy_;
     std::vector<std::unique_ptr<Pcb>> procs_;
     std::size_t live_ = 0;
     bool aborting_ = false;

@@ -1,0 +1,59 @@
+#include "testing/fuzz.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wavehpc::testing {
+
+mesh::FaultPlan random_fault_plan(SplitMix64& rng, const FaultFuzzLimits& limits) {
+    mesh::FaultPlan plan;
+    plan.seed = rng.next();
+    // Square the uniform draw so low rates dominate: most cases stay in the
+    // regime the transport retires in one or two retransmissions, while the
+    // tail still probes heavy loss.
+    const double d = rng.uniform();
+    plan.drop_probability = d * d * limits.max_drop_probability;
+    const double c = rng.uniform();
+    plan.corrupt_probability = c * c * limits.max_corrupt_probability;
+
+    if (limits.max_degradations > 0) {
+        const auto n = rng.below(limits.max_degradations + 1);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            mesh::LinkDegradation w;
+            w.t_begin = rng.range(0.0, limits.horizon);
+            w.t_end = w.t_begin + rng.range(0.0, limits.horizon / 2.0);
+            w.factor = rng.range(1.0, limits.max_degradation_factor);
+            plan.degradations.push_back(w);
+        }
+    }
+
+    if (limits.max_failures > 0 && limits.nprocs > 1) {
+        const auto n = rng.below(limits.max_failures + 1);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const int rank =
+                static_cast<int>(rng.below(static_cast<std::uint64_t>(limits.nprocs)));
+            if (rank == limits.protected_rank) continue;
+            const bool dup =
+                std::any_of(plan.failures.begin(), plan.failures.end(),
+                            [rank](const mesh::NodeFailure& f) { return f.rank == rank; });
+            if (dup) continue;
+            plan.failures.push_back({.rank = rank, .at = rng.range(0.0, limits.horizon)});
+        }
+    }
+    return plan;
+}
+
+std::string describe(const mesh::FaultPlan& plan) {
+    std::ostringstream os;
+    os << "FaultPlan{seed=" << plan.seed << ", drop=" << plan.drop_probability
+       << ", corrupt=" << plan.corrupt_probability << ", degr="
+       << plan.degradations.size() << ", fail=[";
+    for (std::size_t i = 0; i < plan.failures.size(); ++i) {
+        if (i > 0) os << ' ';
+        os << plan.failures[i].rank << '@' << plan.failures[i].at;
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace wavehpc::testing

@@ -1,0 +1,41 @@
+#pragma once
+// Fault-plan fuzzing: draw a random — but fully seed-determined —
+// mesh::FaultPlan inside configurable limits. A drawn plan plus the machine
+// profile and node program replays bit-identically, so any invariant
+// violation it provokes is reproducible from the seed alone.
+
+#include <cstdint>
+#include <string>
+
+#include "mesh/faults.hpp"
+#include "testing/seeds.hpp"
+
+namespace wavehpc::testing {
+
+/// Bounds for random_fault_plan. The defaults draw network-only faults at
+/// rates the reliable transport must absorb without ever giving up
+/// (give-up needs ~max_retries consecutive losses on one channel).
+struct FaultFuzzLimits {
+    double max_drop_probability = 2e-2;
+    double max_corrupt_probability = 2e-2;
+    std::size_t max_degradations = 2;  ///< link-degradation windows drawn
+    double max_degradation_factor = 8.0;
+    double horizon = 60.0;  ///< virtual-seconds window for degradations/failures
+    /// Fail-stop faults: up to `max_failures` ranks drawn from
+    /// [0, nprocs) excluding `protected_rank` (the checkpoint holder in the
+    /// resilient DWT). Zero nprocs or zero max_failures disables them.
+    std::size_t max_failures = 0;
+    int nprocs = 0;
+    int protected_rank = 0;
+};
+
+/// Draw a fault plan from `rng` within `limits`. The plan's own per-message
+/// seed is drawn too, so two calls yield independently faulted runs.
+[[nodiscard]] mesh::FaultPlan random_fault_plan(SplitMix64& rng,
+                                                const FaultFuzzLimits& limits);
+
+/// One-line plan summary for failure messages, e.g.
+/// "FaultPlan{seed=7, drop=1.2e-03, corrupt=0, degr=1, fail=[3@12.5]}".
+[[nodiscard]] std::string describe(const mesh::FaultPlan& plan);
+
+}  // namespace wavehpc::testing

@@ -1,0 +1,143 @@
+#include "testing/invariants.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "mesh/collectives.hpp"
+#include "perf/budget.hpp"
+
+namespace wavehpc::testing {
+
+namespace {
+
+struct Stamp {
+    std::uint32_t src = 0;
+    std::uint32_t tag = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t check = 0;
+
+    [[nodiscard]] std::uint32_t expected_check() const noexcept {
+        return src * 1000003U + tag * 10007U + seq * 101U + 0x5EEDU;
+    }
+};
+
+constexpr int kTags[] = {1, 2};
+
+}  // namespace
+
+TrafficReport run_traffic_audit(mesh::Machine& machine, std::size_t nprocs,
+                                std::size_t rounds) {
+    TrafficReport report;
+    std::ostringstream violations;
+    std::mutex vio_mu;  // node bodies run on distinct engine threads
+    const auto violate = [&](const std::string& msg) {
+        std::lock_guard lk(vio_mu);
+        violations << msg << "; ";
+    };
+
+    const auto body = [&](mesh::NodeCtx& ctx) {
+        const auto me = static_cast<std::uint32_t>(ctx.rank());
+        const int n = ctx.nprocs();
+        for (std::uint32_t round = 0; round < rounds; ++round) {
+            for (int tag : kTags) {
+                for (int dst = 0; dst < n; ++dst) {
+                    if (dst == ctx.rank()) continue;
+                    Stamp s{.src = me,
+                            .tag = static_cast<std::uint32_t>(tag),
+                            .seq = round,
+                            .check = 0};
+                    s.check = s.expected_check();
+                    ctx.send_value(tag, dst, s);
+                }
+            }
+            for (int tag : kTags) {
+                for (int src = 0; src < n; ++src) {
+                    if (src == ctx.rank()) continue;
+                    const auto s = ctx.recv_value<Stamp>(tag, src);
+                    if (s.src != static_cast<std::uint32_t>(src) ||
+                        s.tag != static_cast<std::uint32_t>(tag)) {
+                        std::ostringstream os;
+                        os << "rank " << me << ": mislabeled stamp from " << src
+                           << " tag " << tag << " (says src=" << s.src
+                           << " tag=" << s.tag << ")";
+                        violate(os.str());
+                    }
+                    // In-order exactly-once per channel: stop-and-wait
+                    // sequencing means stamp `round` must arrive in round
+                    // `round` — a duplicate or a skipped frame shows up as a
+                    // wrong sequence number here.
+                    if (s.seq != round) {
+                        std::ostringstream os;
+                        os << "rank " << me << ": channel (" << src << "->" << me
+                           << ", tag " << tag << ") delivered seq " << s.seq
+                           << " in round " << round;
+                        violate(os.str());
+                    }
+                    if (s.check != s.expected_check()) {
+                        std::ostringstream os;
+                        os << "rank " << me << ": corrupted payload on channel ("
+                           << src << "->" << me << ", tag " << tag << ") seq "
+                           << s.seq;
+                        violate(os.str());
+                    }
+                }
+            }
+            if (round % 2 == 1) mesh::gsync(ctx);
+        }
+        // Every rank contributes its rank+1; a lost or duplicated
+        // contribution breaks the closed-form total.
+        const double total = mesh::gsum_prefix(ctx, static_cast<double>(me) + 1.0);
+        const double want = static_cast<double>(nprocs) * (static_cast<double>(nprocs) + 1.0) / 2.0;
+        if (total != want) {
+            std::ostringstream os;
+            os << "rank " << me << ": gsum saw " << total << ", want " << want;
+            violate(os.str());
+        }
+    };
+
+    try {
+        report.run = machine.run(nprocs, body);
+    } catch (const mesh::TransportError& e) {
+        violate(std::string("TransportError: ") + e.what());
+    } catch (const sim::DeadlockError& e) {
+        violate(std::string("DeadlockError: ") + e.what());
+    }
+    report.payloads = rounds * std::size(kTags) * nprocs * (nprocs - 1);
+    report.violation = violations.str();
+    return report;
+}
+
+std::string check_budget(const mesh::Machine::RunResult& run, double tol) {
+    const perf::Budget b = perf::budget_from_run(run);
+    const double accounted =
+        b.useful + b.comm + b.redundancy + b.recovery + b.imbalance;
+    std::ostringstream os;
+    if (std::abs(b.other) > tol) {
+        os << "budget residual `other` = " << b.other << " exceeds " << tol
+           << " (useful=" << b.useful << " comm=" << b.comm << " redundancy="
+           << b.redundancy << " recovery=" << b.recovery << " imbalance="
+           << b.imbalance << ")";
+        return os.str();
+    }
+    if (run.makespan > 0.0 && std::abs(accounted + b.other - 1.0) > tol) {
+        os << "budget categories sum to " << accounted + b.other << ", not 1";
+        return os.str();
+    }
+    return {};
+}
+
+bool pyramids_bit_identical(const core::Pyramid& a, const core::Pyramid& b) {
+    if (a.depth() != b.depth()) return false;
+    if (!(a.approx == b.approx)) return false;
+    for (std::size_t i = 0; i < a.levels.size(); ++i) {
+        if (!(a.levels[i].lh == b.levels[i].lh)) return false;
+        if (!(a.levels[i].hl == b.levels[i].hl)) return false;
+        if (!(a.levels[i].hh == b.levels[i].hh)) return false;
+    }
+    return true;
+}
+
+}  // namespace wavehpc::testing

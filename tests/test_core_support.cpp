@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include "core/cost_model.hpp"
 #include "core/metrics.hpp"
@@ -113,6 +115,53 @@ TEST_F(PgmRoundTrip, TruncatedHeaderHitsEofNotInfiniteLoop) {
     {
         std::ofstream out(path_);
         out << "P5\n16 ";  // height and maxval missing
+    }
+    EXPECT_THROW((void)wavehpc::core::read_pgm(path_), std::runtime_error);
+}
+
+TEST_F(PgmRoundTrip, IntegerImageRoundTripsBitIdentically) {
+    // write_pgm quantizes to 8-bit; an image already holding integers in
+    // [0, 255] must survive write -> read with zero error, and a second
+    // write -> read must be a fixpoint byte for byte.
+    ImageF img(16, 24);
+    for (std::size_t r = 0; r < img.rows(); ++r) {
+        for (std::size_t c = 0; c < img.cols(); ++c) {
+            img(r, c) = static_cast<float>((r * 31 + c * 7) % 256);
+        }
+    }
+    wavehpc::core::write_pgm(img, path_);
+    const ImageF back = wavehpc::core::read_pgm(path_);
+    ASSERT_EQ(back.rows(), img.rows());
+    ASSERT_EQ(back.cols(), img.cols());
+    EXPECT_EQ(wavehpc::core::max_abs_diff(img, back), 0.0);
+
+    const std::string path2 = path_ + ".second";
+    wavehpc::core::write_pgm(back, path2);
+    std::ifstream a(path_, std::ios::binary);
+    std::ifstream b(path2, std::ios::binary);
+    const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                              std::istreambuf_iterator<char>());
+    const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                              std::istreambuf_iterator<char>());
+    std::remove(path2.c_str());
+    EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST_F(PgmRoundTrip, RejectsJunkAfterMaxval) {
+    // A non-whitespace byte between maxval and the raster must be an error:
+    // consuming it as the separator would shift every pixel by one byte.
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out << "P5\n2 2\n255Q\n";
+        out.write("\x01\x02\x03\x04", 4);
+    }
+    EXPECT_THROW((void)wavehpc::core::read_pgm(path_), std::runtime_error);
+}
+
+TEST_F(PgmRoundTrip, RejectsJunkInAsciiRaster) {
+    {
+        std::ofstream out(path_);
+        out << "P2\n2 2\n255\n0 64 junk 255\n";
     }
     EXPECT_THROW((void)wavehpc::core::read_pgm(path_), std::runtime_error);
 }

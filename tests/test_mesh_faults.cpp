@@ -296,6 +296,81 @@ TEST(FaultMachine, CrecvTimeoutDeliversMessageArrivingBeforeDeadline) {
     });
 }
 
+TEST(FaultMachine, WildcardTimeoutRecvDeliversEarliestArrival) {
+    // Three senders stagger their compute so arrivals are ordered 3, 2, 1
+    // (hop latency is 1e-4, far below the 1.0 s spacing). A wildcard-source
+    // crecv_timeout must hand them over in arrival order, each well before
+    // the deadline.
+    Machine machine(MachineProfile::test_profile(4, 1));
+    (void)machine.run(4, [](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            std::vector<int> srcs;
+            for (int i = 0; i < 3; ++i) {
+                const auto m = ctx.crecv_timeout(4, kAnySource, 60.0);
+                ASSERT_TRUE(m.has_value());
+                srcs.push_back(m->src);
+            }
+            EXPECT_EQ(srcs, (std::vector<int>{3, 2, 1}));
+            EXPECT_LT(ctx.now(), 4.0);  // woke at arrivals, not deadlines
+        } else {
+            ctx.compute(4.0 - static_cast<double>(ctx.rank()));
+            ctx.send_value<int>(4, 0, ctx.rank());
+        }
+    });
+}
+
+TEST(FaultMachine, WildcardTimeoutExpiryDoesNotLoseALateMessage) {
+    // The message arrives after the deadline: the wait must end empty at
+    // exactly the deadline, and the payload must still be retrievable by a
+    // later receive — expiry never discards anything.
+    Machine machine(MachineProfile::test_profile(2, 1));
+    const auto res = machine.run(2, [](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            const auto m = ctx.crecv_timeout(4, kAnySource, 1.0);
+            EXPECT_FALSE(m.has_value());
+            EXPECT_DOUBLE_EQ(ctx.now(), 1.0);
+            const Message late = ctx.crecv(4, kAnySource);
+            int v = 0;
+            ASSERT_EQ(late.data.size(), sizeof v);
+            std::memcpy(&v, late.data.data(), sizeof v);
+            EXPECT_EQ(v, 42);
+            EXPECT_EQ(late.src, 1);
+        } else {
+            ctx.compute(5.0);
+            ctx.send_value<int>(4, 0, 42);
+        }
+    });
+    EXPECT_EQ(res.stats[0].recv_timeouts, 1U);
+}
+
+TEST(FaultMachine, WildcardTimeoutPrefersPendingMatchOverDeadline) {
+    // One message straddles each side of the deadline: the in-time one is
+    // delivered (earliest arrival), the expiry then fires for the next wait
+    // even though a later message is already in flight.
+    Machine machine(MachineProfile::test_profile(3, 1));
+    (void)machine.run(3, [](NodeCtx& ctx) {
+        if (ctx.rank() == 0) {
+            const auto first = ctx.crecv_timeout(4, kAnySource, 2.0);
+            ASSERT_TRUE(first.has_value());
+            EXPECT_EQ(first->src, 1);
+            EXPECT_LT(ctx.now(), 1.0);  // woke at rank 1's arrival
+            const double t1 = ctx.now();
+            const auto second = ctx.crecv_timeout(4, kAnySource, 2.0);
+            EXPECT_FALSE(second.has_value());
+            EXPECT_DOUBLE_EQ(ctx.now(), t1 + 2.0);  // expired at its deadline
+            const auto third = ctx.crecv_timeout(4, kAnySource, 60.0);
+            ASSERT_TRUE(third.has_value());
+            EXPECT_EQ(third->src, 2);
+        } else if (ctx.rank() == 1) {
+            ctx.compute(0.5);
+            ctx.send_value<int>(4, 0, 1);
+        } else {
+            ctx.compute(6.0);
+            ctx.send_value<int>(4, 0, 2);
+        }
+    });
+}
+
 // -------------------------------------------------------------- fail-stop
 
 TEST(FaultMachine, FailStopKillsNodeMidComputeAtExactTime) {

@@ -1,0 +1,175 @@
+// Seeded schedule exploration over the mesh machine (stress tier).
+//
+// Machine::set_schedule_seed installs a sim::SeededTieBreak, so the engine
+// explores a different — but causally valid — interleaving per seed. These
+// tests sweep seeds derived from WAVEHPC_SCHED_SEED and assert that every
+// explored schedule preserves the properties the repo promises regardless
+// of scheduling: DWT coefficients bit-identical to the serial reference,
+// collectives seeing every contribution, budgets accounting for the whole
+// makespan. Any failure prints the standalone seed that replays it:
+//
+//   WAVEHPC_SCHED_SEED=<seed> WAVEHPC_SCHED_CASES=1 ./build/tests/test_schedule_fuzz
+//
+// replays that one case bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dwt.hpp"
+#include "core/synthetic.hpp"
+#include "mesh/collectives.hpp"
+#include "mesh/machine.hpp"
+#include "testing/invariants.hpp"
+#include "testing/seeds.hpp"
+#include "wavelet/mesh_dwt.hpp"
+
+namespace wtest = wavehpc::testing;
+
+namespace {
+
+using wavehpc::core::FilterPair;
+using wavehpc::core::ImageF;
+using wavehpc::core::SequentialCostModel;
+using wavehpc::mesh::Machine;
+using wavehpc::mesh::MachineProfile;
+
+constexpr const char* kSeedEnv = "WAVEHPC_SCHED_SEED";
+constexpr const char* kBinary = "./build/tests/test_schedule_fuzz";
+
+std::uint64_t base_seed() { return wtest::env_seed(kSeedEnv, 20260805); }
+std::size_t case_count() { return wtest::env_cases("WAVEHPC_SCHED_CASES", 12); }
+
+const ImageF& scene() {
+    static const ImageF img = wavehpc::core::landsat_tm_like(64, 64, 7);
+    return img;
+}
+
+wavehpc::wavelet::MeshDwtResult dwt_under_seed(std::uint64_t seed, bool trace) {
+    Machine machine(MachineProfile::paragon_pvm());
+    machine.set_schedule_seed(seed);
+    machine.record_trace(trace);
+    wavehpc::wavelet::MeshDwtConfig cfg;
+    cfg.levels = 2;
+    return wavehpc::wavelet::mesh_decompose(machine, scene(),
+                                            FilterPair::daubechies(4), cfg, 4,
+                                            SequentialCostModel::paragon_node());
+}
+
+bool traces_equal(const std::vector<wavehpc::mesh::TraceEvent>& a,
+                  const std::vector<wavehpc::mesh::TraceEvent>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].post_time != b[i].post_time || a[i].start_time != b[i].start_time ||
+            a[i].arrival_time != b[i].arrival_time || a[i].src != b[i].src ||
+            a[i].dst != b[i].dst || a[i].tag != b[i].tag || a[i].bytes != b[i].bytes) {
+            return false;
+        }
+    }
+    return true;
+}
+
+// Acceptance gate: one seed, two runs, everything bit-identical — makespan,
+// coefficients, and the full chronological message trace.
+TEST(ScheduleFuzz, SameSeedIsBitIdenticalAcrossRuns) {
+    const std::uint64_t seed = base_seed();
+    const auto a = dwt_under_seed(seed, /*trace=*/true);
+    const auto b = dwt_under_seed(seed, /*trace=*/true);
+    EXPECT_EQ(a.seconds, b.seconds) << wtest::repro_line(kSeedEnv, seed, kBinary);
+    EXPECT_TRUE(wtest::pyramids_bit_identical(a.pyramid, b.pyramid))
+        << wtest::repro_line(kSeedEnv, seed, kBinary);
+    EXPECT_TRUE(traces_equal(a.run.trace, b.run.trace))
+        << wtest::repro_line(kSeedEnv, seed, kBinary);
+}
+
+// The exploration must actually explore. A 2x2 mesh puts ranks 1 and 2 one
+// hop from rank 0 each; both compute the same 1.0 s and then send, so their
+// posts tie exactly at t=1 and the schedule seed alone decides which payload
+// enters the network — and thus rank 0's wildcard mailbox — first. Across
+// the derived seeds both delivery orders must occur.
+std::vector<int> tied_delivery_order(std::optional<std::uint64_t> seed) {
+    Machine machine(MachineProfile::test_profile(2, 2));
+    if (seed.has_value()) machine.set_schedule_seed(*seed);
+    std::vector<int> srcs;
+    machine.run(4, [&srcs](wavehpc::mesh::NodeCtx& ctx) {
+        if (ctx.rank() == 1 || ctx.rank() == 2) {
+            ctx.compute(1.0);
+            ctx.send_value(7, 0, ctx.rank());
+        } else if (ctx.rank() == 0) {
+            srcs.push_back(ctx.crecv(7).src);
+            srcs.push_back(ctx.crecv(7).src);
+        }
+    });
+    return srcs;
+}
+
+TEST(ScheduleFuzz, DerivedSeedsExploreDistinctInterleavings) {
+    const auto base = tied_delivery_order(std::nullopt);
+    ASSERT_EQ(base.size(), 2U);
+    bool any_differs = false;
+    for (std::size_t i = 0; i < case_count() && !any_differs; ++i) {
+        const auto order = tied_delivery_order(wtest::derive_seed(base_seed(), i));
+        ASSERT_EQ(order.size(), 2U);
+        any_differs = order != base;
+    }
+    EXPECT_TRUE(any_differs)
+        << case_count() << " schedule seeds all reproduced the default delivery order";
+}
+
+// Every explored schedule must produce the serial pyramid, bit for bit, and
+// a budget that accounts for the whole makespan.
+TEST(ScheduleFuzz, DwtMatchesSerialReferenceUnderEverySchedule) {
+    const auto serial = wavehpc::core::decompose(scene(), FilterPair::daubechies(4), 2,
+                                                 wavehpc::core::BoundaryMode::Symmetric);
+    for (std::size_t i = 0; i < case_count(); ++i) {
+        const std::uint64_t seed = wtest::derive_seed(base_seed(), i);
+        const auto r = dwt_under_seed(seed, /*trace=*/false);
+        ASSERT_TRUE(wtest::pyramids_bit_identical(r.pyramid, serial))
+            << "schedule changed DWT coefficients; "
+            << wtest::repro_line(kSeedEnv, seed, kBinary);
+        ASSERT_EQ(wtest::check_budget(r.run), "")
+            << wtest::repro_line(kSeedEnv, seed, kBinary);
+    }
+}
+
+// All-pairs traffic with barriers and a closing collective: exactly-once
+// in-order delivery per channel has to survive any tie-break order.
+TEST(ScheduleFuzz, TrafficInvariantsHoldUnderEverySchedule) {
+    for (std::size_t i = 0; i < case_count(); ++i) {
+        const std::uint64_t seed = wtest::derive_seed(base_seed(), i);
+        Machine machine(MachineProfile::paragon_pvm());
+        machine.set_schedule_seed(seed);
+        const auto report = wtest::run_traffic_audit(machine, 6, 4);
+        ASSERT_TRUE(report.ok())
+            << report.violation << "\n  " << wtest::repro_line(kSeedEnv, seed, kBinary);
+        EXPECT_GT(report.payloads, 0U);
+    }
+}
+
+// Virtual-time semantics do not depend on the tie-break order: timeouts
+// still fire at their deadline on every explored schedule.
+TEST(ScheduleFuzz, TimeoutDeadlinesAreScheduleIndependent) {
+    for (std::size_t i = 0; i < 4; ++i) {
+        const std::uint64_t seed = wtest::derive_seed(base_seed(), i);
+        Machine machine(MachineProfile::paragon_pvm());
+        machine.set_schedule_seed(seed);
+        const auto res = machine.run(4, [](wavehpc::mesh::NodeCtx& ctx) {
+            if (ctx.rank() == 0) {
+                // Nobody sends on tag 99: the wait must end exactly at the
+                // deadline, not hang and not end early.
+                auto got = ctx.crecv_timeout(99, wavehpc::mesh::kAnySource, 0.25);
+                EXPECT_FALSE(got.has_value());
+                EXPECT_DOUBLE_EQ(ctx.now(), 0.25);
+            } else {
+                ctx.compute(0.1 * static_cast<double>(ctx.rank()));
+            }
+            wavehpc::mesh::gsync(ctx);
+        });
+        EXPECT_GE(res.makespan, 0.25) << wtest::repro_line(kSeedEnv, seed, kBinary);
+    }
+}
+
+}  // namespace

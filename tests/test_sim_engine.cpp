@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace {
@@ -9,6 +15,7 @@ namespace {
 using wavehpc::sim::DeadlockError;
 using wavehpc::sim::Engine;
 using wavehpc::sim::Proc;
+using wavehpc::sim::SeededTieBreak;
 
 TEST(Engine, EmptyEngineRuns) {
     Engine e;
@@ -278,6 +285,132 @@ TEST(Engine, ManyProcessesPingPongThroughSharedState) {
     }
     e.run();
     EXPECT_EQ(counter, kN);
+}
+
+// ---------------------------------------------------- schedule exploration
+
+// Eight processes, all tied at t=0 and again at t=1: the execution order of
+// the tied groups is exactly what a SchedulePolicy may permute.
+std::vector<std::size_t> tied_execution_order(std::optional<std::uint64_t> seed) {
+    Engine e;
+    if (seed.has_value()) {
+        e.set_schedule_policy(std::make_unique<SeededTieBreak>(*seed));
+    }
+    std::vector<std::size_t> order;
+    constexpr std::size_t kN = 8;
+    for (std::size_t i = 0; i < kN; ++i) {
+        e.add_process("p" + std::to_string(i), [&order, i](Proc& p) {
+            order.push_back(i);
+            p.advance(1.0);
+            order.push_back(i);
+        });
+    }
+    e.run();
+    return order;
+}
+
+TEST(Engine, DefaultPolicyRunsLowestPidFirst) {
+    const auto order = tied_execution_order(std::nullopt);
+    ASSERT_EQ(order.size(), 16U);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(order[i], i);
+        EXPECT_EQ(order[8 + i], i);
+    }
+}
+
+TEST(Engine, SeededTieBreakIsReplayableFromSeed) {
+    for (std::uint64_t seed : {1ULL, 42ULL, 0xDEADBEEFULL}) {
+        EXPECT_EQ(tied_execution_order(seed), tied_execution_order(seed))
+            << "seed " << seed << " not bit-identical across runs";
+    }
+}
+
+TEST(Engine, SeededTieBreakExploresNonDefaultOrders) {
+    const auto identity = tied_execution_order(std::nullopt);
+    bool any_differs = false;
+    for (std::uint64_t seed = 1; seed <= 8 && !any_differs; ++seed) {
+        const auto order = tied_execution_order(seed);
+        // Every explored schedule is a permutation of the same work...
+        auto sorted = order;
+        std::sort(sorted.begin(), sorted.end());
+        ASSERT_EQ(sorted, [] {
+            std::vector<std::size_t> v(16);
+            for (std::size_t i = 0; i < 16; ++i) v[i] = i / 2;
+            return v;
+        }());
+        // ...and at least one seed must deviate from lowest-pid order.
+        any_differs = order != identity;
+    }
+    EXPECT_TRUE(any_differs) << "8 seeds all reproduced the default order";
+}
+
+TEST(Engine, SeededTieBreakNeverReordersDistinctClocks) {
+    // Processes with strictly staggered clocks have no ties: any seed must
+    // produce the same virtual-time-ordered event sequence as the default.
+    const auto run_with = [](std::optional<std::uint64_t> seed) {
+        Engine e;
+        if (seed.has_value()) {
+            e.set_schedule_policy(std::make_unique<SeededTieBreak>(*seed));
+        }
+        std::vector<std::string> events;
+        for (std::size_t i = 0; i < 4; ++i) {
+            e.add_process("p" + std::to_string(i), [&events, i](Proc& p) {
+                p.advance(0.1 * static_cast<double>(i + 1));
+                events.push_back("a" + std::to_string(i));
+                p.advance(1.0);
+                events.push_back("b" + std::to_string(i));
+            });
+        }
+        e.run();
+        return events;
+    };
+    const auto base = run_with(std::nullopt);
+    for (std::uint64_t seed : {7ULL, 99ULL, 123456789ULL}) {
+        EXPECT_EQ(run_with(seed), base) << "seed " << seed;
+    }
+}
+
+TEST(Engine, SeededTieBreakKeepsTimeoutOrdering) {
+    // Reprise of TimedOutProcessResumesInVirtualTimeOrder under exploration:
+    // the timeout at t=1 is an untied scheduled event, so every seed must
+    // keep it between the t=0.5 and t=2 work items.
+    for (std::uint64_t seed : {3ULL, 17ULL, 2026ULL}) {
+        Engine e;
+        e.set_schedule_policy(std::make_unique<SeededTieBreak>(seed));
+        std::vector<std::string> order;
+        e.add_process("sleeper", [&](Proc& p) {
+            (void)p.block_until([]() -> std::optional<double> { return std::nullopt; },
+                                1.0);
+            order.push_back("timeout");
+        });
+        e.add_process("worker", [&](Proc& p) {
+            p.advance(0.5);
+            order.push_back("work@0.5");
+            p.advance(1.5);
+            order.push_back("work@2.0");
+        });
+        e.run();
+        ASSERT_EQ(order.size(), 3U) << "seed " << seed;
+        EXPECT_EQ(order[0], "work@0.5") << "seed " << seed;
+        EXPECT_EQ(order[1], "timeout") << "seed " << seed;
+        EXPECT_EQ(order[2], "work@2.0") << "seed " << seed;
+    }
+}
+
+TEST(Engine, SchedulePolicyDescribesItselfForRepros) {
+    Engine e;
+    EXPECT_EQ(e.schedule_policy(), nullptr);
+    e.set_schedule_policy(std::make_unique<SeededTieBreak>(42));
+    ASSERT_NE(e.schedule_policy(), nullptr);
+    EXPECT_EQ(e.schedule_policy()->describe(), "sched_seed=42");
+}
+
+TEST(Engine, SetSchedulePolicyAfterRunThrows) {
+    Engine e;
+    e.add_process("p0", [](Proc& p) { p.advance(1.0); });
+    e.run();
+    EXPECT_THROW(e.set_schedule_policy(std::make_unique<SeededTieBreak>(1)),
+                 std::logic_error);
 }
 
 }  // namespace
