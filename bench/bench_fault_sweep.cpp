@@ -2,12 +2,17 @@
 // increasing message-drop probability, plus two focused demonstrations —
 // the deadlock report a raw-transport drop produces, and a fail-stop
 // recovery with its budget charged to the recovery category.
+//
+// Shared flags (common_args.hpp): --seed N seeds both the scene and the
+// fault plans; --size N sets the scene edge; --smoke reduces the sweep to
+// two process counts and two drop rates for CI.
 
 #include <iostream>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common_args.hpp"
 #include "core/synthetic.hpp"
 #include "mesh/machine.hpp"
 #include "perf/budget.hpp"
@@ -48,17 +53,24 @@ ResilientDwtResult run_once(const ImageF& img, const FilterPair& fp,
         machine, img, fp, cfg, procs, SequentialCostModel::paragon_node());
 }
 
-void drop_sweep(const ImageF& img, const FilterPair& fp) {
-    const std::vector<double> drop_rates{0.0, 1e-4, 1e-3, 1e-2};
-    for (std::size_t procs : {4U, 8U, 16U, 32U}) {
+void drop_sweep(const ImageF& img, const FilterPair& fp, std::uint64_t seed,
+                bool smoke) {
+    const std::vector<double> drop_rates =
+        smoke ? std::vector<double>{0.0, 1e-3}
+              : std::vector<double>{0.0, 1e-4, 1e-3, 1e-2};
+    const std::vector<std::size_t> proc_counts =
+        smoke ? std::vector<std::size_t>{4, 8}
+              : std::vector<std::size_t>{4, 8, 16, 32};
+    for (std::size_t procs : proc_counts) {
         const auto clean = run_once(img, fp, procs, FaultPlan{});
         std::cout << "resilient DWT under message drops, " << procs
-                  << " procs (paragon_pvm, 128x128, f4 l2):\n";
+                  << " procs (paragon_pvm, " << img.rows() << "x" << img.cols()
+                  << ", f4 l2):\n";
         wavehpc::perf::TableWriter tw({"drop p", "seconds", "retransmits",
                                        "drops", "timeouts", "identical"});
         for (double dp : drop_rates) {
             FaultPlan plan;
-            plan.seed = 97;
+            plan.seed = seed;
             plan.drop_probability = dp;
             const auto res = run_once(img, fp, procs, plan);
             std::size_t retx = 0;
@@ -133,10 +145,16 @@ void failstop_demo(const ImageF& img, const FilterPair& fp) {
 
 }  // namespace
 
-int main() {
-    const ImageF img = wavehpc::core::landsat_tm_like(128, 128, 29);
+int main(int argc, char** argv) {
+    wavehpc::bench::CommonArgs args;
+    if (!wavehpc::bench::parse_bench_args(argc, argv, args)) return 2;
+    const std::size_t edge =
+        wavehpc::bench::or_default<std::size_t>(args.size, args.smoke ? 64 : 128);
+    const std::uint64_t seed = wavehpc::bench::or_default<std::uint64_t>(args.seed, 97);
+
+    const ImageF img = wavehpc::core::landsat_tm_like(edge, edge, 29);
     const FilterPair fp = FilterPair::daubechies(4);
-    drop_sweep(img, fp);
+    drop_sweep(img, fp, seed, args.smoke);
     deadlock_demo();
     failstop_demo(img, fp);
     return 0;

@@ -1,0 +1,280 @@
+// Open-loop load generator for the pyramid service (ISSUE 4): seeded
+// Poisson arrivals over a small scene pool with skewed popularity and the
+// paper's request mix — (8,1) 40%, (4,2) 35%, (2,4) 25% — swept across
+// three offered-load points scaled off the measured cold-compute capacity.
+// Each point gets a fresh service; the report is throughput, tail latency
+// (p50/p95/p99 from the service histograms), admission rejects, and cache
+// behaviour. Every reply for the most popular scene is checked
+// bit-identical against an out-of-band sequential decomposition.
+//
+// --smoke: fewer requests per point and a smaller scene, then asserts the
+// accounting invariants (submitted = completed + rejected, hit rate > 0,
+// zero bit-identity mismatches) so CI exercises the whole service path.
+//
+// Extra flags (via the shared parser's hook):
+//   --requests N   arrivals per load point (default 400, smoke 120)
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common_args.hpp"
+#include "core/dwt.hpp"
+#include "core/synthetic.hpp"
+#include "perf/report.hpp"
+#include "svc/service.hpp"
+#include "testing/seeds.hpp"
+
+namespace {
+
+using wavehpc::bench::CommonArgs;
+using wavehpc::bench::Consume;
+using wavehpc::core::BoundaryMode;
+using wavehpc::core::FilterPair;
+using wavehpc::core::ImageF;
+using wavehpc::core::Pyramid;
+using wavehpc::perf::TableWriter;
+using wavehpc::runtime::ThreadPool;
+using wavehpc::svc::Backend;
+using wavehpc::svc::PyramidService;
+using wavehpc::svc::ServiceConfig;
+using wavehpc::svc::TransformRequest;
+using wavehpc::testing::SplitMix64;
+
+using Clock = std::chrono::steady_clock;
+
+struct MixEntry {
+    int taps;
+    int levels;
+    const char* label;
+    double weight;  // fraction of offered traffic
+};
+
+// Table 1's three configurations, weighted toward the cheap filter the way
+// a browse-heavy image service would be.
+constexpr MixEntry kMix[] = {
+    {8, 1, "F8/L1", 0.40},
+    {4, 2, "F4/L2", 0.35},
+    {2, 4, "F2/L4", 0.25},
+};
+constexpr std::size_t kMixCount = sizeof(kMix) / sizeof(kMix[0]);
+constexpr std::size_t kScenes = 8;
+
+std::size_t pick_mix(SplitMix64& rng) {
+    double r = rng.uniform();
+    for (std::size_t m = 0; m + 1 < kMixCount; ++m) {
+        if (r < kMix[m].weight) return m;
+        r -= kMix[m].weight;
+    }
+    return kMixCount - 1;
+}
+
+// Skewed popularity: half the traffic lands on scene 0, the rest uniform.
+std::size_t pick_scene(SplitMix64& rng) {
+    return rng.below(2) == 0 ? 0 : 1 + rng.below(kScenes - 1);
+}
+
+double exp_interval(SplitMix64& rng, double rate) {
+    return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+bool pyramids_identical(const Pyramid& a, const Pyramid& b) {
+    if (a.depth() != b.depth()) return false;
+    for (std::size_t k = 0; k < a.depth(); ++k) {
+        if (a.levels[k].lh != b.levels[k].lh) return false;
+        if (a.levels[k].hl != b.levels[k].hl) return false;
+        if (a.levels[k].hh != b.levels[k].hh) return false;
+    }
+    return a.approx == b.approx;
+}
+
+struct PointResult {
+    double offered_rps = 0.0;
+    double wall_seconds = 0.0;
+    wavehpc::svc::MetricsSnapshot metrics;
+    wavehpc::svc::CacheStats cache;
+    std::uint64_t verified = 0;    // scene-0 replies checked for bit-identity
+    std::uint64_t mismatches = 0;  // ...and how many failed the check
+};
+
+PointResult run_point(ThreadPool& pool, const ServiceConfig& cfg,
+                      const std::vector<std::shared_ptr<const ImageF>>& scenes,
+                      const std::vector<Pyramid>& scene0_refs, double offered_rps,
+                      std::size_t n_requests, std::uint64_t seed) {
+    PyramidService service(pool, cfg);
+    SplitMix64 rng(seed);
+
+    struct Pending {
+        wavehpc::svc::TransformFuture future;
+        std::size_t scene;
+        std::size_t mix;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(n_requests);
+
+    // Open loop: arrival times are drawn up front and honoured regardless
+    // of completions, so overload shows up as rejects and queueing delay
+    // rather than as a slowed-down generator.
+    const auto t0 = Clock::now();
+    double arrival = 0.0;
+    for (std::size_t i = 0; i < n_requests; ++i) {
+        arrival += exp_interval(rng, offered_rps);
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(arrival)));
+        const std::size_t scene = pick_scene(rng);
+        const std::size_t mix = pick_mix(rng);
+        TransformRequest req;
+        req.image = scenes[scene];
+        req.taps = kMix[mix].taps;
+        req.levels = kMix[mix].levels;
+        req.backend = Backend::Threads;
+        auto sub = service.submit(req);
+        if (sub.accepted) pending.push_back({std::move(sub.future), scene, mix});
+    }
+
+    PointResult out;
+    out.offered_rps = offered_rps;
+    for (auto& p : pending) {
+        const auto reply = p.future.get();
+        if (p.scene == 0) {
+            ++out.verified;
+            if (!pyramids_identical(reply.result->pyramid, scene0_refs[p.mix])) {
+                ++out.mismatches;
+            }
+        }
+    }
+    out.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    out.metrics = service.metrics();
+    out.cache = service.cache_stats();
+    service.shutdown();
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    CommonArgs args;
+    std::uint64_t requests_flag = 0;
+    const auto extra = [&requests_flag](std::string_view flag,
+                                        std::string_view value) {
+        if (flag == "--requests" &&
+            wavehpc::bench::detail::parse_u64(value, requests_flag)) {
+            return Consume::kFlagAndValue;
+        }
+        return Consume::kNo;
+    };
+    if (!wavehpc::bench::parse_bench_args(argc, argv, args, extra)) return 2;
+
+    const std::size_t edge =
+        wavehpc::bench::or_default<std::size_t>(args.size, args.smoke ? 128 : 256);
+    const std::uint64_t seed = wavehpc::bench::or_default<std::uint64_t>(args.seed, 1996);
+    const std::size_t n_requests = static_cast<std::size_t>(
+        wavehpc::bench::or_default<std::uint64_t>(requests_flag,
+                                                  args.smoke ? 120 : 400));
+
+    std::cout << "=== Pyramid service load sweep ===\n"
+              << edge << "x" << edge << " scenes, pool of " << kScenes
+              << " (scene 0 takes half the traffic), mix F8/L1 40% / F4/L2 35% "
+                 "/ F2/L4 25%, seed "
+              << seed << ", " << n_requests << " Poisson arrivals per point\n\n";
+
+    std::vector<std::shared_ptr<const ImageF>> scenes;
+    scenes.reserve(kScenes);
+    for (std::size_t i = 0; i < kScenes; ++i) {
+        scenes.push_back(std::make_shared<const ImageF>(
+            wavehpc::core::landsat_tm_like(edge, edge, seed + i)));
+    }
+    // Ground truth for the bit-identity check: sequential decompositions of
+    // the popular scene, one per mix configuration.
+    std::vector<Pyramid> scene0_refs;
+    scene0_refs.reserve(kMixCount);
+    for (const auto& m : kMix) {
+        scene0_refs.push_back(wavehpc::core::decompose(
+            *scenes[0], FilterPair::daubechies(m.taps), m.levels,
+            BoundaryMode::Periodic));
+    }
+
+    ThreadPool pool(std::max(2U, std::thread::hardware_concurrency()));
+    ServiceConfig cfg = ServiceConfig::from_env();  // WAVEHPC_SVC_* apply
+
+    // Capacity estimate: mix-weighted cold compute time of the popular
+    // scene, measured sequentially, times the service concurrency.
+    double weighted_compute = 0.0;
+    for (std::size_t m = 0; m < kMixCount; ++m) {
+        const auto t0 = Clock::now();
+        (void)wavehpc::core::decompose(*scenes[0],
+                                       FilterPair::daubechies(kMix[m].taps),
+                                       kMix[m].levels, BoundaryMode::Periodic);
+        weighted_compute +=
+            kMix[m].weight * std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+    const double capacity_rps =
+        static_cast<double>(cfg.max_concurrency) / weighted_compute;
+    std::cout << "measured cold compute (mix-weighted): "
+              << wavehpc::perf::format_latency(weighted_compute)
+              << "  -> cold capacity ~" << TableWriter::num(capacity_rps, 1)
+              << " rps at concurrency " << cfg.max_concurrency << "\n\n";
+
+    // The cache turns most of that offered load into hits, so sweeping
+    // around cold capacity exercises under-load, saturation, and overload.
+    const double load_factors[] = {0.5, 2.0, 8.0};
+    std::vector<PointResult> points;
+    for (std::size_t k = 0; k < 3; ++k) {
+        const double rps = capacity_rps * load_factors[k];
+        points.push_back(run_point(pool, cfg, scenes, scene0_refs, rps,
+                                   n_requests,
+                                   wavehpc::testing::derive_seed(seed, k)));
+        const auto& p = points.back();
+        std::cout << "--- load point " << (k + 1) << ": offered "
+                  << TableWriter::num(p.offered_rps, 1) << " rps ("
+                  << TableWriter::num(load_factors[k], 1) << "x cold capacity), wall "
+                  << TableWriter::num(p.wall_seconds, 2) << " s ---\n";
+        wavehpc::svc::print_service_metrics(std::cout, "service", p.metrics,
+                                            p.cache);
+        std::cout << '\n';
+    }
+
+    TableWriter sweep({"offered rps", "done rps", "rejected", "hit rate",
+                       "p50", "p95", "p99"});
+    for (const auto& p : points) {
+        sweep.add_row(
+            {TableWriter::num(p.offered_rps, 1),
+             TableWriter::num(
+                 static_cast<double>(p.metrics.counters.completed) / p.wall_seconds, 1),
+             std::to_string(p.metrics.counters.rejected),
+             TableWriter::pct(p.cache.hit_rate()),
+             wavehpc::perf::format_latency(p.metrics.total.quantile(0.50)),
+             wavehpc::perf::format_latency(p.metrics.total.quantile(0.95)),
+             wavehpc::perf::format_latency(p.metrics.total.quantile(0.99))});
+    }
+    sweep.print(std::cout);
+
+    std::uint64_t verified = 0;
+    std::uint64_t mismatches = 0;
+    bool accounted = true;
+    bool any_hits = false;
+    for (const auto& p : points) {
+        verified += p.verified;
+        mismatches += p.mismatches;
+        const auto& c = p.metrics.counters;
+        accounted = accounted && (c.submitted == c.completed + c.rejected);
+        any_hits = any_hits || p.cache.hits > 0;
+    }
+    std::cout << "\nbit-identity: " << verified << " scene-0 replies checked, "
+              << mismatches << " mismatches\n";
+
+    if (args.smoke) {
+        const bool ok = accounted && any_hits && verified > 0 && mismatches == 0;
+        std::cout << "smoke: " << (ok ? "OK" : "FAILED")
+                  << " (expects submitted = completed + rejected, warm hits, "
+                     "bit-identical replies)\n";
+        return ok ? 0 : 1;
+    }
+    return mismatches == 0 ? 0 : 1;
+}

@@ -9,10 +9,12 @@
 // --smoke: reduced sizes (256x256, F8/L1 only, 8 Paragon procs) so CI can
 // exercise the whole pipeline in well under a second; paper columns are
 // omitted because they only apply to the full-size run.
+//
+// Shared flags (common_args.hpp): --smoke, --seed N, --size N.
 
-#include <cstring>
 #include <iostream>
 
+#include "common_args.hpp"
 #include "core/cost_model.hpp"
 #include "core/synthetic.hpp"
 #include "maspar/maspar_dwt.hpp"
@@ -47,10 +49,10 @@ double paragon_time(const wavehpc::core::ImageF& img, int taps, int levels,
     return res.seconds;
 }
 
-int run_smoke() {
+int run_smoke(std::size_t edge, std::uint64_t seed) {
     // CI pipeline check, not a measurement: one reduced-size configuration
     // through every backend, asserting only sanity (positive, ordered).
-    const auto img = wavehpc::core::landsat_tm_like(256, 256, 1996);
+    const auto img = wavehpc::core::landsat_tm_like(edge, edge, seed);
     const auto fp = FilterPair::daubechies(8);
     const auto mp = wavehpc::maspar::maspar_decompose(
         wavehpc::maspar::MasParProfile::mp2_16k(), img, fp, 1,
@@ -58,10 +60,11 @@ int run_smoke() {
         wavehpc::maspar::Virtualization::Hierarchical);
     const double p1 = paragon_time(img, 8, 1, 1);
     const double p8 = paragon_time(img, 8, 1, 8);
-    const WaveletWork w = WaveletWork::analyze(256, 256, 8, 1);
+    const WaveletWork w = WaveletWork::analyze(edge, edge, 8, 1);
     const double dec = SequentialCostModel::dec5000().seconds(w);
 
-    TableWriter tw({"machine", "F8/L1 (256x256)"});
+    TableWriter tw({"machine", "F8/L1 (" + std::to_string(edge) + "x" +
+                                   std::to_string(edge) + ")"});
     tw.add_row({"MasPar MP-2 (16K)", TableWriter::num(mp.seconds)});
     tw.add_row({"Intel Paragon 1 Proc.", TableWriter::num(p1, 3)});
     tw.add_row({"Intel Paragon 8 Proc.", TableWriter::num(p8, 3)});
@@ -78,14 +81,20 @@ int run_smoke() {
 }  // namespace
 
 int main(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+    wavehpc::bench::CommonArgs args;
+    if (!wavehpc::bench::parse_bench_args(argc, argv, args)) return 2;
+    const std::uint64_t seed = wavehpc::bench::or_default<std::uint64_t>(args.seed, 1996);
+    if (args.smoke) {
+        return run_smoke(wavehpc::bench::or_default<std::size_t>(args.size, 256),
+                         seed);
     }
+    const std::size_t edge = wavehpc::bench::or_default<std::size_t>(args.size, 512);
     std::cout << "=== Table 1: Comparative Wavelet Decomposition Performance ===\n"
-              << "512x512 synthetic Landsat-TM scene; seconds per decomposition.\n"
-              << "'paper' columns are the published measurements.\n\n";
+              << edge << "x" << edge
+              << " synthetic Landsat-TM scene; seconds per decomposition.\n"
+              << "'paper' columns are the published 512x512 measurements.\n\n";
 
-    const auto img = wavehpc::core::landsat_tm_like(512, 512, 1996);
+    const auto img = wavehpc::core::landsat_tm_like(edge, edge, seed);
 
     TableWriter tw({"machine", "F8/L1", "paper", "F4/L2", "paper", "F2/L4", "paper"});
 
@@ -119,7 +128,7 @@ int main(int argc, char** argv) {
     // --- DEC 5000 workstation ----------------------------------------
     std::vector<double> dec;
     for (const auto& c : kConfigs) {
-        const WaveletWork w = WaveletWork::analyze(512, 512, c.taps, c.levels);
+        const WaveletWork w = WaveletWork::analyze(edge, edge, c.taps, c.levels);
         dec.push_back(SequentialCostModel::dec5000().seconds(w));
     }
     tw.add_row({"DEC 5000 Workstation", TableWriter::num(dec[0], 3), "5.47",

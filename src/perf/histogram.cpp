@@ -1,0 +1,114 @@
+#include "perf/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "perf/report.hpp"
+
+namespace wavehpc::perf {
+
+namespace {
+
+// Constant bucket ratio r with kMinSeconds * r^(kBuckets-1) == kMaxSeconds.
+const double kLogMin = std::log(LatencyHistogram::kMinSeconds);
+const double kLogRatio =
+    (std::log(LatencyHistogram::kMaxSeconds) - kLogMin) /
+    static_cast<double>(LatencyHistogram::kBuckets - 1);
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_index(double seconds) noexcept {
+    if (!(seconds > kMinSeconds)) return 0;
+    const auto idx =
+        static_cast<std::size_t>((std::log(seconds) - kLogMin) / kLogRatio + 1.0);
+    return std::min(idx, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_lower(std::size_t idx) noexcept {
+    if (idx == 0) return 0.0;
+    return std::exp(kLogMin + kLogRatio * static_cast<double>(idx - 1));
+}
+
+double LatencyHistogram::bucket_upper(std::size_t idx) noexcept {
+    return std::exp(kLogMin + kLogRatio * static_cast<double>(idx));
+}
+
+void LatencyHistogram::record(double seconds) noexcept {
+    if (seconds < 0.0 || std::isnan(seconds)) seconds = 0.0;
+    ++counts_[bucket_index(seconds)];
+    if (count_ == 0) {
+        min_ = max_ = seconds;
+    } else {
+        min_ = std::min(min_, seconds);
+        max_ = std::max(max_, seconds);
+    }
+    ++count_;
+    sum_ += seconds;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double LatencyHistogram::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+
+double LatencyHistogram::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+double LatencyHistogram::mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        seen += counts_[i];
+        if (seen >= rank) {
+            const double lo = std::max(bucket_lower(i), kMinSeconds * 0.1);
+            const double mid = std::sqrt(lo * bucket_upper(i));
+            return std::clamp(mid, min_, max_);
+        }
+    }
+    return max_;
+}
+
+std::string format_latency(double seconds) {
+    char buf[32];
+    if (seconds < 1e-6) {
+        std::snprintf(buf, sizeof buf, "%.0f ns", seconds * 1e9);
+    } else if (seconds < 1e-3) {
+        std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+    } else if (seconds < 1.0) {
+        std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+    }
+    return buf;
+}
+
+std::vector<std::string> latency_headers(const std::string& first) {
+    return {first, "count", "mean", "p50", "p95", "p99", "max"};
+}
+
+void print_latency_row(TableWriter& tw, const std::string& label,
+                       const LatencyHistogram& h) {
+    tw.add_row({label, std::to_string(h.count()), format_latency(h.mean()),
+                format_latency(h.quantile(0.50)), format_latency(h.quantile(0.95)),
+                format_latency(h.quantile(0.99)), format_latency(h.max())});
+}
+
+}  // namespace wavehpc::perf

@@ -1,0 +1,71 @@
+#pragma once
+// Fixed-bucket latency histogram for the service-metrics reporting
+// (src/svc), in the spirit of the Appendix-B budget tables: cheap to
+// record, mergeable, and quantile-queryable without storing samples.
+//
+// Buckets are geometric: 64 buckets spanning [100 ns, ~1000 s) with a
+// constant ratio, so relative quantile error is bounded by one bucket
+// width (~44%) regardless of scale — adequate for p50/p95/p99 tail
+// reporting where the interesting differences are multiples, not percents.
+// Exact count/sum/min/max are kept alongside so means and extremes are
+// not quantized.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wavehpc::perf {
+
+class LatencyHistogram {
+public:
+    static constexpr std::size_t kBuckets = 64;
+    static constexpr double kMinSeconds = 1e-7;   // first bucket upper edge
+    static constexpr double kMaxSeconds = 1e3;    // last finite edge
+
+    /// Record one latency (seconds; negatives clamp to 0).
+    void record(double seconds) noexcept;
+
+    /// Fold another histogram into this one.
+    void merge(const LatencyHistogram& other) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+    [[nodiscard]] double min() const noexcept;   ///< 0 when empty
+    [[nodiscard]] double max() const noexcept;   ///< 0 when empty
+    [[nodiscard]] double mean() const noexcept;  ///< 0 when empty
+
+    /// Latency at cumulative fraction q in [0, 1]: the geometric midpoint
+    /// of the bucket holding the q-th sample, clamped to the exact observed
+    /// [min, max]. Returns 0 when empty.
+    [[nodiscard]] double quantile(double q) const noexcept;
+
+private:
+    [[nodiscard]] static std::size_t bucket_index(double seconds) noexcept;
+    [[nodiscard]] static double bucket_lower(std::size_t idx) noexcept;
+    [[nodiscard]] static double bucket_upper(std::size_t idx) noexcept;
+
+    std::array<std::uint64_t, kBuckets> counts_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Format a latency in engineering units (ns/us/ms/s) for table cells.
+[[nodiscard]] std::string format_latency(double seconds);
+
+class TableWriter;  // report.hpp
+
+/// Append one table row "label | count | mean | p50 | p95 | p99 | max" to a
+/// TableWriter built with latency_headers().
+void print_latency_row(TableWriter& tw, const std::string& label,
+                       const LatencyHistogram& h);
+
+/// Header row matching print_latency_row's cells; `first` labels the key
+/// column (usually the metric name).
+[[nodiscard]] std::vector<std::string> latency_headers(const std::string& first);
+
+}  // namespace wavehpc::perf

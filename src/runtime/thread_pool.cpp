@@ -42,9 +42,9 @@ void ThreadPool::worker_loop() {
         Task task;
         {
             std::unique_lock lk(mu_);
-            if (!stopping_ && queue_.empty()) {
+            if (!stopping_ && queues_empty()) {
                 const auto idle_start = std::chrono::steady_clock::now();
-                cv_task_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+                cv_task_.wait(lk, [this] { return stopping_ || !queues_empty(); });
                 idle_ns_.fetch_add(
                     static_cast<std::uint64_t>(
                         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -52,16 +52,15 @@ void ThreadPool::worker_loop() {
                             .count()),
                     std::memory_order_relaxed);
             }
-            if (queue_.empty()) return;  // stopping and drained
-            task = std::move(queue_.front());
-            queue_.pop_front();
+            if (queues_empty()) return;  // stopping and drained
+            task = pop_task();
             ++busy_;
         }
         run_task(task);
         {
             std::lock_guard lk(mu_);
             --busy_;
-            if (queue_.empty() && busy_ == 0) cv_idle_.notify_all();
+            if (queues_empty() && busy_ == 0) cv_idle_.notify_all();
         }
     }
 }
@@ -83,13 +82,19 @@ void ThreadPool::run_task(Task& task) {
     task.group->complete(std::move(error));
 }
 
+ThreadPool::Task ThreadPool::pop_task() {
+    std::deque<Task>& q = high_queue_.empty() ? queue_ : high_queue_;
+    Task task = std::move(q.front());
+    q.pop_front();
+    return task;
+}
+
 bool ThreadPool::try_help_one() {
     Task task;
     {
         std::lock_guard lk(mu_);
-        if (queue_.empty()) return false;
-        task = std::move(queue_.front());
-        queue_.pop_front();
+        if (queues_empty()) return false;
+        task = pop_task();
         ++busy_;
     }
     helper_tasks_.fetch_add(1, std::memory_order_relaxed);
@@ -97,12 +102,12 @@ bool ThreadPool::try_help_one() {
     {
         std::lock_guard lk(mu_);
         --busy_;
-        if (queue_.empty() && busy_ == 0) cv_idle_.notify_all();
+        if (queues_empty() && busy_ == 0) cv_idle_.notify_all();
     }
     return true;
 }
 
-void ThreadPool::enqueue(Task task) {
+void ThreadPool::enqueue(Task task, TaskPriority priority) {
     {
         std::lock_guard lk(mu_);
         assert(!stopping_ && "ThreadPool: submit after stop");
@@ -110,20 +115,23 @@ void ThreadPool::enqueue(Task task) {
             throw std::logic_error(
                 "ThreadPool: submit on a stopping pool (task would be dropped)");
         }
-        queue_.push_back(std::move(task));
-        queue_high_water_ = std::max<std::uint64_t>(queue_high_water_, queue_.size());
+        (priority == TaskPriority::High ? high_queue_ : queue_)
+            .push_back(std::move(task));
+        queue_high_water_ = std::max<std::uint64_t>(
+            queue_high_water_, queue_.size() + high_queue_.size());
     }
     cv_task_.notify_one();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-    enqueue(Task{std::move(task), nullptr});
+void ThreadPool::submit(std::function<void()> task, TaskPriority priority) {
+    enqueue(Task{std::move(task), nullptr}, priority);
 }
 
-void ThreadPool::submit(TaskGroup& group, std::function<void()> task) {
+void ThreadPool::submit(TaskGroup& group, std::function<void()> task,
+                        TaskPriority priority) {
     group.add(1);
     try {
-        enqueue(Task{std::move(task), &group});
+        enqueue(Task{std::move(task), &group}, priority);
     } catch (...) {
         group.complete(nullptr);  // re-balance the latch
         throw;
@@ -170,7 +178,7 @@ void ThreadPool::release_group(TaskGroup& group) noexcept {
 
 void ThreadPool::wait_idle() {
     std::unique_lock lk(mu_);
-    cv_idle_.wait(lk, [this] { return queue_.empty() && busy_ == 0; });
+    cv_idle_.wait(lk, [this] { return queues_empty() && busy_ == 0; });
 }
 
 void ThreadPool::parallel_for(std::size_t first, std::size_t last,

@@ -38,6 +38,14 @@ struct PoolMetrics {
     double idle_seconds = 0.0;           ///< total worker time blocked for work
 };
 
+/// Scheduling class for submitted tasks. The pool keeps one queue per
+/// priority and always pops High before Normal; within a priority tasks
+/// stay FIFO. parallel_for chunks are Normal, so a High submit overtakes
+/// queued data-parallel work but never preempts a running task. Added for
+/// the pyramid service (src/svc), whose interactive requests must not sit
+/// behind a backlog of batch work.
+enum class TaskPriority : std::uint8_t { Normal = 0, High = 1 };
+
 class ThreadPool {
 public:
     /// Spawns `workers` threads (defaults to hardware_concurrency, min 1).
@@ -73,12 +81,14 @@ public:
     /// terminates, as there is no join to deliver the exception to).
     /// Throws std::logic_error if the pool is already stopping: the seed
     /// runtime silently enqueued such tasks and dropped them on drain.
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task,
+                TaskPriority priority = TaskPriority::Normal);
 
     /// Enqueue a task attached to a caller-held group (see acquire_group /
     /// ScopedTaskGroup). Exceptions are captured into the group and
     /// rethrown by wait(group).
-    void submit(TaskGroup& group, std::function<void()> task);
+    void submit(TaskGroup& group, std::function<void()> task,
+                TaskPriority priority = TaskPriority::Normal);
 
     /// Block until `group` finished, then rethrow its collected errors.
     /// When called from a worker of this pool, drains queued tasks while
@@ -112,11 +122,14 @@ private:
 
     void worker_loop();
     void run_task(Task& task);
-    bool try_help_one();  ///< steal one queued task; false if queue empty
-    void enqueue(Task task);
+    bool try_help_one();  ///< steal one queued task; false if queues empty
+    void enqueue(Task task, TaskPriority priority = TaskPriority::Normal);
+    bool queues_empty() const { return queue_.empty() && high_queue_.empty(); }
+    Task pop_task();  ///< callers must hold mu_ and ensure !queues_empty()
 
     std::vector<std::thread> threads_;
-    std::deque<Task> queue_;
+    std::deque<Task> queue_;       // TaskPriority::Normal (incl. parallel_for)
+    std::deque<Task> high_queue_;  // TaskPriority::High, always popped first
     mutable std::mutex mu_;
     std::condition_variable cv_task_;
     std::condition_variable cv_idle_;
@@ -149,7 +162,10 @@ public:
     ScopedTaskGroup(const ScopedTaskGroup&) = delete;
     ScopedTaskGroup& operator=(const ScopedTaskGroup&) = delete;
 
-    void submit(std::function<void()> task) { pool_.submit(*group_, std::move(task)); }
+    void submit(std::function<void()> task,
+                TaskPriority priority = TaskPriority::Normal) {
+        pool_.submit(*group_, std::move(task), priority);
+    }
     void wait();
 
 private:

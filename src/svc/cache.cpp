@@ -1,0 +1,73 @@
+#include "svc/cache.hpp"
+
+namespace wavehpc::svc {
+
+std::uint64_t pyramid_bytes(const core::Pyramid& pyr) noexcept {
+    std::uint64_t n = pyr.approx.size();
+    for (const auto& level : pyr.levels) {
+        n += level.lh.size() + level.hl.size() + level.hh.size();
+    }
+    return n * sizeof(float);
+}
+
+std::shared_ptr<const TransformResult> ResultCache::lookup(const CacheKey& key) {
+    std::lock_guard lk(mu_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+    return it->second->result;
+}
+
+void ResultCache::insert(const CacheKey& key,
+                         std::shared_ptr<const TransformResult> result) {
+    const std::uint64_t bytes = result->result_bytes;
+    std::lock_guard lk(mu_);
+    if (bytes > byte_budget_) {
+        ++stats_.rejected_oversize;
+        return;
+    }
+    if (const auto it = index_.find(key); it != index_.end()) {
+        // Refresh (identical content — keys are content-addressed); keep
+        // the existing buffer so earlier waiters still share it.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    while (bytes_in_use_ + bytes > byte_budget_) evict_lru_locked();
+    lru_.push_front(Entry{key, std::move(result)});
+    index_.emplace(key, lru_.begin());
+    bytes_in_use_ += bytes;
+    ++stats_.insertions;
+}
+
+void ResultCache::evict_lru_locked() {
+    const Entry& victim = lru_.back();
+    const std::uint64_t bytes = victim.result->result_bytes;
+    index_.erase(victim.key);
+    bytes_in_use_ -= bytes;
+    ++stats_.evictions;
+    stats_.evicted_bytes += bytes;
+    lru_.pop_back();
+}
+
+CacheStats ResultCache::stats() const {
+    std::lock_guard lk(mu_);
+    CacheStats s = stats_;
+    s.bytes_in_use = bytes_in_use_;
+    s.entries = index_.size();
+    s.byte_budget = byte_budget_;
+    return s;
+}
+
+std::vector<CacheKey> ResultCache::keys_mru_first() const {
+    std::lock_guard lk(mu_);
+    std::vector<CacheKey> keys;
+    keys.reserve(lru_.size());
+    for (const auto& e : lru_) keys.push_back(e.key);
+    return keys;
+}
+
+}  // namespace wavehpc::svc

@@ -1,0 +1,83 @@
+#pragma once
+// Content-addressed LRU result cache for the pyramid service.
+//
+// Keys are content digests (hash.hpp), so two clients uploading the same
+// scene bytes share an entry no matter how they name it. Values are
+// shared_ptr<const TransformResult>: a lookup hands out the *same* buffer
+// the cold compute produced — a hit is bit-identical by construction, and
+// eviction never invalidates a result a client still holds.
+//
+// Capacity is a byte budget over pyramid payloads. Insertion evicts from
+// the least-recently-used end until the new entry fits; an entry larger
+// than the whole budget is not cached (the computation still succeeded —
+// the caller's waiters get the uncached buffer).
+//
+// Thread-safe behind one mutex; the service calls it from pool workers
+// and client threads concurrently. Single-flight deduplication lives in
+// the service (it needs the scheduler state), not here.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/request.hpp"
+
+namespace wavehpc::svc {
+
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t rejected_oversize = 0;  ///< results larger than the budget
+    std::uint64_t evictions = 0;
+    std::uint64_t evicted_bytes = 0;
+    std::uint64_t bytes_in_use = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t byte_budget = 0;
+
+    [[nodiscard]] double hit_rate() const noexcept {
+        const auto total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+class ResultCache {
+public:
+    explicit ResultCache(std::uint64_t byte_budget) : byte_budget_(byte_budget) {}
+
+    ResultCache(const ResultCache&) = delete;
+    ResultCache& operator=(const ResultCache&) = delete;
+
+    /// The cached result, bumped to most-recently-used; null on miss.
+    [[nodiscard]] std::shared_ptr<const TransformResult> lookup(const CacheKey& key);
+
+    /// Insert (or refresh) `result` under `key`, evicting LRU entries
+    /// until the byte budget holds. No-op if result->result_bytes alone
+    /// exceeds the budget.
+    void insert(const CacheKey& key, std::shared_ptr<const TransformResult> result);
+
+    [[nodiscard]] CacheStats stats() const;
+
+    /// Keys ordered most-recently-used first — test/introspection hook.
+    [[nodiscard]] std::vector<CacheKey> keys_mru_first() const;
+
+private:
+    struct Entry {
+        CacheKey key;
+        std::shared_ptr<const TransformResult> result;
+    };
+
+    void evict_lru_locked();  // requires mu_, non-empty lru_
+
+    mutable std::mutex mu_;
+    std::uint64_t byte_budget_;
+    std::uint64_t bytes_in_use_ = 0;
+    std::list<Entry> lru_;  // front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index_;
+    CacheStats stats_;
+};
+
+}  // namespace wavehpc::svc

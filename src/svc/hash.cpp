@@ -1,0 +1,59 @@
+#include "svc/hash.hpp"
+
+#include <cstring>
+
+namespace wavehpc::svc {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit mix.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kLane0Seed = 0x243f6a8885a308d3ULL;  // pi digits
+constexpr std::uint64_t kLane1Seed = 0x13198a2e03707344ULL;
+
+}  // namespace
+
+void content_digest(const core::ImageF& img, std::uint64_t& lo, std::uint64_t& hi) {
+    std::uint64_t h0 = kLane0Seed;
+    std::uint64_t h1 = kLane1Seed;
+    const auto pixels = img.flat();
+    const auto* bytes = reinterpret_cast<const unsigned char*>(pixels.data());
+    std::size_t n = pixels.size() * sizeof(float);
+    std::uint64_t word = 0;
+    while (n >= sizeof word) {
+        std::memcpy(&word, bytes, sizeof word);
+        h0 = mix64(h0 ^ word);
+        h1 = mix64(h1 + word);
+        bytes += sizeof word;
+        n -= sizeof word;
+    }
+    if (n > 0) {
+        word = 0;
+        std::memcpy(&word, bytes, n);
+        h0 = mix64(h0 ^ word);
+        h1 = mix64(h1 + word);
+    }
+    // Length padding so prefixes of zeros cannot alias.
+    const auto total = static_cast<std::uint64_t>(pixels.size());
+    lo = mix64(h0 ^ total);
+    hi = mix64(h1 + total);
+}
+
+CacheKey make_cache_key(const core::ImageF& img, int taps, int levels,
+                        core::BoundaryMode boundary) {
+    CacheKey key;
+    content_digest(img, key.digest_lo, key.digest_hi);
+    key.rows = static_cast<std::uint32_t>(img.rows());
+    key.cols = static_cast<std::uint32_t>(img.cols());
+    key.taps = static_cast<std::uint8_t>(taps);
+    key.levels = static_cast<std::uint8_t>(levels);
+    key.boundary = static_cast<std::uint8_t>(boundary);
+    return key;
+}
+
+}  // namespace wavehpc::svc

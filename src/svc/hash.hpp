@@ -1,0 +1,57 @@
+#pragma once
+// Content addressing for the pyramid service's result cache.
+//
+// A cache key is a 128-bit digest of the request's *image bytes* plus the
+// transform parameters that change the coefficients (taps, levels,
+// boundary mode). The backend is deliberately excluded: every in-process
+// backend is bit-identical to core::decompose by construction (tested in
+// test_wavelet_parallel), so requests that differ only in backend may —
+// must, for single-flight to pay off — share one cached result.
+//
+// The digest is two independent splitmix64-finalizer lanes over the pixel
+// words. Not cryptographic: an adversary could forge a collision, but the
+// service caches its own computations, and 128 bits make an accidental
+// collision vanishingly unlikely (~2^-64 per pair of distinct scenes).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/boundary.hpp"
+#include "core/image.hpp"
+
+namespace wavehpc::svc {
+
+/// Identity of one cacheable transform result.
+struct CacheKey {
+    std::uint64_t digest_lo = 0;  ///< lane 0 of the image-content digest
+    std::uint64_t digest_hi = 0;  ///< lane 1
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    std::uint8_t taps = 0;
+    std::uint8_t levels = 0;
+    std::uint8_t boundary = 0;
+
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+    [[nodiscard]] std::size_t operator()(const CacheKey& k) const noexcept {
+        // The digest is already uniform; fold in the cheap fields.
+        std::uint64_t h = k.digest_lo ^ (k.digest_hi * 0x9e3779b97f4a7c15ULL);
+        h ^= (std::uint64_t{k.rows} << 32) | k.cols;
+        h ^= (std::uint64_t{k.taps} << 16) | (std::uint64_t{k.levels} << 8) |
+             k.boundary;
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/// 128-bit content digest of the raw pixel bytes.
+void content_digest(const core::ImageF& img, std::uint64_t& lo, std::uint64_t& hi);
+
+/// Assemble the full key for a transform request. Cost is one linear pass
+/// over the pixels; callers hash outside any service lock.
+[[nodiscard]] CacheKey make_cache_key(const core::ImageF& img, int taps, int levels,
+                                      core::BoundaryMode boundary);
+
+}  // namespace wavehpc::svc

@@ -1,0 +1,37 @@
+#include "svc/metrics.hpp"
+
+#include <ostream>
+
+#include "perf/report.hpp"
+
+namespace wavehpc::svc {
+
+void print_service_metrics(std::ostream& os, const std::string& label,
+                           const MetricsSnapshot& m, const CacheStats& cache) {
+    const auto& c = m.counters;
+    os << label << ": submitted=" << c.submitted << " accepted=" << c.accepted
+       << " rejected=" << c.rejected << " completed=" << c.completed
+       << " computes=" << c.computes << " cache_hits=" << c.cache_hits
+       << " dedup_joins=" << c.dedup_joins
+       << " failures(deadline/shutdown/compute)=" << c.deadline_failures << "/"
+       << c.shutdown_failures << "/" << c.compute_failures
+       << " queue_depth=" << m.queue_depth << " running=" << m.running
+       << " queued_bytes=" << m.queued_bytes << "\n";
+
+    perf::TableWriter lat(perf::latency_headers("latency"));
+    perf::print_latency_row(lat, "queue_wait", m.queue_wait);
+    perf::print_latency_row(lat, "compute", m.compute);
+    perf::print_latency_row(lat, "total", m.total);
+    lat.print(os);
+
+    perf::TableWriter ct({"cache", "hits", "misses", "hit_rate", "entries",
+                          "bytes", "budget", "evictions", "evicted_bytes"});
+    ct.add_row({"results", std::to_string(cache.hits), std::to_string(cache.misses),
+                perf::TableWriter::pct(cache.hit_rate()),
+                std::to_string(cache.entries), std::to_string(cache.bytes_in_use),
+                std::to_string(cache.byte_budget), std::to_string(cache.evictions),
+                std::to_string(cache.evicted_bytes)});
+    ct.print(os);
+}
+
+}  // namespace wavehpc::svc

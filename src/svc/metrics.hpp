@@ -1,0 +1,47 @@
+#pragma once
+// Observable state of the pyramid service, in the style of perf/pool_stats:
+// monotonic counters + latency histograms snapshotted on demand, printed as
+// the same fixed-width tables the bench binaries use.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "perf/histogram.hpp"
+#include "svc/cache.hpp"
+
+namespace wavehpc::svc {
+
+/// Monotonic event counters. "submitted = accepted + rejected" and
+/// "accepted = cache_hits + dedup_joins + computes + compute-path failures"
+/// hold at quiescence (between submits, after futures resolve).
+struct ServiceCounters {
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;           ///< admission backpressure
+    std::uint64_t cache_hits = 0;         ///< answered straight from the cache
+    std::uint64_t dedup_joins = 0;        ///< joined an identical in-flight request
+    std::uint64_t computes = 0;           ///< cold transforms actually run
+    std::uint64_t completed = 0;          ///< replies delivered with a value
+    std::uint64_t deadline_failures = 0;  ///< failed queued past their deadline
+    std::uint64_t shutdown_failures = 0;  ///< failed queued at shutdown
+    std::uint64_t compute_failures = 0;   ///< transform threw (propagated)
+};
+
+/// One coherent observation of the service.
+struct MetricsSnapshot {
+    ServiceCounters counters;
+    perf::LatencyHistogram queue_wait;  ///< admit -> compute start, computed flights
+    perf::LatencyHistogram compute;     ///< transform wall time, computed flights
+    perf::LatencyHistogram total;       ///< submit -> reply, every completed request
+    std::size_t queue_depth = 0;        ///< flights admitted, not yet dispatched
+    std::size_t running = 0;            ///< flights currently computing
+    std::uint64_t queued_bytes = 0;     ///< image bytes held by queue + running
+};
+
+/// Print the full service report (counters, latency table, cache table)
+/// under a one-line label; the load bench and example use it verbatim.
+void print_service_metrics(std::ostream& os, const std::string& label,
+                           const MetricsSnapshot& m, const CacheStats& cache);
+
+}  // namespace wavehpc::svc

@@ -1,0 +1,98 @@
+#pragma once
+// Typed request/reply surface of the pyramid service (service.hpp).
+//
+// A TransformRequest names a scene (by shared pointer — the service holds
+// a reference until the transform finishes), the paper's transform
+// parameters, a backend, and scheduling attributes (priority, absolute
+// deadline). submit() answers synchronously with accept-or-reject
+// (backpressure), and an accepted request resolves through a shared
+// future: value on success, DeadlineExpiredError / ServiceShutdownError
+// on the two administrative failure paths.
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+
+#include "core/boundary.hpp"
+#include "core/dwt.hpp"
+#include "core/image.hpp"
+#include "svc/hash.hpp"
+
+namespace wavehpc::svc {
+
+using Clock = std::chrono::steady_clock;
+
+/// Which transform implementation serves the request. All backends are
+/// bit-identical (the cache depends on it — see hash.hpp).
+enum class Backend : std::uint8_t {
+    Serial,   ///< core::decompose on the service worker
+    Threads,  ///< wavelet::decompose_parallel on the shared pool
+};
+
+/// Scheduling class; higher runs first. Interactive additionally maps to
+/// the runtime pool's high-priority queue.
+enum class Priority : std::uint8_t { Background = 0, Normal = 1, Interactive = 2 };
+
+struct TransformRequest {
+    std::shared_ptr<const core::ImageF> image;  ///< required, non-null
+    int taps = 8;                               ///< filter size (2/4/6/8)
+    int levels = 1;
+    core::BoundaryMode boundary = core::BoundaryMode::Periodic;
+    Backend backend = Backend::Threads;
+    Priority priority = Priority::Normal;
+    /// Absolute steady-clock deadline; a request still queued past it is
+    /// failed, never computed. time_point::max() = no deadline.
+    Clock::time_point deadline = Clock::time_point::max();
+};
+
+/// The immutable computed artifact, shared (never copied) between the
+/// cache and every waiter of every deduplicated request.
+struct TransformResult {
+    core::Pyramid pyramid;
+    CacheKey key;
+    std::uint64_t result_bytes = 0;    ///< pyramid payload, for cache budget
+    double compute_seconds = 0.0;      ///< the cold compute that produced it
+};
+
+/// Per-request outcome delivered through the future. `result` is shared:
+/// N deduplicated waiters observe the same TransformResult object.
+struct TransformReply {
+    std::shared_ptr<const TransformResult> result;
+    bool cache_hit = false;       ///< served directly from the result cache
+    bool shared_flight = false;   ///< joined an identical in-flight request
+    double queue_seconds = 0.0;   ///< submit -> compute start (0 for cache hit)
+    double compute_seconds = 0.0; ///< transform time (0 unless this flight computed)
+    double total_seconds = 0.0;   ///< submit -> reply
+};
+
+using TransformFuture = std::shared_future<TransformReply>;
+
+/// The request sat in the queue past its deadline; it was failed without
+/// being computed.
+class DeadlineExpiredError : public std::runtime_error {
+public:
+    DeadlineExpiredError() : std::runtime_error("pyramid service: deadline expired before compute") {}
+};
+
+/// The service was shut down while the request was still queued; accepted
+/// in-flight work was drained, queued work fails with this.
+class ServiceShutdownError : public std::runtime_error {
+public:
+    ServiceShutdownError() : std::runtime_error("pyramid service: shut down with request still queued") {}
+};
+
+/// Synchronous answer of PyramidService::submit.
+struct SubmitResult {
+    bool accepted = false;
+    /// Backpressure hint when rejected: suggested client wait before
+    /// retrying, from the current backlog and smoothed service time.
+    double retry_after_seconds = 0.0;
+    /// Valid (joinable) only when accepted.
+    TransformFuture future;
+};
+
+/// Pyramid payload size in bytes, the unit of the cache byte budget.
+[[nodiscard]] std::uint64_t pyramid_bytes(const core::Pyramid& pyr) noexcept;
+
+}  // namespace wavehpc::svc

@@ -1,0 +1,310 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "wavelet/threads_dwt.hpp"
+
+namespace wavehpc::svc {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0') return fallback;
+    return std::max<std::uint64_t>(1, v);
+}
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+ServiceConfig ServiceConfig::from_env() {
+    ServiceConfig cfg;
+    cfg.max_queue_depth =
+        static_cast<std::size_t>(env_u64("WAVEHPC_SVC_QUEUE_DEPTH", cfg.max_queue_depth));
+    cfg.max_queued_bytes = env_u64("WAVEHPC_SVC_QUEUE_BYTES", cfg.max_queued_bytes);
+    cfg.max_concurrency =
+        static_cast<std::size_t>(env_u64("WAVEHPC_SVC_CONCURRENCY", cfg.max_concurrency));
+    cfg.cache_bytes = env_u64("WAVEHPC_SVC_CACHE_BYTES", cfg.cache_bytes);
+    return cfg;
+}
+
+PyramidService::PyramidService(runtime::ThreadPool& pool, ServiceConfig cfg)
+    : pool_(pool), cfg_(cfg), cache_(cfg.cache_bytes) {}
+
+PyramidService::~PyramidService() { shutdown(); }
+
+SubmitResult PyramidService::submit(TransformRequest request) {
+    if (!request.image) {
+        throw std::invalid_argument("PyramidService::submit: null image");
+    }
+    core::validate_decomposition_request(request.image->rows(),
+                                         request.image->cols(), request.levels);
+    (void)core::FilterPair::daubechies(request.taps);  // eager taps validation
+
+    const auto submitted_at = Clock::now();
+    // Hash outside the lock: one linear pass over the pixels.
+    const CacheKey key = make_cache_key(*request.image, request.taps,
+                                        request.levels, request.boundary);
+    const auto image_bytes =
+        static_cast<std::uint64_t>(request.image->size()) * sizeof(float);
+
+    std::vector<FailureBatch> failures;
+    SubmitResult out;
+    {
+        std::unique_lock lk(mu_);
+        ++counters_.submitted;
+
+        if (stopping_) {
+            ++counters_.rejected;
+            out.accepted = false;
+            out.retry_after_seconds = std::numeric_limits<double>::infinity();
+            return out;
+        }
+
+        if (auto hit = cache_.lookup(key)) {
+            ++counters_.accepted;
+            ++counters_.cache_hits;
+            ++counters_.completed;
+            TransformReply reply;
+            reply.result = std::move(hit);
+            reply.cache_hit = true;
+            reply.total_seconds = seconds_between(submitted_at, Clock::now());
+            total_hist_.record(reply.total_seconds);
+            std::promise<TransformReply> ready;
+            out.future = ready.get_future().share();
+            ready.set_value(std::move(reply));
+            out.accepted = true;
+            return out;
+        }
+
+        if (const auto it = flights_.find(key); it != flights_.end()) {
+            // Single-flight: identical request already admitted — join it.
+            Flight& flight = *it->second;
+            Waiter waiter;
+            waiter.submitted_at = submitted_at;
+            waiter.joined = true;
+            out.future = waiter.promise.get_future().share();
+            flight.waiters.push_back(std::move(waiter));
+            const Priority prio = std::max(flight.priority, request.priority);
+            const auto deadline = std::max(flight.deadline, request.deadline);
+            if (prio != flight.priority || deadline != flight.deadline) {
+                if (!flight.dispatched) pending_.erase(&flight);
+                flight.priority = prio;
+                flight.deadline = deadline;
+                if (!flight.dispatched) pending_.insert(&flight);
+            }
+            ++counters_.accepted;
+            ++counters_.dedup_joins;
+            out.accepted = true;
+            return out;
+        }
+
+        if (pending_.size() >= cfg_.max_queue_depth ||
+            queued_bytes_ + image_bytes > cfg_.max_queued_bytes) {
+            ++counters_.rejected;
+            out.accepted = false;
+            out.retry_after_seconds = retry_after_locked();
+            return out;
+        }
+
+        auto flight = std::make_shared<Flight>();
+        flight->key = key;
+        flight->request = std::move(request);
+        flight->image_bytes = image_bytes;
+        flight->priority = flight->request.priority;
+        flight->deadline = flight->request.deadline;
+        flight->seq = next_seq_++;
+        flight->admitted_at = submitted_at;
+        Waiter waiter;
+        waiter.submitted_at = submitted_at;
+        out.future = waiter.promise.get_future().share();
+        flight->waiters.push_back(std::move(waiter));
+        pending_.insert(flight.get());
+        flights_.emplace(key, std::move(flight));
+        queued_bytes_ += image_bytes;
+        ++counters_.accepted;
+        out.accepted = true;
+
+        dispatch_ready(lk, failures);
+    }
+    deliver_failures(failures);
+    return out;
+}
+
+double PyramidService::retry_after_locked() const {
+    const double per_request =
+        ewma_compute_seconds_ > 0.0 ? ewma_compute_seconds_ : 0.05;
+    const double backlog = static_cast<double>(pending_.size() + running_ + 1);
+    const double eta =
+        backlog * per_request / static_cast<double>(cfg_.max_concurrency);
+    return std::clamp(eta, 1e-3, 30.0);
+}
+
+void PyramidService::remove_flight_locked(Flight& flight) {
+    queued_bytes_ -= flight.image_bytes;
+    const CacheKey key = flight.key;  // copy: erase destroys the flight
+    flights_.erase(key);
+}
+
+void PyramidService::dispatch_ready(std::unique_lock<std::mutex>& lk,
+                                    std::vector<FailureBatch>& failures) {
+    (void)lk;  // documents the precondition: mu_ is held
+    const auto now = Clock::now();
+    while (running_ < cfg_.max_concurrency && !pending_.empty()) {
+        Flight* flight = *pending_.begin();
+        pending_.erase(pending_.begin());
+        if (flight->deadline < now) {
+            // Expired while queued: fail, never compute.
+            counters_.deadline_failures += flight->waiters.size();
+            failures.push_back(
+                {std::move(flight->waiters),
+                 std::make_exception_ptr(DeadlineExpiredError{})});
+            remove_flight_locked(*flight);
+            continue;
+        }
+        flight->dispatched = true;
+        ++running_;
+        auto sp = flights_.at(flight->key);
+        const auto prio = flight->priority == Priority::Interactive
+                              ? runtime::TaskPriority::High
+                              : runtime::TaskPriority::Normal;
+        pool_.submit([this, sp = std::move(sp)] { run_flight(sp); }, prio);
+    }
+}
+
+void PyramidService::run_flight(const std::shared_ptr<Flight>& flight) {
+    const auto start = Clock::now();
+    std::vector<FailureBatch> failures;
+    {
+        std::unique_lock lk(mu_);
+        if (flight->deadline < start) {
+            // Expired between dispatch and a pool slot freeing up.
+            counters_.deadline_failures += flight->waiters.size();
+            failures.push_back(
+                {std::move(flight->waiters),
+                 std::make_exception_ptr(DeadlineExpiredError{})});
+            remove_flight_locked(*flight);
+            --running_;
+            dispatch_ready(lk, failures);
+            if (stopping_ && running_ == 0) cv_drained_.notify_all();
+            lk.unlock();
+            deliver_failures(failures);
+            return;
+        }
+        ++counters_.computes;
+    }
+
+    const TransformRequest& req = flight->request;
+    std::shared_ptr<const TransformResult> result;
+    std::exception_ptr compute_error;
+    try {
+        const auto fp = core::FilterPair::daubechies(req.taps);
+        core::Pyramid pyr =
+            req.backend == Backend::Serial
+                ? core::decompose(*req.image, fp, req.levels, req.boundary)
+                : wavelet::decompose_parallel(*req.image, fp, req.levels,
+                                              req.boundary, pool_);
+        auto owned = std::make_shared<TransformResult>();
+        owned->pyramid = std::move(pyr);
+        owned->key = flight->key;
+        owned->result_bytes = pyramid_bytes(owned->pyramid);
+        owned->compute_seconds = seconds_between(start, Clock::now());
+        result = std::move(owned);
+    } catch (...) {
+        compute_error = std::current_exception();
+    }
+    const auto finish = Clock::now();
+
+    std::vector<Waiter> waiters;
+    {
+        std::unique_lock lk(mu_);
+        waiters = std::move(flight->waiters);  // includes joins during compute
+        remove_flight_locked(*flight);
+        --running_;
+        if (result) {
+            cache_.insert(flight->key, result);
+            const double compute_seconds = result->compute_seconds;
+            queue_wait_hist_.record(seconds_between(flight->admitted_at, start));
+            compute_hist_.record(compute_seconds);
+            ewma_compute_seconds_ = ewma_compute_seconds_ == 0.0
+                                        ? compute_seconds
+                                        : 0.8 * ewma_compute_seconds_ +
+                                              0.2 * compute_seconds;
+            counters_.completed += waiters.size();
+            for (const Waiter& w : waiters) {
+                total_hist_.record(seconds_between(w.submitted_at, finish));
+            }
+        } else {
+            counters_.compute_failures += waiters.size();
+        }
+        dispatch_ready(lk, failures);
+        if (stopping_ && running_ == 0) cv_drained_.notify_all();
+    }
+
+    if (result) {
+        for (Waiter& w : waiters) {
+            TransformReply reply;
+            reply.result = result;
+            reply.shared_flight = w.joined;
+            reply.queue_seconds = seconds_between(w.submitted_at, start);
+            reply.compute_seconds = result->compute_seconds;
+            reply.total_seconds = seconds_between(w.submitted_at, finish);
+            w.promise.set_value(std::move(reply));
+        }
+    } else {
+        for (Waiter& w : waiters) w.promise.set_exception(compute_error);
+    }
+    deliver_failures(failures);
+}
+
+void PyramidService::deliver_failures(std::vector<FailureBatch>& failures) {
+    for (FailureBatch& batch : failures) {
+        for (Waiter& w : batch.waiters) w.promise.set_exception(batch.error);
+    }
+    failures.clear();
+}
+
+void PyramidService::shutdown() {
+    std::vector<FailureBatch> failures;
+    {
+        std::unique_lock lk(mu_);
+        if (!stopping_) {
+            stopping_ = true;
+            for (Flight* flight : pending_) {
+                counters_.shutdown_failures += flight->waiters.size();
+                failures.push_back(
+                    {std::move(flight->waiters),
+                     std::make_exception_ptr(ServiceShutdownError{})});
+                remove_flight_locked(*flight);
+            }
+            pending_.clear();
+        }
+    }
+    deliver_failures(failures);
+    std::unique_lock lk(mu_);
+    cv_drained_.wait(lk, [this] { return running_ == 0; });
+}
+
+MetricsSnapshot PyramidService::metrics() const {
+    std::lock_guard lk(mu_);
+    MetricsSnapshot m;
+    m.counters = counters_;
+    m.queue_wait = queue_wait_hist_;
+    m.compute = compute_hist_;
+    m.total = total_hist_;
+    m.queue_depth = pending_.size();
+    m.running = running_;
+    m.queued_bytes = queued_bytes_;
+    return m;
+}
+
+}  // namespace wavehpc::svc

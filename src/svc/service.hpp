@@ -1,0 +1,153 @@
+#pragma once
+// In-process wavelet pyramid service: the "front door" the operational
+// pipelines in the paper's setting need — accepts concurrent transform
+// requests, batches identical ones, caches results, and sheds load.
+//
+// Layering (one mutex, no dedicated threads):
+//
+//   submit() ── cache hit ──────────────────────────► ready future
+//        │
+//        ├── identical request already in flight ───► join it (single-flight)
+//        │
+//        ├── admission control: queue depth or in-flight image bytes
+//        │   over budget ──────────────────────────► reject + retry-after
+//        │
+//        └── admit ► pending set ordered by (priority, deadline, seq)
+//                       │ dispatched when a concurrency slot frees,
+//                       ▼ onto the shared runtime pool (Interactive
+//                    run_flight  requests use the pool's High queue)
+//                       │ compute (serial or pool-parallel, bit-identical)
+//                       ▼
+//                    finalize: insert into cache, fulfil every waiter
+//                    with the same shared buffer, dispatch next
+//
+// Invariants the tests pin:
+//   * Backpressure, never unbounded growth: submit() past the budgets
+//     answers rejected immediately; it never blocks.
+//   * Single-flight determinism: N concurrent identical requests run the
+//     transform once; all futures resolve to the same TransformResult
+//     object, and a later cache hit returns that object again —
+//     bit-identical to a cold core::decompose by construction.
+//   * Deadline-expired requests are failed (DeadlineExpiredError), never
+//     computed.
+//   * shutdown() drains: dispatched flights complete and deliver values;
+//     still-queued flights fail with ServiceShutdownError; afterwards the
+//     service is quiescent and further submits are rejected.
+//
+// The ThreadPool must outlive the service, and the service must be shut
+// down (or destroyed — the destructor drains) before the pool.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "svc/cache.hpp"
+#include "svc/metrics.hpp"
+#include "svc/request.hpp"
+
+namespace wavehpc::svc {
+
+struct ServiceConfig {
+    std::size_t max_queue_depth = 64;           ///< pending flights
+    std::uint64_t max_queued_bytes = 256u << 20;  ///< image bytes, pending + running
+    std::size_t max_concurrency = 2;            ///< flights computing at once
+    std::uint64_t cache_bytes = 64u << 20;      ///< result cache budget
+
+    /// Defaults overridden by WAVEHPC_SVC_QUEUE_DEPTH / WAVEHPC_SVC_QUEUE_BYTES /
+    /// WAVEHPC_SVC_CONCURRENCY / WAVEHPC_SVC_CACHE_BYTES (unset or
+    /// unparsable variables keep the default; zeroes are clamped to 1).
+    [[nodiscard]] static ServiceConfig from_env();
+};
+
+class PyramidService {
+public:
+    explicit PyramidService(runtime::ThreadPool& pool, ServiceConfig cfg = {});
+
+    /// Drains via shutdown() if the caller has not already.
+    ~PyramidService();
+
+    PyramidService(const PyramidService&) = delete;
+    PyramidService& operator=(const PyramidService&) = delete;
+
+    /// Synchronous admission decision; never blocks on compute. Throws
+    /// std::invalid_argument for malformed requests (null image, bad
+    /// taps/levels for the image size) — that is a caller bug, not load.
+    [[nodiscard]] SubmitResult submit(TransformRequest request);
+
+    /// Graceful drain: fail everything still queued (ServiceShutdownError),
+    /// wait for dispatched flights to complete and deliver. Idempotent;
+    /// concurrent callers all block until quiescence.
+    void shutdown();
+
+    [[nodiscard]] MetricsSnapshot metrics() const;
+    [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+    [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+private:
+    /// One admitted unit of work; N deduplicated requests share a flight.
+    struct Waiter {
+        std::promise<TransformReply> promise;
+        Clock::time_point submitted_at;
+        bool joined = false;  ///< true for every waiter after the first
+    };
+
+    struct Flight {
+        CacheKey key;
+        TransformRequest request;  ///< first requester's params + image ref
+        std::uint64_t image_bytes = 0;
+        std::vector<Waiter> waiters;
+        Priority priority;               ///< max over joined requests
+        Clock::time_point deadline;      ///< latest over joined requests
+        std::uint64_t seq = 0;           ///< admission order tiebreak
+        Clock::time_point admitted_at;
+        bool dispatched = false;
+    };
+
+    struct PendingOrder {
+        bool operator()(const Flight* a, const Flight* b) const noexcept {
+            if (a->priority != b->priority) return a->priority > b->priority;
+            if (a->deadline != b->deadline) return a->deadline < b->deadline;
+            return a->seq < b->seq;
+        }
+    };
+
+    /// Waiters to fail once the lock is released (promises must not be
+    /// fulfilled under mu_ — a ready-made continuation could re-enter).
+    struct FailureBatch {
+        std::vector<Waiter> waiters;
+        std::exception_ptr error;
+    };
+
+    void dispatch_ready(std::unique_lock<std::mutex>& lk,
+                        std::vector<FailureBatch>& failures);
+    void run_flight(const std::shared_ptr<Flight>& flight);
+    void deliver_failures(std::vector<FailureBatch>& failures);
+    [[nodiscard]] double retry_after_locked() const;
+    void remove_flight_locked(Flight& flight);
+
+    runtime::ThreadPool& pool_;
+    const ServiceConfig cfg_;
+    ResultCache cache_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_drained_;
+    bool stopping_ = false;
+    std::uint64_t next_seq_ = 0;
+    std::size_t running_ = 0;
+    std::uint64_t queued_bytes_ = 0;  // image bytes of pending + running flights
+    double ewma_compute_seconds_ = 0.0;
+    std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash> flights_;
+    std::set<Flight*, PendingOrder> pending_;
+
+    ServiceCounters counters_;
+    perf::LatencyHistogram queue_wait_hist_;
+    perf::LatencyHistogram compute_hist_;
+    perf::LatencyHistogram total_hist_;
+};
+
+}  // namespace wavehpc::svc

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "mesh/collectives.hpp"
+#include "perf/histogram.hpp"
 #include "perf/report.hpp"
 
 namespace {
@@ -94,6 +95,73 @@ TEST(TableWriterTest, SpeedupSeriesPrints) {
                                         speedup_table({1, 2}, {2.0, 1.0}, 2.0));
     EXPECT_NE(os.str().find("speedup"), std::string::npos);
     EXPECT_NE(os.str().find("2.00"), std::string::npos);
+}
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+    wavehpc::perf::LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0U);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, ExactStatsAndBoundedQuantileError) {
+    wavehpc::perf::LatencyHistogram h;
+    for (int i = 1; i <= 1000; ++i) h.record(1e-3 * i);  // 1 ms .. 1 s uniform
+    EXPECT_EQ(h.count(), 1000U);
+    EXPECT_FLOAT_EQ(static_cast<float>(h.min()), 1e-3F);
+    EXPECT_FLOAT_EQ(static_cast<float>(h.max()), 1.0F);
+    EXPECT_NEAR(h.mean(), 0.5005, 1e-9);
+    // Geometric buckets bound the relative error by the bucket ratio (~1.45).
+    EXPECT_NEAR(h.quantile(0.50), 0.5, 0.5 * 0.45);
+    EXPECT_NEAR(h.quantile(0.95), 0.95, 0.95 * 0.45);
+    EXPECT_GE(h.quantile(0.99), h.quantile(0.50));
+    EXPECT_LE(h.quantile(1.0), h.max());
+    EXPECT_GE(h.quantile(0.0), h.min());
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+    wavehpc::perf::LatencyHistogram a;
+    wavehpc::perf::LatencyHistogram b;
+    wavehpc::perf::LatencyHistogram both;
+    for (int i = 1; i <= 100; ++i) {
+        a.record(1e-6 * i);
+        both.record(1e-6 * i);
+    }
+    for (int i = 1; i <= 100; ++i) {
+        b.record(1e-2 * i);
+        both.record(1e-2 * i);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+    EXPECT_DOUBLE_EQ(a.min(), both.min());
+    EXPECT_DOUBLE_EQ(a.max(), both.max());
+    EXPECT_DOUBLE_EQ(a.quantile(0.9), both.quantile(0.9));
+}
+
+TEST(LatencyHistogram, OutOfRangeSamplesClampToEdgeBuckets) {
+    wavehpc::perf::LatencyHistogram h;
+    h.record(-1.0);    // clamps to 0
+    h.record(1e-12);   // below first edge
+    h.record(1e9);     // beyond last edge
+    EXPECT_EQ(h.count(), 3U);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 1e9);
+    EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogram, PrintsTableRow) {
+    wavehpc::perf::LatencyHistogram h;
+    h.record(2e-3);
+    TableWriter tw(wavehpc::perf::latency_headers("metric"));
+    wavehpc::perf::print_latency_row(tw, "total", h);
+    std::ostringstream os;
+    tw.print(os);
+    EXPECT_NE(os.str().find("total"), std::string::npos);
+    EXPECT_NE(os.str().find("p99"), std::string::npos);
+    EXPECT_NE(os.str().find("ms"), std::string::npos);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -251,6 +253,36 @@ TEST(ThreadPool, MetricsCountTasksGroupsAndQueueDepth) {
     const auto z = pool.metrics();
     EXPECT_EQ(z.tasks_executed, 0U);
     EXPECT_EQ(z.queue_high_water, 0U);
+}
+
+TEST(ThreadPool, HighPrioritySubmitOvertakesQueuedNormalWork) {
+    using wavehpc::runtime::ScopedTaskGroup;
+    using wavehpc::runtime::TaskPriority;
+    // One worker, blocked on a latch, so everything below queues behind it
+    // in a deterministic order; the High task must run before the three
+    // Normal ones that were enqueued first.
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> opened(gate.get_future());
+    std::vector<int> order;
+    std::mutex order_mu;
+    auto record = [&](int id) {
+        std::lock_guard lk(order_mu);
+        order.push_back(id);
+    };
+    ScopedTaskGroup group(pool);
+    group.submit([opened] { opened.wait(); });
+    for (int id = 0; id < 3; ++id) {
+        group.submit([&record, id] { record(id); });
+    }
+    group.submit([&record] { record(99); }, TaskPriority::High);
+    gate.set_value();
+    group.wait();
+    ASSERT_EQ(order.size(), 4U);
+    EXPECT_EQ(order[0], 99);
+    EXPECT_EQ(order[1], 0);
+    EXPECT_EQ(order[2], 1);
+    EXPECT_EQ(order[3], 2);
 }
 
 }  // namespace

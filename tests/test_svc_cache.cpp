@@ -1,0 +1,232 @@
+// Content-addressed result cache + single-flight invariants (ISSUE 4):
+// digest sensitivity, LRU eviction order under a byte budget, hit
+// bit-identity with a cold compute, and one-transform-many-waiters.
+
+#include "svc/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/dwt.hpp"
+#include "core/synthetic.hpp"
+#include "svc/hash.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using wavehpc::core::BoundaryMode;
+using wavehpc::core::FilterPair;
+using wavehpc::core::ImageF;
+using wavehpc::core::Pyramid;
+using wavehpc::runtime::ThreadPool;
+using wavehpc::svc::Backend;
+using wavehpc::svc::CacheKey;
+using wavehpc::svc::make_cache_key;
+using wavehpc::svc::PyramidService;
+using wavehpc::svc::ResultCache;
+using wavehpc::svc::ServiceConfig;
+using wavehpc::svc::TransformRequest;
+using wavehpc::svc::TransformResult;
+
+std::shared_ptr<const ImageF> scene(std::size_t n, std::uint64_t seed) {
+    return std::make_shared<const ImageF>(wavehpc::core::landsat_tm_like(n, n, seed));
+}
+
+std::shared_ptr<const TransformResult> fake_result(const CacheKey& key,
+                                                   std::uint64_t bytes) {
+    auto r = std::make_shared<TransformResult>();
+    r->key = key;
+    r->result_bytes = bytes;
+    return r;
+}
+
+CacheKey key_of(std::uint64_t tag) {
+    CacheKey k;
+    k.digest_lo = tag;
+    k.digest_hi = ~tag;
+    k.rows = k.cols = 64;
+    k.taps = 4;
+    k.levels = 1;
+    return k;
+}
+
+TEST(CacheKeyTest, SameContentSameKey) {
+    const auto a = scene(32, 7);
+    const auto b = scene(32, 7);  // regenerated, equal bytes
+    EXPECT_EQ(make_cache_key(*a, 8, 1, BoundaryMode::Periodic),
+              make_cache_key(*b, 8, 1, BoundaryMode::Periodic));
+}
+
+TEST(CacheKeyTest, KeySensitiveToContentAndEveryParameter) {
+    const auto img = scene(32, 7);
+    const auto base = make_cache_key(*img, 8, 1, BoundaryMode::Periodic);
+
+    ImageF tweaked = *img;
+    tweaked(13, 21) += 0.5F;
+    EXPECT_NE(make_cache_key(tweaked, 8, 1, BoundaryMode::Periodic), base);
+
+    EXPECT_NE(make_cache_key(*img, 4, 1, BoundaryMode::Periodic), base);
+    EXPECT_NE(make_cache_key(*img, 8, 2, BoundaryMode::Periodic), base);
+    EXPECT_NE(make_cache_key(*img, 8, 1, BoundaryMode::Symmetric), base);
+
+    // Transposed dimensions with identical bytes must differ too.
+    const ImageF tall(64, 16, std::vector<float>(img->flat().begin(),
+                                                 img->flat().end()));
+    EXPECT_NE(make_cache_key(tall, 8, 1, BoundaryMode::Periodic), base);
+}
+
+TEST(ResultCacheTest, LruEvictsOldestUnderByteBudget) {
+    ResultCache cache(100);
+    cache.insert(key_of(1), fake_result(key_of(1), 40));
+    cache.insert(key_of(2), fake_result(key_of(2), 40));
+    cache.insert(key_of(3), fake_result(key_of(3), 40));  // evicts key 1
+
+    EXPECT_EQ(cache.lookup(key_of(1)), nullptr);
+    EXPECT_NE(cache.lookup(key_of(2)), nullptr);
+    EXPECT_NE(cache.lookup(key_of(3)), nullptr);
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.evictions, 1U);
+    EXPECT_EQ(s.evicted_bytes, 40U);
+    EXPECT_EQ(s.entries, 2U);
+    EXPECT_EQ(s.bytes_in_use, 80U);
+}
+
+TEST(ResultCacheTest, LookupRefreshesRecency) {
+    ResultCache cache(100);
+    cache.insert(key_of(1), fake_result(key_of(1), 40));
+    cache.insert(key_of(2), fake_result(key_of(2), 40));
+    ASSERT_NE(cache.lookup(key_of(1)), nullptr);      // 1 becomes MRU
+    cache.insert(key_of(3), fake_result(key_of(3), 40));  // evicts 2, not 1
+
+    EXPECT_NE(cache.lookup(key_of(1)), nullptr);
+    EXPECT_EQ(cache.lookup(key_of(2)), nullptr);
+    const auto order = cache.keys_mru_first();
+    ASSERT_EQ(order.size(), 2U);
+    EXPECT_EQ(order[0], key_of(1));
+    EXPECT_EQ(order[1], key_of(3));
+}
+
+TEST(ResultCacheTest, OversizedResultIsNotCached) {
+    ResultCache cache(100);
+    cache.insert(key_of(1), fake_result(key_of(1), 40));
+    cache.insert(key_of(9), fake_result(key_of(9), 1000));
+    EXPECT_EQ(cache.lookup(key_of(9)), nullptr);
+    EXPECT_NE(cache.lookup(key_of(1)), nullptr);  // smaller entry survived
+    const auto s = cache.stats();
+    EXPECT_EQ(s.rejected_oversize, 1U);
+    EXPECT_EQ(s.evictions, 0U);
+}
+
+TEST(ResultCacheTest, ReinsertKeepsExistingBuffer) {
+    ResultCache cache(100);
+    const auto first = fake_result(key_of(1), 40);
+    cache.insert(key_of(1), first);
+    cache.insert(key_of(1), fake_result(key_of(1), 40));
+    EXPECT_EQ(cache.lookup(key_of(1)), first);
+    EXPECT_EQ(cache.stats().entries, 1U);
+    EXPECT_EQ(cache.stats().bytes_in_use, 40U);
+}
+
+// ---------------------------------------------------------------- service
+
+TEST(ServiceCacheTest, HitIsBitIdenticalToColdCompute) {
+    ThreadPool pool(2);
+    PyramidService service(pool);
+    const auto img = scene(64, 1996);
+    TransformRequest req;
+    req.image = img;
+    req.taps = 4;
+    req.levels = 2;
+
+    auto cold = service.submit(req);
+    ASSERT_TRUE(cold.accepted);
+    const auto cold_reply = cold.future.get();
+    EXPECT_FALSE(cold_reply.cache_hit);
+
+    auto warm = service.submit(req);
+    ASSERT_TRUE(warm.accepted);
+    const auto warm_reply = warm.future.get();
+    EXPECT_TRUE(warm_reply.cache_hit);
+    // Same buffer, and bit-identical to an out-of-band sequential compute.
+    EXPECT_EQ(warm_reply.result, cold_reply.result);
+    const Pyramid reference = wavehpc::core::decompose(
+        *img, FilterPair::daubechies(4), 2, BoundaryMode::Periodic);
+    ASSERT_EQ(warm_reply.result->pyramid.depth(), reference.depth());
+    for (std::size_t k = 0; k < reference.depth(); ++k) {
+        EXPECT_EQ(warm_reply.result->pyramid.levels[k].lh, reference.levels[k].lh);
+        EXPECT_EQ(warm_reply.result->pyramid.levels[k].hl, reference.levels[k].hl);
+        EXPECT_EQ(warm_reply.result->pyramid.levels[k].hh, reference.levels[k].hh);
+    }
+    EXPECT_EQ(warm_reply.result->pyramid.approx, reference.approx);
+
+    const auto cs = service.cache_stats();
+    EXPECT_EQ(cs.hits, 1U);
+    EXPECT_EQ(service.metrics().counters.computes, 1U);
+    service.shutdown();
+}
+
+TEST(ServiceCacheTest, ThreadsBackendHitsSerialBackendEntry) {
+    // The key excludes the backend (all backends are bit-identical), so a
+    // Threads request after a Serial compute is a cache hit.
+    ThreadPool pool(2);
+    PyramidService service(pool);
+    const auto img = scene(32, 5);
+    TransformRequest req;
+    req.image = img;
+    req.taps = 2;
+    req.levels = 1;
+    req.backend = Backend::Serial;
+    auto cold = service.submit(req);
+    ASSERT_TRUE(cold.accepted);
+    (void)cold.future.get();  // wait, or the next submit joins the flight
+
+    req.backend = Backend::Threads;
+    const auto reply = service.submit(req).future.get();
+    EXPECT_TRUE(reply.cache_hit);
+    service.shutdown();
+}
+
+TEST(ServiceCacheTest, SingleFlightSharesOneComputeAcrossWaiters) {
+    // One pool worker held by a gate: the first submit dispatches but its
+    // compute sits queued behind the gate, so the next four identical
+    // submits deterministically join the in-flight request.
+    ThreadPool pool(1);
+    PyramidService service(pool, ServiceConfig{.max_concurrency = 1});
+    std::promise<void> gate;
+    std::shared_future<void> opened(gate.get_future());
+    pool.submit([opened] { opened.wait(); });
+
+    const auto img = scene(32, 11);
+    TransformRequest req;
+    req.image = img;
+    req.taps = 4;
+    req.levels = 1;
+    req.backend = Backend::Serial;
+
+    std::vector<wavehpc::svc::TransformFuture> futures;
+    for (int i = 0; i < 5; ++i) {
+        auto sub = service.submit(req);
+        ASSERT_TRUE(sub.accepted);
+        futures.push_back(std::move(sub.future));
+    }
+    EXPECT_EQ(service.metrics().counters.dedup_joins, 4U);
+    gate.set_value();
+
+    const auto first = futures[0].get();
+    EXPECT_FALSE(first.shared_flight);
+    for (int i = 1; i < 5; ++i) {
+        const auto reply = futures[static_cast<std::size_t>(i)].get();
+        EXPECT_TRUE(reply.shared_flight);
+        EXPECT_EQ(reply.result, first.result) << "waiter " << i;
+    }
+    const auto m = service.metrics();
+    EXPECT_EQ(m.counters.computes, 1U);
+    EXPECT_EQ(m.counters.completed, 5U);
+    service.shutdown();
+}
+
+}  // namespace

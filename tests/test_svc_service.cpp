@@ -1,0 +1,238 @@
+// Admission control, scheduling, and shutdown semantics of the pyramid
+// service (ISSUE 4): saturation rejects instead of blocking or growing the
+// queue, drain-on-shutdown completes accepted in-flight work and fails
+// queued work with a distinct error, and deadline-expired requests are
+// failed, never computed.
+
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/synthetic.hpp"
+
+namespace {
+
+using wavehpc::core::ImageF;
+using wavehpc::runtime::ThreadPool;
+using wavehpc::svc::Backend;
+using wavehpc::svc::Clock;
+using wavehpc::svc::DeadlineExpiredError;
+using wavehpc::svc::Priority;
+using wavehpc::svc::PyramidService;
+using wavehpc::svc::ServiceConfig;
+using wavehpc::svc::ServiceShutdownError;
+using wavehpc::svc::TransformRequest;
+
+std::shared_ptr<const ImageF> scene(std::size_t n, std::uint64_t seed) {
+    return std::make_shared<const ImageF>(wavehpc::core::landsat_tm_like(n, n, seed));
+}
+
+TransformRequest request_for(std::shared_ptr<const ImageF> img, int taps = 4,
+                             int levels = 1) {
+    TransformRequest req;
+    req.image = std::move(img);
+    req.taps = taps;
+    req.levels = levels;
+    req.backend = Backend::Serial;
+    return req;
+}
+
+/// A pool whose single worker is parked on a latch until release() — makes
+/// every scheduling race in these tests a deterministic sequence.
+struct GatedPool {
+    GatedPool() : pool(1), opened(gate.get_future()) {
+        auto wait_on = opened;
+        pool.submit([wait_on] { wait_on.wait(); });
+    }
+    void release() { gate.set_value(); }
+
+    ThreadPool pool;
+    std::promise<void> gate;
+    std::shared_future<void> opened;
+};
+
+TEST(ServiceAdmission, MalformedRequestsThrowSynchronously) {
+    ThreadPool pool(1);
+    PyramidService service(pool);
+    EXPECT_THROW((void)service.submit(TransformRequest{}), std::invalid_argument);
+    auto odd = request_for(scene(32, 1), 4, 9);  // 32 not divisible by 2^9
+    EXPECT_THROW((void)service.submit(odd), std::invalid_argument);
+    auto bad_taps = request_for(scene(32, 1), 5, 1);
+    EXPECT_THROW((void)service.submit(bad_taps), std::invalid_argument);
+}
+
+TEST(ServiceAdmission, SaturationRejectsWithRetryAfterInsteadOfBlocking) {
+    GatedPool gated;
+    PyramidService service(gated.pool, ServiceConfig{.max_queue_depth = 2,
+                                                     .max_concurrency = 1});
+    // One dispatched (stuck behind the gate) + two queued fill the budget.
+    ASSERT_TRUE(service.submit(request_for(scene(32, 1))).accepted);
+    ASSERT_TRUE(service.submit(request_for(scene(32, 2))).accepted);
+    ASSERT_TRUE(service.submit(request_for(scene(32, 3))).accepted);
+
+    const auto rejected = service.submit(request_for(scene(32, 4)));
+    EXPECT_FALSE(rejected.accepted);
+    EXPECT_GT(rejected.retry_after_seconds, 0.0);
+    EXPECT_FALSE(rejected.future.valid());
+
+    const auto m = service.metrics();
+    EXPECT_EQ(m.counters.rejected, 1U);
+    EXPECT_EQ(m.queue_depth, 2U);  // bounded: the reject did not enqueue
+
+    gated.release();
+    service.shutdown();
+}
+
+TEST(ServiceAdmission, ByteBudgetRejectsLargeBacklog) {
+    GatedPool gated;
+    const std::uint64_t one_image = 32 * 32 * sizeof(float);
+    PyramidService service(
+        gated.pool, ServiceConfig{.max_queue_depth = 64,
+                                  .max_queued_bytes = 2 * one_image,
+                                  .max_concurrency = 1});
+    ASSERT_TRUE(service.submit(request_for(scene(32, 1))).accepted);  // running
+    ASSERT_TRUE(service.submit(request_for(scene(32, 2))).accepted);  // queued
+    const auto rejected = service.submit(request_for(scene(32, 3)));
+    EXPECT_FALSE(rejected.accepted);
+    EXPECT_GT(rejected.retry_after_seconds, 0.0);
+    gated.release();
+    service.shutdown();
+}
+
+TEST(ServiceShutdown, DrainsInFlightAndFailsQueuedDistinctly) {
+    GatedPool gated;
+    PyramidService service(gated.pool, ServiceConfig{.max_concurrency = 1});
+    auto in_flight = service.submit(request_for(scene(32, 1)));
+    auto queued = service.submit(request_for(scene(32, 2)));
+    ASSERT_TRUE(in_flight.accepted);
+    ASSERT_TRUE(queued.accepted);
+
+    std::thread drainer([&] { service.shutdown(); });
+    // The queued request fails promptly (before the gate ever opens)...
+    EXPECT_THROW((void)queued.future.get(), ServiceShutdownError);
+    // ...while the dispatched one completes once the worker resumes.
+    gated.release();
+    drainer.join();
+    const auto reply = in_flight.future.get();
+    ASSERT_NE(reply.result, nullptr);
+    EXPECT_FALSE(reply.cache_hit);
+
+    const auto m = service.metrics();
+    EXPECT_EQ(m.counters.computes, 1U);
+    EXPECT_EQ(m.counters.shutdown_failures, 1U);
+    EXPECT_EQ(m.queue_depth, 0U);
+    EXPECT_EQ(m.running, 0U);
+    EXPECT_EQ(m.queued_bytes, 0U);
+}
+
+TEST(ServiceShutdown, SubmitAfterShutdownIsRejected) {
+    ThreadPool pool(1);
+    PyramidService service(pool);
+    service.shutdown();
+    const auto sub = service.submit(request_for(scene(32, 1)));
+    EXPECT_FALSE(sub.accepted);
+    EXPECT_TRUE(std::isinf(sub.retry_after_seconds));
+}
+
+TEST(ServiceShutdown, ShutdownIsIdempotent) {
+    ThreadPool pool(1);
+    PyramidService service(pool);
+    ASSERT_TRUE(service.submit(request_for(scene(32, 1))).accepted);
+    service.shutdown();
+    service.shutdown();  // second drain returns immediately
+    SUCCEED();
+}
+
+TEST(ServiceDeadline, ExpiredWhileQueuedFailsWithoutCompute) {
+    GatedPool gated;
+    PyramidService service(gated.pool, ServiceConfig{.max_concurrency = 1});
+    auto req = request_for(scene(32, 1));
+    req.deadline = Clock::now() + std::chrono::milliseconds(10);
+    auto sub = service.submit(req);
+    ASSERT_TRUE(sub.accepted);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    gated.release();
+
+    EXPECT_THROW((void)sub.future.get(), DeadlineExpiredError);
+    const auto m = service.metrics();
+    EXPECT_EQ(m.counters.computes, 0U);
+    EXPECT_EQ(m.counters.deadline_failures, 1U);
+    service.shutdown();
+}
+
+TEST(ServiceDeadline, GenerousDeadlineStillComputes) {
+    ThreadPool pool(2);
+    PyramidService service(pool);
+    auto req = request_for(scene(32, 1));
+    req.deadline = Clock::now() + std::chrono::seconds(30);
+    auto sub = service.submit(req);
+    ASSERT_TRUE(sub.accepted);
+    EXPECT_NE(sub.future.get().result, nullptr);
+    service.shutdown();
+}
+
+TEST(ServiceScheduling, HigherPriorityOvertakesEarlierSubmission) {
+    GatedPool gated;
+    PyramidService service(gated.pool, ServiceConfig{.max_concurrency = 1});
+    // Occupy the only compute slot, then queue Background before Interactive.
+    auto head = service.submit(request_for(scene(32, 1)));
+    auto low = request_for(scene(32, 2));
+    low.priority = Priority::Background;
+    auto high = request_for(scene(32, 3));
+    high.priority = Priority::Interactive;
+    auto low_sub = service.submit(low);
+    auto high_sub = service.submit(high);
+    ASSERT_TRUE(low_sub.accepted);
+    ASSERT_TRUE(high_sub.accepted);
+    gated.release();
+
+    const auto high_reply = high_sub.future.get();
+    const auto low_reply = low_sub.future.get();
+    (void)head.future.get();
+    // max_concurrency = 1 serializes the computes, so the Background
+    // request's total latency must include the Interactive one's compute.
+    EXPECT_GT(low_reply.total_seconds,
+              high_reply.total_seconds + low_reply.compute_seconds * 0.5);
+    service.shutdown();
+}
+
+TEST(ServiceScheduling, EarlierDeadlineRunsFirstWithinPriority) {
+    GatedPool gated;
+    PyramidService service(gated.pool, ServiceConfig{.max_concurrency = 1});
+    auto head = service.submit(request_for(scene(32, 1)));
+    auto late = request_for(scene(32, 2));
+    late.deadline = Clock::now() + std::chrono::seconds(60);
+    auto soon = request_for(scene(32, 3));
+    soon.deadline = Clock::now() + std::chrono::seconds(30);
+    auto late_sub = service.submit(late);
+    auto soon_sub = service.submit(soon);
+    gated.release();
+
+    const auto soon_reply = soon_sub.future.get();
+    const auto late_reply = late_sub.future.get();
+    (void)head.future.get();
+    EXPECT_GT(late_reply.total_seconds,
+              soon_reply.total_seconds + late_reply.compute_seconds * 0.5);
+    service.shutdown();
+}
+
+TEST(ServiceLifetime, DestructorDrains) {
+    ThreadPool pool(2);
+    wavehpc::svc::TransformFuture future;
+    {
+        PyramidService service(pool);
+        auto sub = service.submit(request_for(scene(32, 1)));
+        ASSERT_TRUE(sub.accepted);
+        future = sub.future;
+    }  // ~PyramidService shuts down and drains
+    EXPECT_NE(future.get().result, nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Concurrent hit/miss storm against the pyramid service. This binary is a
+// sanitizer target (the TSan CI job builds and runs it): many client
+// threads hammer a small scene pool so cache hits, single-flight joins,
+// cold computes, admission rejects, and a mid-storm shutdown all race.
+// Every reply must still be bit-identical to the sequential reference.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/dwt.hpp"
+#include "core/synthetic.hpp"
+#include "svc/service.hpp"
+#include "testing/seeds.hpp"
+
+namespace {
+
+using wavehpc::core::BoundaryMode;
+using wavehpc::core::FilterPair;
+using wavehpc::core::ImageF;
+using wavehpc::core::Pyramid;
+using wavehpc::runtime::ThreadPool;
+using wavehpc::svc::Backend;
+using wavehpc::svc::PyramidService;
+using wavehpc::svc::ServiceConfig;
+using wavehpc::svc::TransformRequest;
+using wavehpc::testing::SplitMix64;
+
+struct SceneEntry {
+    std::shared_ptr<const ImageF> image;
+    Pyramid reference;  // sequential ground truth for bit-identity checks
+};
+
+std::vector<SceneEntry> make_scenes(std::size_t count) {
+    std::vector<SceneEntry> scenes;
+    scenes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        SceneEntry e;
+        e.image = std::make_shared<const ImageF>(
+            wavehpc::core::landsat_tm_like(32, 32, 1000 + i));
+        e.reference = wavehpc::core::decompose(*e.image, FilterPair::daubechies(4),
+                                               1, BoundaryMode::Periodic);
+        scenes.push_back(std::move(e));
+    }
+    return scenes;
+}
+
+bool matches_reference(const Pyramid& got, const Pyramid& want) {
+    if (got.depth() != want.depth()) return false;
+    for (std::size_t k = 0; k < want.depth(); ++k) {
+        if (!(got.levels[k].lh == want.levels[k].lh) ||
+            !(got.levels[k].hl == want.levels[k].hl) ||
+            !(got.levels[k].hh == want.levels[k].hh)) {
+            return false;
+        }
+    }
+    return got.approx == want.approx;
+}
+
+TEST(ServiceStorm, ConcurrentHitMissStormStaysBitIdentical) {
+    const std::uint64_t base_seed = wavehpc::testing::env_seed("WAVEHPC_FUZZ_SEED", 2024);
+    const auto scenes = make_scenes(6);
+
+    ThreadPool pool(4);
+    ServiceConfig cfg;
+    cfg.max_queue_depth = 16;
+    cfg.max_concurrency = 2;
+    cfg.cache_bytes = 3 * 32 * 32 * sizeof(float);  // forces evictions
+    PyramidService service(pool, cfg);
+
+    constexpr int kClients = 8;
+    constexpr int kRequestsPerClient = 200;
+    std::atomic<std::uint64_t> mismatches{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> rejected{0};
+
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            SplitMix64 rng(wavehpc::testing::derive_seed(base_seed,
+                                                         static_cast<std::uint64_t>(c)));
+            for (int i = 0; i < kRequestsPerClient; ++i) {
+                // Skewed popularity: half the traffic targets scene 0.
+                const std::size_t idx =
+                    rng.below(2) == 0 ? 0 : 1 + rng.below(scenes.size() - 1);
+                TransformRequest req;
+                req.image = scenes[idx].image;
+                req.taps = 4;
+                req.levels = 1;
+                req.backend = rng.below(2) == 0 ? Backend::Serial : Backend::Threads;
+                auto sub = service.submit(req);
+                if (!sub.accepted) {
+                    rejected.fetch_add(1, std::memory_order_relaxed);
+                    std::this_thread::yield();
+                    continue;
+                }
+                try {
+                    const auto reply = sub.future.get();
+                    delivered.fetch_add(1, std::memory_order_relaxed);
+                    if (!matches_reference(reply.result->pyramid,
+                                           scenes[idx].reference)) {
+                        mismatches.fetch_add(1, std::memory_order_relaxed);
+                    }
+                } catch (const wavehpc::svc::ServiceShutdownError&) {
+                    // only possible from the shutdown storm below — not here
+                    mismatches.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+
+    EXPECT_EQ(mismatches.load(), 0U);
+    EXPECT_GT(delivered.load(), 0U);
+    const auto m = service.metrics();
+    const auto cs = service.cache_stats();
+    EXPECT_GT(cs.hits + m.counters.dedup_joins, 0U)
+        << "storm never shared a result — popularity skew broken?";
+    EXPECT_EQ(m.counters.submitted,
+              m.counters.accepted + m.counters.rejected);
+    EXPECT_EQ(m.counters.accepted,
+              m.counters.completed + m.counters.deadline_failures +
+                  m.counters.shutdown_failures + m.counters.compute_failures);
+    service.shutdown();
+}
+
+TEST(ServiceStorm, ShutdownDuringStormLeavesNoOrphans) {
+    const std::uint64_t base_seed = wavehpc::testing::env_seed("WAVEHPC_FUZZ_SEED", 77);
+    const auto scenes = make_scenes(4);
+
+    ThreadPool pool(4);
+    ServiceConfig cfg;
+    cfg.max_queue_depth = 8;
+    cfg.max_concurrency = 2;
+    PyramidService service(pool, cfg);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> outcomes{0};  // every accepted future resolved
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&, c] {
+            SplitMix64 rng(wavehpc::testing::derive_seed(base_seed,
+                                                         static_cast<std::uint64_t>(c)));
+            std::vector<wavehpc::svc::TransformFuture> futures;
+            while (!stop.load(std::memory_order_relaxed)) {
+                TransformRequest req;
+                req.image = scenes[rng.below(scenes.size())].image;
+                req.taps = 2;
+                req.levels = 1;
+                auto sub = service.submit(req);
+                if (sub.accepted) futures.push_back(std::move(sub.future));
+            }
+            for (auto& f : futures) {
+                try {
+                    (void)f.get();
+                } catch (const wavehpc::svc::ServiceShutdownError&) {
+                } catch (const wavehpc::svc::DeadlineExpiredError&) {
+                }
+                outcomes.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    service.shutdown();  // races against in-progress submits
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : clients) t.join();
+
+    const auto m = service.metrics();
+    EXPECT_EQ(m.running, 0U);
+    EXPECT_EQ(m.queue_depth, 0U);
+    EXPECT_EQ(m.queued_bytes, 0U);
+    EXPECT_EQ(outcomes.load(), m.counters.accepted)
+        << "some accepted future was never resolved";
+}
+
+}  // namespace
