@@ -1,8 +1,17 @@
 // google-benchmark microbenchmarks of the host wavelet kernels: sequential
 // vs thread-pool decomposition, per filter size, plus the primitive passes.
+//
+// Takes the shared bench knobs (--seed / --size / --smoke, common_args.hpp)
+// ahead of the usual --benchmark_* flags; --smoke shrinks min_time so CI
+// can pipeline-check the binary without measuring anything.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common_args.hpp"
 #include "core/convolve.hpp"
 #include "core/synthetic.hpp"
 #include "wavelet/threads_dwt.hpp"
@@ -13,8 +22,13 @@ using wavehpc::core::BoundaryMode;
 using wavehpc::core::FilterPair;
 using wavehpc::core::ImageF;
 
+// Set once in main() before benchmark::RunSpecifiedBenchmarks.
+std::uint64_t g_seed = 1996;
+std::size_t g_size = 512;
+
 const ImageF& scene512() {
-    static const ImageF img = wavehpc::core::landsat_tm_like(512, 512, 1996);
+    static const ImageF img =
+        wavehpc::core::landsat_tm_like(g_size, g_size, g_seed);
     return img;
 }
 
@@ -114,4 +128,33 @@ BENCHMARK(BM_Reconstruct);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // Split argv: --benchmark_* flags go to google-benchmark untouched,
+    // everything else is ours (--seed / --size / --smoke).
+    std::vector<char*> gb_argv = {argv[0]};
+    std::vector<char*> our_argv = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        (arg.rfind("--benchmark_", 0) == 0 ? gb_argv : our_argv).push_back(argv[i]);
+    }
+
+    wavehpc::bench::CommonArgs args;
+    int our_argc = static_cast<int>(our_argv.size());
+    if (!wavehpc::bench::parse_bench_args(our_argc, our_argv.data(), args)) {
+        return 2;
+    }
+    g_seed = wavehpc::bench::or_default<std::uint64_t>(args.seed, 1996);
+    g_size = wavehpc::bench::or_default<std::size_t>(args.size, 512);
+    std::string smoke_min_time = "--benchmark_min_time=0.001";
+    if (args.smoke) gb_argv.push_back(smoke_min_time.data());
+
+    int gb_argc = static_cast<int>(gb_argv.size());
+    benchmark::Initialize(&gb_argc, gb_argv.data());
+    if (gb_argc > 1) {
+        std::cerr << argv[0] << ": unknown flag '" << gb_argv[1] << "'\n";
+        return 2;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

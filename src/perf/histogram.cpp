@@ -71,6 +71,9 @@ double LatencyHistogram::mean() const noexcept {
 
 double LatencyHistogram::quantile(double q) const noexcept {
     if (count_ == 0) return 0.0;
+    // NaN propagates through std::clamp (both comparisons are false) and a
+    // NaN rank cast to uint64 is UB — treat it like any out-of-range q.
+    if (std::isnan(q)) q = 0.0;
     q = std::clamp(q, 0.0, 1.0);
     const auto rank = static_cast<std::uint64_t>(
         std::ceil(q * static_cast<double>(count_)));

@@ -39,7 +39,9 @@ public:
 
     /// Latency at cumulative fraction q in [0, 1]: the geometric midpoint
     /// of the bucket holding the q-th sample, clamped to the exact observed
-    /// [min, max]. Returns 0 when empty.
+    /// [min, max]. Returns 0 when empty; out-of-range and NaN q are clamped
+    /// into [0, 1], never UB (the per-outcome service histograms query
+    /// quantiles on histograms that may have recorded nothing).
     [[nodiscard]] double quantile(double q) const noexcept;
 
 private:

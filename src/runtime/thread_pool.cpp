@@ -40,6 +40,7 @@ void ThreadPool::worker_loop() {
     tls_worker_pool = this;
     for (;;) {
         Task task;
+        std::shared_ptr<const std::function<void()>> observer;
         {
             std::unique_lock lk(mu_);
             if (!stopping_ && queues_empty()) {
@@ -54,8 +55,10 @@ void ThreadPool::worker_loop() {
             }
             if (queues_empty()) return;  // stopping and drained
             task = pop_task();
+            observer = task_observer_;
             ++busy_;
         }
+        if (observer) (*observer)();
         run_task(task);
         {
             std::lock_guard lk(mu_);
@@ -91,13 +94,16 @@ ThreadPool::Task ThreadPool::pop_task() {
 
 bool ThreadPool::try_help_one() {
     Task task;
+    std::shared_ptr<const std::function<void()>> observer;
     {
         std::lock_guard lk(mu_);
         if (queues_empty()) return false;
         task = pop_task();
+        observer = task_observer_;
         ++busy_;
     }
     helper_tasks_.fetch_add(1, std::memory_order_relaxed);
+    if (observer) (*observer)();
     run_task(task);
     {
         std::lock_guard lk(mu_);
@@ -289,6 +295,14 @@ PoolMetrics ThreadPool::metrics() const {
         m.queue_high_water = queue_high_water_;
     }
     return m;
+}
+
+void ThreadPool::set_task_observer(std::function<void()> observer) {
+    auto next = observer
+                    ? std::make_shared<const std::function<void()>>(std::move(observer))
+                    : nullptr;
+    std::lock_guard lk(mu_);
+    task_observer_ = std::move(next);
 }
 
 void ThreadPool::reset_metrics() {

@@ -114,6 +114,15 @@ public:
     /// Zero all overhead counters (e.g. between bench phases).
     void reset_metrics();
 
+    /// Install (empty function = clear) an observer invoked right before
+    /// every *queued* task executes, on the executing thread, outside the
+    /// pool lock. This is the fault-injection seam the chaos layer uses to
+    /// stall a seeded fraction of dispatches (svc::ChaosEngine); it must
+    /// be cheap and must not throw. Inline-run single-chunk parallel_for
+    /// calls bypass the queue and are not observed. Thread-safe to swap
+    /// while workers run; tasks already popped keep the observer they saw.
+    void set_task_observer(std::function<void()> observer);
+
 private:
     struct Task {
         std::function<void()> fn;
@@ -128,6 +137,9 @@ private:
     Task pop_task();  ///< callers must hold mu_ and ensure !queues_empty()
 
     std::vector<std::thread> threads_;
+    // Swapped atomically under mu_; executing threads hold a snapshot so a
+    // concurrent set_task_observer never races a running observer.
+    std::shared_ptr<const std::function<void()>> task_observer_;
     std::deque<Task> queue_;       // TaskPriority::Normal (incl. parallel_for)
     std::deque<Task> high_queue_;  // TaskPriority::High, always popped first
     mutable std::mutex mu_;

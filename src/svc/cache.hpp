@@ -27,6 +27,14 @@
 
 namespace wavehpc::svc {
 
+/// CRC-32 (mesh::crc32, IEEE 802.3) over every coefficient band of the
+/// pyramid, approx last — the integrity checksum the result audit keys on.
+[[nodiscard]] std::uint32_t pyramid_crc32(const core::Pyramid& pyr) noexcept;
+
+/// Does `result`'s buffer still match its recorded CRC? Results without a
+/// checksum (crc32 == 0) pass vacuously.
+[[nodiscard]] bool audit_result(const TransformResult& result) noexcept;
+
 struct CacheStats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -34,6 +42,8 @@ struct CacheStats {
     std::uint64_t rejected_oversize = 0;  ///< results larger than the budget
     std::uint64_t evictions = 0;
     std::uint64_t evicted_bytes = 0;
+    std::uint64_t audit_failures = 0;  ///< CRC mismatches caught on insert/lookup
+    std::uint64_t variant_hits = 0;    ///< degraded same-scene variant lookups served
     std::uint64_t bytes_in_use = 0;
     std::uint64_t entries = 0;
     std::uint64_t byte_budget = 0;
@@ -52,12 +62,27 @@ public:
     ResultCache& operator=(const ResultCache&) = delete;
 
     /// The cached result, bumped to most-recently-used; null on miss.
+    /// When lookup auditing is enabled (chaos runs), a resident entry
+    /// whose coefficients no longer match its CRC is dropped and reported
+    /// as a miss — a corrupted buffer is never handed out.
     [[nodiscard]] std::shared_ptr<const TransformResult> lookup(const CacheKey& key);
+
+    /// Degraded-mode lookup: the most-recently-used entry for the *same
+    /// scene* (digest + dimensions match) under any transform parameters.
+    /// Null when nothing for that scene is resident. Audited like lookup.
+    [[nodiscard]] std::shared_ptr<const TransformResult> lookup_variant(
+        const CacheKey& key);
 
     /// Insert (or refresh) `result` under `key`, evicting LRU entries
     /// until the byte budget holds. No-op if result->result_bytes alone
-    /// exceeds the budget.
+    /// exceeds the budget, or if the result carries a CRC that its
+    /// coefficients fail (corruption caught at the door; audit_failures).
     void insert(const CacheKey& key, std::shared_ptr<const TransformResult> result);
+
+    /// Turn on CRC verification of entries on every lookup (the service
+    /// enables this when a chaos plan is active; off by default because a
+    /// per-hit checksum pass is wasted work in a healthy process).
+    void set_audit_lookups(bool on) noexcept { audit_lookups_ = on; }
 
     [[nodiscard]] CacheStats stats() const;
 
@@ -71,8 +96,10 @@ private:
     };
 
     void evict_lru_locked();  // requires mu_, non-empty lru_
+    void erase_entry_locked(std::list<Entry>::iterator it);
 
     mutable std::mutex mu_;
+    bool audit_lookups_ = false;
     std::uint64_t byte_budget_;
     std::uint64_t bytes_in_use_ = 0;
     std::list<Entry> lru_;  // front = most recently used

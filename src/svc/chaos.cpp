@@ -1,0 +1,281 @@
+#include "svc/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <thread>
+
+namespace wavehpc::svc {
+
+namespace {
+
+/// splitmix64 finalizer — the same mix mesh::FaultPlan draws with.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+[[nodiscard]] double u01(std::uint64_t x) {
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+// Independent per-fault lanes: one draw per (seed, index, lane).
+enum Lane : std::uint64_t {
+    kComputeLane = 0,
+    kAllocLane = 1,
+    kStallLane = 2,
+    kCorruptLane = 3,
+    kPoolLane = 4,
+};
+
+[[nodiscard]] std::uint64_t lane_draw(std::uint64_t seed, std::uint64_t index,
+                                      std::uint64_t lane) {
+    return mix64(seed ^ (index * 8 + lane));
+}
+
+[[nodiscard]] double parse_probability(std::string_view key, std::string_view text) {
+    char* end = nullptr;
+    const std::string owned(text);
+    const double v = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size() || !(v >= 0.0) || v > 1.0) {
+        throw std::invalid_argument("ChaosPlan: '" + std::string(key) +
+                                    "' needs a probability in [0, 1], got '" +
+                                    owned + "'");
+    }
+    return v;
+}
+
+[[nodiscard]] double parse_millis(std::string_view key, std::string_view text) {
+    char* end = nullptr;
+    const std::string owned(text);
+    const double v = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size() || !(v >= 0.0)) {
+        throw std::invalid_argument("ChaosPlan: '" + std::string(key) +
+                                    "' needs a non-negative millisecond value, got '" +
+                                    owned + "'");
+    }
+    return v * 1e-3;
+}
+
+void sleep_seconds(double seconds) {
+    if (seconds <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+bool ChaosPlan::enabled() const noexcept {
+    return compute_error_probability > 0.0 || alloc_failure_probability > 0.0 ||
+           stall_probability > 0.0 || corrupt_probability > 0.0 ||
+           pool_stall_probability > 0.0 || !compute_error_exact.empty();
+}
+
+ChaosDecision ChaosPlan::decide(std::uint64_t index) const {
+    ChaosDecision d;
+    d.draw = index;
+    if (std::find(compute_error_exact.begin(), compute_error_exact.end(), index) !=
+        compute_error_exact.end()) {
+        d.compute_error = true;
+        return d;
+    }
+    if (stall_probability > 0.0 &&
+        u01(lane_draw(seed, index, kStallLane)) < stall_probability) {
+        d.stall_seconds = stall_seconds;
+    }
+    if (alloc_failure_probability > 0.0 &&
+        u01(lane_draw(seed, index, kAllocLane)) < alloc_failure_probability) {
+        d.alloc_failure = true;
+        return d;  // the attempt dies before computing; nothing to corrupt
+    }
+    if (compute_error_probability > 0.0 &&
+        u01(lane_draw(seed, index, kComputeLane)) < compute_error_probability) {
+        d.compute_error = true;
+        return d;
+    }
+    if (corrupt_probability > 0.0) {
+        const std::uint64_t h = lane_draw(seed, index, kCorruptLane);
+        if (u01(h) < corrupt_probability) {
+            d.corrupt = true;
+            const std::uint64_t h2 = mix64(h);
+            d.corrupt_word = h2 >> 5;
+            d.corrupt_bit = static_cast<unsigned>(h2 & 31U);
+        }
+    }
+    return d;
+}
+
+double ChaosPlan::pool_stall(std::uint64_t index) const {
+    if (pool_stall_probability <= 0.0) return 0.0;
+    return u01(lane_draw(seed, index, kPoolLane)) < pool_stall_probability
+               ? pool_stall_seconds
+               : 0.0;
+}
+
+ChaosPlan ChaosPlan::parse(std::string_view spec, std::uint64_t seed) {
+    ChaosPlan plan;
+    plan.seed = seed;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string_view::npos) comma = spec.size();
+        const std::string_view item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty()) continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos) {
+            throw std::invalid_argument("ChaosPlan: expected key=value, got '" +
+                                        std::string(item) + "'");
+        }
+        const std::string_view key = item.substr(0, eq);
+        const std::string_view value = item.substr(eq + 1);
+        if (key == "compute") {
+            plan.compute_error_probability = parse_probability(key, value);
+        } else if (key == "alloc") {
+            plan.alloc_failure_probability = parse_probability(key, value);
+        } else if (key == "stall") {
+            plan.stall_probability = parse_probability(key, value);
+        } else if (key == "stall_ms") {
+            plan.stall_seconds = parse_millis(key, value);
+        } else if (key == "corrupt") {
+            plan.corrupt_probability = parse_probability(key, value);
+        } else if (key == "pool_stall") {
+            plan.pool_stall_probability = parse_probability(key, value);
+        } else if (key == "pool_stall_ms") {
+            plan.pool_stall_seconds = parse_millis(key, value);
+        } else if (key == "compute_exact") {
+            std::size_t p = 0;
+            while (p <= value.size()) {
+                std::size_t colon = value.find(':', p);
+                if (colon == std::string_view::npos) colon = value.size();
+                const std::string_view num = value.substr(p, colon - p);
+                if (!num.empty()) {
+                    std::uint64_t v = 0;
+                    for (const char c : num) {
+                        if (c < '0' || c > '9') {
+                            throw std::invalid_argument(
+                                "ChaosPlan: 'compute_exact' needs ':'-separated "
+                                "indices, got '" + std::string(num) + "'");
+                        }
+                        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+                    }
+                    plan.compute_error_exact.push_back(v);
+                }
+                p = colon + 1;
+            }
+        } else {
+            throw std::invalid_argument("ChaosPlan: unknown key '" +
+                                        std::string(key) + "'");
+        }
+    }
+    return plan;
+}
+
+ChaosPlan ChaosPlan::from_env() {
+    const char* spec = std::getenv("WAVEHPC_CHAOS_PLAN");
+    if (spec == nullptr || *spec == '\0') return {};
+    std::uint64_t seed = 1;
+    if (const char* raw = std::getenv("WAVEHPC_CHAOS_SEED");
+        raw != nullptr && *raw != '\0') {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(raw, &end, 10);
+        if (end != raw && *end == '\0') seed = v;
+    }
+    return parse(spec, seed);
+}
+
+void ChaosEngine::set_plan(ChaosPlan plan) {
+    std::lock_guard lk(mu_);
+    plan_ = std::move(plan);
+}
+
+bool ChaosEngine::enabled() const {
+    std::lock_guard lk(mu_);
+    return plan_.enabled();
+}
+
+ChaosDecision ChaosEngine::next_compute_decision() {
+    std::lock_guard lk(mu_);
+    if (!plan_.enabled()) return {};
+    ++stats_.draws;
+    return plan_.decide(next_draw_++);
+}
+
+void ChaosEngine::inject_before_compute(const ChaosDecision& d) {
+    if (d.stall_seconds > 0.0) {
+        {
+            std::lock_guard lk(mu_);
+            ++stats_.stalls;
+        }
+        sleep_seconds(d.stall_seconds);
+    }
+    if (d.alloc_failure) {
+        {
+            std::lock_guard lk(mu_);
+            ++stats_.alloc_failures;
+        }
+        throw std::bad_alloc();
+    }
+    if (d.compute_error) {
+        {
+            std::lock_guard lk(mu_);
+            ++stats_.compute_errors;
+        }
+        throw ChaosComputeError(d.draw);
+    }
+}
+
+void ChaosEngine::corrupt_result(const ChaosDecision& d, core::Pyramid& pyr) {
+    if (!d.corrupt) return;
+    std::vector<std::span<float>> bands;
+    bands.reserve(1 + 3 * pyr.levels.size());
+    for (auto& level : pyr.levels) {
+        bands.push_back(level.lh.flat());
+        bands.push_back(level.hl.flat());
+        bands.push_back(level.hh.flat());
+    }
+    bands.push_back(pyr.approx.flat());
+    std::uint64_t words = 0;
+    for (const auto& b : bands) words += b.size();
+    if (words == 0) return;
+    std::uint64_t target = d.corrupt_word % words;
+    for (auto& b : bands) {
+        if (target < b.size()) {
+            float& f = b[static_cast<std::size_t>(target)];
+            std::uint32_t bits = 0;
+            std::memcpy(&bits, &f, sizeof bits);
+            bits ^= 1U << d.corrupt_bit;
+            std::memcpy(&f, &bits, sizeof bits);
+            break;
+        }
+        target -= b.size();
+    }
+    std::lock_guard lk(mu_);
+    ++stats_.corruptions;
+}
+
+std::function<void()> ChaosEngine::pool_observer() {
+    {
+        std::lock_guard lk(mu_);
+        if (plan_.pool_stall_probability <= 0.0) return {};
+    }
+    return [this] {
+        double stall = 0.0;
+        {
+            std::lock_guard lk(mu_);
+            stall = plan_.pool_stall(next_pool_draw_++);
+            if (stall > 0.0) ++stats_.pool_stalls;
+        }
+        sleep_seconds(stall);
+    };
+}
+
+ChaosStats ChaosEngine::stats() const {
+    std::lock_guard lk(mu_);
+    return stats_;
+}
+
+}  // namespace wavehpc::svc

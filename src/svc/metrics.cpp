@@ -6,6 +6,17 @@
 
 namespace wavehpc::svc {
 
+const char* outcome_name(Outcome o) noexcept {
+    switch (o) {
+    case Outcome::Ok: return "ok";
+    case Outcome::Retried: return "retried";
+    case Outcome::Degraded: return "degraded";
+    case Outcome::Quarantined: return "quarantined";
+    case Outcome::BreakerRejected: return "breaker-rejected";
+    }
+    return "?";
+}
+
 void print_service_metrics(std::ostream& os, const std::string& label,
                            const MetricsSnapshot& m, const CacheStats& cache) {
     const auto& c = m.counters;
@@ -13,15 +24,31 @@ void print_service_metrics(std::ostream& os, const std::string& label,
        << " rejected=" << c.rejected << " completed=" << c.completed
        << " computes=" << c.computes << " cache_hits=" << c.cache_hits
        << " dedup_joins=" << c.dedup_joins
-       << " failures(deadline/shutdown/compute)=" << c.deadline_failures << "/"
-       << c.shutdown_failures << "/" << c.compute_failures
-       << " queue_depth=" << m.queue_depth << " running=" << m.running
+       << " failures(deadline/shutdown/compute/watchdog)=" << c.deadline_failures
+       << "/" << c.shutdown_failures << "/" << c.compute_failures << "/"
+       << c.watchdog_timeouts << " queue_depth=" << m.queue_depth
+       << " backoff_depth=" << m.backoff_depth << " running=" << m.running
        << " queued_bytes=" << m.queued_bytes << "\n";
+    if (c.retries + c.quarantined + c.quarantine_rejects + c.breaker_rejects +
+            c.degraded_replies + c.crc_audit_failures >
+        0) {
+        os << label << " resilience: retries=" << c.retries
+           << " degraded=" << c.degraded_replies
+           << " quarantined=" << c.quarantined << " (+"
+           << c.quarantine_rejects << " resubmits rejected)"
+           << " breaker_rejects=" << c.breaker_rejects
+           << " crc_audit_failures=" << c.crc_audit_failures << "\n";
+    }
 
     perf::TableWriter lat(perf::latency_headers("latency"));
     perf::print_latency_row(lat, "queue_wait", m.queue_wait);
     perf::print_latency_row(lat, "compute", m.compute);
     perf::print_latency_row(lat, "total", m.total);
+    for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+        if (m.outcome[i].count() == 0) continue;  // keep the quiet path quiet
+        perf::print_latency_row(lat, outcome_name(static_cast<Outcome>(i)),
+                                m.outcome[i]);
+    }
     lat.print(os);
 
     perf::TableWriter ct({"cache", "hits", "misses", "hit_rate", "entries",
@@ -32,6 +59,10 @@ void print_service_metrics(std::ostream& os, const std::string& label,
                 std::to_string(cache.byte_budget), std::to_string(cache.evictions),
                 std::to_string(cache.evicted_bytes)});
     ct.print(os);
+    if (cache.audit_failures + cache.variant_hits > 0) {
+        os << "cache audits: crc_failures=" << cache.audit_failures
+           << " variant_hits=" << cache.variant_hits << "\n";
+    }
 }
 
 }  // namespace wavehpc::svc

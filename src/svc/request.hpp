@@ -44,6 +44,13 @@ struct TransformRequest {
     /// Absolute steady-clock deadline; a request still queued past it is
     /// failed, never computed. time_point::max() = no deadline.
     Clock::time_point deadline = Clock::time_point::max();
+    /// Opt-in graceful degradation: when the backend's circuit breaker is
+    /// open or admission is saturated, the service may answer with a
+    /// cached pyramid of the *same scene* under different transform
+    /// parameters (typically a coarser level count) instead of rejecting.
+    /// The reply is flagged `degraded`; exact-parameter clients leave
+    /// this false and get the ordinary reject + retry-after.
+    bool allow_degraded = false;
 };
 
 /// The immutable computed artifact, shared (never copied) between the
@@ -53,6 +60,12 @@ struct TransformResult {
     CacheKey key;
     std::uint64_t result_bytes = 0;    ///< pyramid payload, for cache budget
     double compute_seconds = 0.0;      ///< the cold compute that produced it
+    /// CRC-32 of the pyramid coefficients, taken immediately after the
+    /// compute (the point of truth). The cache audits it on insert (and
+    /// on lookup when chaos is active), so an injected or real buffer
+    /// corruption is caught before any waiter sees the bytes. 0 = the
+    /// producer did not checksum (audit skipped).
+    std::uint32_t crc32 = 0;
 };
 
 /// Per-request outcome delivered through the future. `result` is shared:
@@ -61,6 +74,11 @@ struct TransformReply {
     std::shared_ptr<const TransformResult> result;
     bool cache_hit = false;       ///< served directly from the result cache
     bool shared_flight = false;   ///< joined an identical in-flight request
+    /// Served a cached *variant* of the requested scene (same pixels,
+    /// different taps/levels) because the exact answer was unavailable —
+    /// only possible when the request set `allow_degraded`.
+    bool degraded = false;
+    std::uint32_t attempts = 1;   ///< compute attempts the flight needed (1 = no retry)
     double queue_seconds = 0.0;   ///< submit -> compute start (0 for cache hit)
     double compute_seconds = 0.0; ///< transform time (0 unless this flight computed)
     double total_seconds = 0.0;   ///< submit -> reply
@@ -82,11 +100,41 @@ public:
     ServiceShutdownError() : std::runtime_error("pyramid service: shut down with request still queued") {}
 };
 
+/// The compute exceeded its watchdog budget (min of the configured limit
+/// and the time left to the request deadline); the request was failed and
+/// its concurrency slot released so the stall could not wedge the service.
+class WatchdogTimeoutError : public std::runtime_error {
+public:
+    WatchdogTimeoutError()
+        : std::runtime_error("pyramid service: compute exceeded its watchdog budget") {}
+};
+
+/// A freshly computed result failed the CRC audit (buffer corrupted
+/// between compute and finalize). Retryable, like any transient compute
+/// fault — a corrupted buffer is never delivered or cached.
+class CrcAuditError : public std::runtime_error {
+public:
+    CrcAuditError()
+        : std::runtime_error("pyramid service: result failed the CRC audit") {}
+};
+
+/// Why submit() said no (accepted == false).
+enum class RejectReason : std::uint8_t {
+    None,          ///< accepted
+    Saturated,     ///< admission budgets full (queue depth or byte budget)
+    ShuttingDown,  ///< service is draining
+    BreakerOpen,   ///< the backend's circuit breaker is rejecting fast
+    Quarantined,   ///< this exact request exhausted its retries before;
+                   ///< identical resubmissions fail immediately
+};
+
 /// Synchronous answer of PyramidService::submit.
 struct SubmitResult {
     bool accepted = false;
+    RejectReason reject_reason = RejectReason::None;
     /// Backpressure hint when rejected: suggested client wait before
-    /// retrying, from the current backlog and smoothed service time.
+    /// retrying, from the current backlog and smoothed service time (or
+    /// the breaker's remaining open window; +inf when pointless).
     double retry_after_seconds = 0.0;
     /// Valid (joinable) only when accepted.
     TransformFuture future;

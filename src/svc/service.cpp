@@ -24,6 +24,10 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
     return std::chrono::duration<double>(b - a).count();
 }
 
+std::size_t backend_index(Backend b) noexcept {
+    return static_cast<std::size_t>(b) < 2 ? static_cast<std::size_t>(b) : 0;
+}
+
 }  // namespace
 
 ServiceConfig ServiceConfig::from_env() {
@@ -34,13 +38,34 @@ ServiceConfig ServiceConfig::from_env() {
     cfg.max_concurrency =
         static_cast<std::size_t>(env_u64("WAVEHPC_SVC_CONCURRENCY", cfg.max_concurrency));
     cfg.cache_bytes = env_u64("WAVEHPC_SVC_CACHE_BYTES", cfg.cache_bytes);
+    cfg.resilience = ResilienceConfig::from_env();
     return cfg;
 }
 
 PyramidService::PyramidService(runtime::ThreadPool& pool, ServiceConfig cfg)
-    : pool_(pool), cfg_(cfg), cache_(cfg.cache_bytes) {}
+    : pool_(pool),
+      cfg_(cfg),
+      cache_(cfg.cache_bytes),
+      chaos_(ChaosPlan::from_env()),
+      breakers_{CircuitBreaker(cfg.resilience.breaker),
+                CircuitBreaker(cfg.resilience.breaker)} {
+    cache_.set_audit_lookups(chaos_.enabled());
+    timer_ = std::thread([this] { timer_loop(); });
+}
 
-PyramidService::~PyramidService() { shutdown(); }
+PyramidService::~PyramidService() {
+    shutdown();
+    if (timer_.joinable()) timer_.join();
+}
+
+void PyramidService::set_chaos_plan(ChaosPlan plan) {
+    chaos_.set_plan(std::move(plan));
+    cache_.set_audit_lookups(chaos_.enabled());
+}
+
+void PyramidService::record_outcome_locked(Outcome o, double seconds) {
+    outcome_hist_[static_cast<std::size_t>(o)].record(seconds);
+}
 
 SubmitResult PyramidService::submit(TransformRequest request) {
     if (!request.image) {
@@ -66,6 +91,7 @@ SubmitResult PyramidService::submit(TransformRequest request) {
         if (stopping_) {
             ++counters_.rejected;
             out.accepted = false;
+            out.reject_reason = RejectReason::ShuttingDown;
             out.retry_after_seconds = std::numeric_limits<double>::infinity();
             return out;
         }
@@ -79,10 +105,25 @@ SubmitResult PyramidService::submit(TransformRequest request) {
             reply.cache_hit = true;
             reply.total_seconds = seconds_between(submitted_at, Clock::now());
             total_hist_.record(reply.total_seconds);
+            record_outcome_locked(Outcome::Ok, reply.total_seconds);
             std::promise<TransformReply> ready;
             out.future = ready.get_future().share();
             ready.set_value(std::move(reply));
             out.accepted = true;
+            return out;
+        }
+
+        if (quarantine_.contains(key)) {
+            // Poison fingerprint: this exact request already burned its
+            // whole retry budget; fail resubmissions fast instead of
+            // letting them chew compute slots again.
+            ++counters_.rejected;
+            ++counters_.quarantine_rejects;
+            record_outcome_locked(Outcome::Quarantined,
+                                  seconds_between(submitted_at, Clock::now()));
+            out.accepted = false;
+            out.reject_reason = RejectReason::Quarantined;
+            out.retry_after_seconds = std::numeric_limits<double>::infinity();
             return out;
         }
 
@@ -97,10 +138,12 @@ SubmitResult PyramidService::submit(TransformRequest request) {
             const Priority prio = std::max(flight.priority, request.priority);
             const auto deadline = std::max(flight.deadline, request.deadline);
             if (prio != flight.priority || deadline != flight.deadline) {
-                if (!flight.dispatched) pending_.erase(&flight);
+                // Reorder only while the flight actually sits in pending_;
+                // Backoff/Running flights pick the upgrade up on requeue.
+                if (flight.state == FlightState::Pending) pending_.erase(&flight);
                 flight.priority = prio;
                 flight.deadline = deadline;
-                if (!flight.dispatched) pending_.insert(&flight);
+                if (flight.state == FlightState::Pending) pending_.insert(&flight);
             }
             ++counters_.accepted;
             ++counters_.dedup_joins;
@@ -110,9 +153,34 @@ SubmitResult PyramidService::submit(TransformRequest request) {
 
         if (pending_.size() >= cfg_.max_queue_depth ||
             queued_bytes_ + image_bytes > cfg_.max_queued_bytes) {
+            if (request.allow_degraded) {
+                bool served = false;
+                auto degraded = try_degraded_locked(key, submitted_at, served);
+                if (served) return degraded;
+            }
             ++counters_.rejected;
             out.accepted = false;
+            out.reject_reason = RejectReason::Saturated;
             out.retry_after_seconds = retry_after_locked();
+            return out;
+        }
+
+        // Last gate before admission, so a half-open probe reservation is
+        // always followed by a real compute attempt.
+        if (CircuitBreaker& breaker = breakers_[backend_index(request.backend)];
+            !breaker.allow(submitted_at)) {
+            if (request.allow_degraded) {
+                bool served = false;
+                auto degraded = try_degraded_locked(key, submitted_at, served);
+                if (served) return degraded;
+            }
+            ++counters_.rejected;
+            ++counters_.breaker_rejects;
+            record_outcome_locked(Outcome::BreakerRejected,
+                                  seconds_between(submitted_at, Clock::now()));
+            out.accepted = false;
+            out.reject_reason = RejectReason::BreakerOpen;
+            out.retry_after_seconds = breaker.retry_after_seconds(submitted_at);
             return out;
         }
 
@@ -140,6 +208,32 @@ SubmitResult PyramidService::submit(TransformRequest request) {
     return out;
 }
 
+SubmitResult PyramidService::try_degraded_locked(const CacheKey& key,
+                                                 Clock::time_point submitted_at,
+                                                 bool& served) {
+    SubmitResult out;
+    auto variant = cache_.lookup_variant(key);
+    if (!variant) {
+        served = false;
+        return out;
+    }
+    served = true;
+    ++counters_.accepted;
+    ++counters_.completed;
+    ++counters_.degraded_replies;
+    TransformReply reply;
+    reply.result = std::move(variant);
+    reply.degraded = true;
+    reply.total_seconds = seconds_between(submitted_at, Clock::now());
+    total_hist_.record(reply.total_seconds);
+    record_outcome_locked(Outcome::Degraded, reply.total_seconds);
+    std::promise<TransformReply> ready;
+    out.future = ready.get_future().share();
+    ready.set_value(std::move(reply));
+    out.accepted = true;
+    return out;
+}
+
 double PyramidService::retry_after_locked() const {
     const double per_request =
         ewma_compute_seconds_ > 0.0 ? ewma_compute_seconds_ : 0.05;
@@ -153,6 +247,26 @@ void PyramidService::remove_flight_locked(Flight& flight) {
     queued_bytes_ -= flight.image_bytes;
     const CacheKey key = flight.key;  // copy: erase destroys the flight
     flights_.erase(key);
+}
+
+void PyramidService::erase_watch_locked(Flight& flight) {
+    auto [lo, hi] = watch_.equal_range(flight.watch_deadline);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second == &flight) {
+            watch_.erase(it);
+            return;
+        }
+    }
+}
+
+void PyramidService::fail_flight_locked(Flight& flight,
+                                        std::vector<FailureBatch>& failures,
+                                        std::exception_ptr error, Outcome outcome) {
+    const auto now = Clock::now();
+    for (const Waiter& w : flight.waiters) {
+        record_outcome_locked(outcome, seconds_between(w.submitted_at, now));
+    }
+    failures.push_back({std::move(flight.waiters), std::move(error), outcome, true});
 }
 
 void PyramidService::dispatch_ready(std::unique_lock<std::mutex>& lk,
@@ -171,8 +285,9 @@ void PyramidService::dispatch_ready(std::unique_lock<std::mutex>& lk,
             remove_flight_locked(*flight);
             continue;
         }
-        flight->dispatched = true;
+        flight->state = FlightState::Running;
         ++running_;
+        ++inflight_computes_;
         auto sp = flights_.at(flight->key);
         const auto prio = flight->priority == Priority::Interactive
                               ? runtime::TaskPriority::High
@@ -194,19 +309,43 @@ void PyramidService::run_flight(const std::shared_ptr<Flight>& flight) {
                  std::make_exception_ptr(DeadlineExpiredError{})});
             remove_flight_locked(*flight);
             --running_;
+            --inflight_computes_;
             dispatch_ready(lk, failures);
-            if (stopping_ && running_ == 0) cv_drained_.notify_all();
+            if (stopping_ && inflight_computes_ == 0) cv_drained_.notify_all();
             lk.unlock();
             deliver_failures(failures);
             return;
         }
         ++counters_.computes;
+        // Arm the watchdog for this attempt: the budget is the configured
+        // limit, tightened by whatever time the request deadline leaves.
+        double budget = cfg_.resilience.watchdog_seconds;
+        if (flight->deadline != Clock::time_point::max()) {
+            budget = budget > 0.0
+                         ? std::min(budget, seconds_between(start, flight->deadline))
+                         : seconds_between(start, flight->deadline);
+        }
+        if (budget > 0.0) {
+            flight->watch_deadline =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(budget));
+            watch_.emplace(flight->watch_deadline, flight.get());
+            cv_timer_.notify_one();
+        } else {
+            flight->watch_deadline = Clock::time_point::max();
+        }
     }
 
+    // Chaos decision for this attempt (no-op, all-zero decision when no
+    // plan is active); drawn outside the service lock.
+    const ChaosDecision chaos_decision = chaos_.next_compute_decision();
+
     const TransformRequest& req = flight->request;
-    std::shared_ptr<const TransformResult> result;
+    std::shared_ptr<TransformResult> result;
     std::exception_ptr compute_error;
+    bool crc_failed = false;
     try {
+        chaos_.inject_before_compute(chaos_decision);
         const auto fp = core::FilterPair::daubechies(req.taps);
         core::Pyramid pyr =
             req.backend == Backend::Serial
@@ -218,6 +357,14 @@ void PyramidService::run_flight(const std::shared_ptr<Flight>& flight) {
         owned->key = flight->key;
         owned->result_bytes = pyramid_bytes(owned->pyramid);
         owned->compute_seconds = seconds_between(start, Clock::now());
+        // CRC point of truth, then the chaos corruption hook: an injected
+        // bit flip lands *after* the checksum, so the audit must catch it.
+        owned->crc32 = pyramid_crc32(owned->pyramid);
+        chaos_.corrupt_result(chaos_decision, owned->pyramid);
+        if (!audit_result(*owned)) {
+            crc_failed = true;
+            throw CrcAuditError{};
+        }
         result = std::move(owned);
     } catch (...) {
         compute_error = std::current_exception();
@@ -225,12 +372,32 @@ void PyramidService::run_flight(const std::shared_ptr<Flight>& flight) {
     const auto finish = Clock::now();
 
     std::vector<Waiter> waiters;
+    std::uint32_t delivered_attempts = 1;
     {
         std::unique_lock lk(mu_);
-        waiters = std::move(flight->waiters);  // includes joins during compute
-        remove_flight_locked(*flight);
-        --running_;
+        erase_watch_locked(*flight);
+        if (crc_failed) ++counters_.crc_audit_failures;
+
+        if (flight->abandoned) {
+            // The watchdog already failed the waiters and released the
+            // slot; all that is left is salvage (cache a clean result so
+            // the work is not wasted) and the drain accounting.
+            if (result) cache_.insert(flight->key, result);
+            --inflight_computes_;
+            if (stopping_ && inflight_computes_ == 0) cv_drained_.notify_all();
+            return;
+        }
+
+        ++flight->attempts;
+        delivered_attempts = flight->attempts;
+        CircuitBreaker& breaker = breakers_[backend_index(req.backend)];
+
         if (result) {
+            breaker.record_success(finish);
+            waiters = std::move(flight->waiters);  // includes joins during compute
+            remove_flight_locked(*flight);
+            --running_;
+            --inflight_computes_;
             cache_.insert(flight->key, result);
             const double compute_seconds = result->compute_seconds;
             queue_wait_hist_.record(seconds_between(flight->admitted_at, start));
@@ -240,14 +407,53 @@ void PyramidService::run_flight(const std::shared_ptr<Flight>& flight) {
                                         : 0.8 * ewma_compute_seconds_ +
                                               0.2 * compute_seconds;
             counters_.completed += waiters.size();
+            const Outcome o =
+                delivered_attempts > 1 ? Outcome::Retried : Outcome::Ok;
             for (const Waiter& w : waiters) {
-                total_hist_.record(seconds_between(w.submitted_at, finish));
+                const double total = seconds_between(w.submitted_at, finish);
+                total_hist_.record(total);
+                record_outcome_locked(o, total);
             }
         } else {
-            counters_.compute_failures += waiters.size();
+            breaker.record_failure(finish);
+            if (stopping_) {
+                // Draining: no retries; propagate the error so the drain
+                // finishes promptly.
+                counters_.compute_failures += flight->waiters.size();
+                failures.push_back({std::move(flight->waiters), compute_error});
+                remove_flight_locked(*flight);
+                --running_;
+                --inflight_computes_;
+            } else if (flight->attempts >= cfg_.resilience.retry.max_attempts) {
+                // Poison request: quarantine the fingerprint and fail
+                // permanently with the last attempt's error.
+                quarantine_.insert(flight->key);
+                counters_.compute_failures += flight->waiters.size();
+                counters_.quarantined += flight->waiters.size();
+                fail_flight_locked(*flight, failures, compute_error,
+                                   Outcome::Quarantined);
+                remove_flight_locked(*flight);
+                --running_;
+                --inflight_computes_;
+            } else {
+                // Transient failure: release the slot and park the flight
+                // until its jittered backoff elapses (timer thread).
+                ++counters_.retries;
+                const double delay = cfg_.resilience.retry.backoff_seconds(
+                    flight->attempts,
+                    (flight->seq << 16) ^ flight->attempts);
+                flight->retry_at =
+                    finish + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(delay));
+                flight->state = FlightState::Backoff;
+                backoff_.emplace(flight->retry_at, flight.get());
+                --running_;
+                --inflight_computes_;
+                cv_timer_.notify_one();
+            }
         }
         dispatch_ready(lk, failures);
-        if (stopping_ && running_ == 0) cv_drained_.notify_all();
+        if (stopping_ && inflight_computes_ == 0) cv_drained_.notify_all();
     }
 
     if (result) {
@@ -255,15 +461,65 @@ void PyramidService::run_flight(const std::shared_ptr<Flight>& flight) {
             TransformReply reply;
             reply.result = result;
             reply.shared_flight = w.joined;
+            reply.attempts = delivered_attempts;
             reply.queue_seconds = seconds_between(w.submitted_at, start);
             reply.compute_seconds = result->compute_seconds;
             reply.total_seconds = seconds_between(w.submitted_at, finish);
             w.promise.set_value(std::move(reply));
         }
-    } else {
-        for (Waiter& w : waiters) w.promise.set_exception(compute_error);
     }
     deliver_failures(failures);
+}
+
+void PyramidService::timer_loop() {
+    std::unique_lock lk(mu_);
+    while (!timer_stop_) {
+        const auto now = Clock::now();
+        std::vector<FailureBatch> failures;
+        bool changed = false;
+
+        // Backoffs that elapsed: requeue for dispatch.
+        while (!backoff_.empty() && backoff_.begin()->first <= now) {
+            Flight* flight = backoff_.begin()->second;
+            backoff_.erase(backoff_.begin());
+            flight->state = FlightState::Pending;
+            pending_.insert(flight);
+            changed = true;
+        }
+
+        // Watchdog deadlines that passed: fail the waiters, release the
+        // slot, and leave the still-running compute to salvage-finish.
+        while (!watch_.empty() && watch_.begin()->first <= now) {
+            Flight* flight = watch_.begin()->second;
+            watch_.erase(watch_.begin());
+            flight->abandoned = true;
+            counters_.watchdog_timeouts += flight->waiters.size();
+            breakers_[backend_index(flight->request.backend)].record_failure(now);
+            failures.push_back(
+                {std::move(flight->waiters),
+                 std::make_exception_ptr(WatchdogTimeoutError{})});
+            remove_flight_locked(*flight);
+            --running_;
+            changed = true;
+        }
+
+        if (changed) dispatch_ready(lk, failures);
+        if (!failures.empty()) {
+            lk.unlock();
+            deliver_failures(failures);
+            lk.lock();
+            continue;  // re-evaluate under fresh state
+        }
+
+        auto next = Clock::time_point::max();
+        if (!backoff_.empty()) next = std::min(next, backoff_.begin()->first);
+        if (!watch_.empty()) next = std::min(next, watch_.begin()->first);
+        if (next == Clock::time_point::max()) {
+            cv_timer_.wait(lk);
+        } else {
+            cv_timer_.wait_until(lk, next);
+        }
+    }
 }
 
 void PyramidService::deliver_failures(std::vector<FailureBatch>& failures) {
@@ -287,11 +543,25 @@ void PyramidService::shutdown() {
                 remove_flight_locked(*flight);
             }
             pending_.clear();
+            // Flights parked in retry backoff die the same way: their
+            // timer entry is dropped here, so no retry fires post-drain.
+            for (auto& [retry_at, flight] : backoff_) {
+                counters_.shutdown_failures += flight->waiters.size();
+                failures.push_back(
+                    {std::move(flight->waiters),
+                     std::make_exception_ptr(ServiceShutdownError{})});
+                remove_flight_locked(*flight);
+            }
+            backoff_.clear();
         }
     }
     deliver_failures(failures);
-    std::unique_lock lk(mu_);
-    cv_drained_.wait(lk, [this] { return running_ == 0; });
+    {
+        std::unique_lock lk(mu_);
+        cv_drained_.wait(lk, [this] { return inflight_computes_ == 0; });
+        timer_stop_ = true;
+    }
+    cv_timer_.notify_all();
 }
 
 MetricsSnapshot PyramidService::metrics() const {
@@ -301,7 +571,9 @@ MetricsSnapshot PyramidService::metrics() const {
     m.queue_wait = queue_wait_hist_;
     m.compute = compute_hist_;
     m.total = total_hist_;
+    m.outcome = outcome_hist_;
     m.queue_depth = pending_.size();
+    m.backoff_depth = backoff_.size();
     m.running = running_;
     m.queued_bytes = queued_bytes_;
     return m;

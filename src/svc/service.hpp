@@ -1,54 +1,68 @@
 #pragma once
 // In-process wavelet pyramid service: the "front door" the operational
 // pipelines in the paper's setting need — accepts concurrent transform
-// requests, batches identical ones, caches results, and sheds load.
+// requests, batches identical ones, caches results, sheds load, and
+// (ISSUE 5) survives compute faults instead of surfacing them raw.
 //
-// Layering (one mutex, no dedicated threads):
+// Layering (one mutex + one timer thread for backoff/watchdog deadlines):
 //
 //   submit() ── cache hit ──────────────────────────► ready future
 //        │
+//        ├── quarantined fingerprint ───────────────► reject (Quarantined)
+//        │
 //        ├── identical request already in flight ───► join it (single-flight)
 //        │
+//        ├── circuit breaker open for the backend ──► degraded cached variant
+//        │                                            (allow_degraded) or
+//        │                                            reject + retry-after
 //        ├── admission control: queue depth or in-flight image bytes
-//        │   over budget ──────────────────────────► reject + retry-after
+//        │   over budget ──────────────────────────► degraded or reject
 //        │
 //        └── admit ► pending set ordered by (priority, deadline, seq)
 //                       │ dispatched when a concurrency slot frees,
-//                       ▼ onto the shared runtime pool (Interactive
-//                    run_flight  requests use the pool's High queue)
-//                       │ compute (serial or pool-parallel, bit-identical)
+//                       ▼ onto the shared runtime pool
+//                    run_flight ── watchdog armed for the attempt
+//                       │ chaos hooks: injected stall / bad_alloc /
+//                       │ compute error / result-bit corruption
 //                       ▼
-//                    finalize: insert into cache, fulfil every waiter
-//                    with the same shared buffer, dispatch next
+//                    success: CRC audit ► cache insert ► fulfil waiters
+//                    failure: breaker tick ► retry with jittered capped
+//                             exponential backoff, or quarantine after
+//                             max_attempts ► fail waiters
 //
-// Invariants the tests pin:
-//   * Backpressure, never unbounded growth: submit() past the budgets
-//     answers rejected immediately; it never blocks.
-//   * Single-flight determinism: N concurrent identical requests run the
-//     transform once; all futures resolve to the same TransformResult
-//     object, and a later cache hit returns that object again —
-//     bit-identical to a cold core::decompose by construction.
-//   * Deadline-expired requests are failed (DeadlineExpiredError), never
-//     computed.
-//   * shutdown() drains: dispatched flights complete and deliver values;
-//     still-queued flights fail with ServiceShutdownError; afterwards the
-//     service is quiescent and further submits are rejected.
+// Invariants the tests pin (on top of ISSUE 4's):
+//   * A corrupted result buffer never reaches a waiter or the cache: the
+//     CRC taken at compute end is audited before delivery and on insert.
+//   * A stalled compute fails its waiters after the watchdog budget and
+//     releases the concurrency slot; the pool worker finishes on its own
+//     and the salvage result may still be cached, but never delivered.
+//   * shutdown() also fails flights parked in retry backoff with
+//     ServiceShutdownError — no timer or task outlives the drain.
+//   * With no chaos plan and no compute failures, behaviour is
+//     byte-for-byte ISSUE 4's (the breaker stays closed, the quarantine
+//     stays empty, the watchdog never fires at default budgets).
 //
 // The ThreadPool must outlive the service, and the service must be shut
 // down (or destroyed — the destructor drains) before the pool.
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
 #include "svc/cache.hpp"
+#include "svc/chaos.hpp"
 #include "svc/metrics.hpp"
 #include "svc/request.hpp"
+#include "svc/resilience.hpp"
 
 namespace wavehpc::svc {
 
@@ -57,15 +71,20 @@ struct ServiceConfig {
     std::uint64_t max_queued_bytes = 256u << 20;  ///< image bytes, pending + running
     std::size_t max_concurrency = 2;            ///< flights computing at once
     std::uint64_t cache_bytes = 64u << 20;      ///< result cache budget
+    ResilienceConfig resilience;                ///< retry/breaker/watchdog posture
 
     /// Defaults overridden by WAVEHPC_SVC_QUEUE_DEPTH / WAVEHPC_SVC_QUEUE_BYTES /
     /// WAVEHPC_SVC_CONCURRENCY / WAVEHPC_SVC_CACHE_BYTES (unset or
-    /// unparsable variables keep the default; zeroes are clamped to 1).
+    /// unparsable variables keep the default; zeroes are clamped to 1)
+    /// plus the ResilienceConfig::from_env knobs.
     [[nodiscard]] static ServiceConfig from_env();
 };
 
 class PyramidService {
 public:
+    /// The chaos plan defaults to ChaosPlan::from_env() (WAVEHPC_CHAOS_*);
+    /// tests and the chaos bench swap it via set_chaos_plan() before
+    /// offering traffic.
     explicit PyramidService(runtime::ThreadPool& pool, ServiceConfig cfg = {});
 
     /// Drains via shutdown() if the caller has not already.
@@ -79,14 +98,25 @@ public:
     /// taps/levels for the image size) — that is a caller bug, not load.
     [[nodiscard]] SubmitResult submit(TransformRequest request);
 
-    /// Graceful drain: fail everything still queued (ServiceShutdownError),
-    /// wait for dispatched flights to complete and deliver. Idempotent;
-    /// concurrent callers all block until quiescence.
+    /// Graceful drain: fail everything still queued *or in retry backoff*
+    /// (ServiceShutdownError), wait for dispatched flights to complete and
+    /// deliver, stop the timer thread. Idempotent; concurrent callers all
+    /// block until quiescence.
     void shutdown();
 
     [[nodiscard]] MetricsSnapshot metrics() const;
     [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
     [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+    /// Swap the chaos plan (test/bench seam) and re-wire the cache lookup
+    /// audit to the plan's enabled state. Install only while quiescent.
+    void set_chaos_plan(ChaosPlan plan);
+
+    /// The fault-injection engine — for pool_observer() wiring and stats.
+    /// Use set_chaos_plan (not chaos().set_plan) to change the plan so the
+    /// cache audit follows it.
+    [[nodiscard]] ChaosEngine& chaos() noexcept { return chaos_; }
+    [[nodiscard]] ChaosStats chaos_stats() const { return chaos_.stats(); }
 
 private:
     /// One admitted unit of work; N deduplicated requests share a flight.
@@ -95,6 +125,10 @@ private:
         Clock::time_point submitted_at;
         bool joined = false;  ///< true for every waiter after the first
     };
+
+    /// Where an undelivered flight currently lives. Running flights are in
+    /// neither pending_ nor backoff_; the maps below are disjoint.
+    enum class FlightState : std::uint8_t { Pending, Backoff, Running };
 
     struct Flight {
         CacheKey key;
@@ -105,7 +139,13 @@ private:
         Clock::time_point deadline;      ///< latest over joined requests
         std::uint64_t seq = 0;           ///< admission order tiebreak
         Clock::time_point admitted_at;
-        bool dispatched = false;
+        FlightState state = FlightState::Pending;
+        std::uint32_t attempts = 0;      ///< compute attempts finished so far
+        Clock::time_point retry_at;      ///< valid while state == Backoff
+        Clock::time_point watch_deadline;  ///< valid while state == Running
+        /// The watchdog fired: waiters are already failed and the slot
+        /// released; the still-running compute must only salvage-cache.
+        bool abandoned = false;
     };
 
     struct PendingOrder {
@@ -121,33 +161,56 @@ private:
     struct FailureBatch {
         std::vector<Waiter> waiters;
         std::exception_ptr error;
+        Outcome outcome = Outcome::Quarantined;  ///< histogram bucket
+        bool record_outcome = false;
     };
 
     void dispatch_ready(std::unique_lock<std::mutex>& lk,
                         std::vector<FailureBatch>& failures);
     void run_flight(const std::shared_ptr<Flight>& flight);
     void deliver_failures(std::vector<FailureBatch>& failures);
+    void timer_loop();
+    /// Fail `flight`'s waiters under mu_ with outcome bookkeeping; caller
+    /// delivers the batch after unlocking.
+    void fail_flight_locked(Flight& flight, std::vector<FailureBatch>& failures,
+                            std::exception_ptr error, Outcome outcome);
     [[nodiscard]] double retry_after_locked() const;
     void remove_flight_locked(Flight& flight);
+    void erase_watch_locked(Flight& flight);
+    void record_outcome_locked(Outcome o, double seconds);
+    [[nodiscard]] SubmitResult try_degraded_locked(const CacheKey& key,
+                                                   Clock::time_point submitted_at,
+                                                   bool& served);
 
     runtime::ThreadPool& pool_;
     const ServiceConfig cfg_;
     ResultCache cache_;
+    ChaosEngine chaos_;
 
     mutable std::mutex mu_;
     std::condition_variable cv_drained_;
+    std::condition_variable cv_timer_;
     bool stopping_ = false;
+    bool timer_stop_ = false;
     std::uint64_t next_seq_ = 0;
-    std::size_t running_ = 0;
+    std::size_t running_ = 0;           // concurrency slots in use
+    std::size_t inflight_computes_ = 0; // pool lambdas outstanding (>= drain gate)
     std::uint64_t queued_bytes_ = 0;  // image bytes of pending + running flights
     double ewma_compute_seconds_ = 0.0;
     std::unordered_map<CacheKey, std::shared_ptr<Flight>, CacheKeyHash> flights_;
     std::set<Flight*, PendingOrder> pending_;
+    std::multimap<Clock::time_point, Flight*> backoff_;  // keyed by retry_at
+    std::multimap<Clock::time_point, Flight*> watch_;    // keyed by watch_deadline
+    std::unordered_set<CacheKey, CacheKeyHash> quarantine_;
+    std::array<CircuitBreaker, 2> breakers_;  // indexed by Backend
 
     ServiceCounters counters_;
     perf::LatencyHistogram queue_wait_hist_;
     perf::LatencyHistogram compute_hist_;
     perf::LatencyHistogram total_hist_;
+    std::array<perf::LatencyHistogram, kOutcomeCount> outcome_hist_;
+
+    std::thread timer_;  // last member: joins before the rest tears down
 };
 
 }  // namespace wavehpc::svc

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "mesh/collectives.hpp"
@@ -103,7 +104,27 @@ TEST(LatencyHistogram, EmptyReportsZeros) {
     EXPECT_EQ(h.min(), 0.0);
     EXPECT_EQ(h.max(), 0.0);
     EXPECT_EQ(h.mean(), 0.0);
+    // Every quantile of an empty histogram is 0 — including degenerate q
+    // (the service queries per-outcome histograms that may be empty).
     EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    EXPECT_EQ(h.quantile(1.0), 0.0);
+    EXPECT_EQ(h.quantile(-3.0), 0.0);
+    EXPECT_EQ(h.quantile(7.0), 0.0);
+    EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+}
+
+TEST(LatencyHistogram, DegenerateQuantileArgsClampNotUB) {
+    wavehpc::perf::LatencyHistogram h;
+    h.record(1e-3);
+    h.record(2e-3);
+    // Out-of-range q clamps to the observed extremes; NaN behaves like 0.
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+    const double at_nan = h.quantile(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_DOUBLE_EQ(at_nan, h.quantile(0.0));
+    EXPECT_GE(at_nan, h.min());
+    EXPECT_LE(at_nan, h.max());
 }
 
 TEST(LatencyHistogram, ExactStatsAndBoundedQuantileError) {

@@ -126,7 +126,8 @@ TEST(ServiceStorm, ConcurrentHitMissStormStaysBitIdentical) {
               m.counters.accepted + m.counters.rejected);
     EXPECT_EQ(m.counters.accepted,
               m.counters.completed + m.counters.deadline_failures +
-                  m.counters.shutdown_failures + m.counters.compute_failures);
+                  m.counters.shutdown_failures + m.counters.compute_failures +
+                  m.counters.watchdog_timeouts);
     service.shutdown();
 }
 
@@ -177,6 +178,99 @@ TEST(ServiceStorm, ShutdownDuringStormLeavesNoOrphans) {
     EXPECT_EQ(m.queued_bytes, 0U);
     EXPECT_EQ(outcomes.load(), m.counters.accepted)
         << "some accepted future was never resolved";
+}
+
+// Chaos storm (ISSUE 5): concurrent clients under an active fault plan —
+// injected compute faults, allocation failures, stalls, and result-buffer
+// corruption racing retries, quarantine, and the breaker. Every delivered
+// buffer must still pass its CRC audit, every exact (non-degraded) reply
+// must still be bit-identical, and the counter accounting must balance.
+TEST(ServiceStorm, ChaosStormDeliversOnlyAuditedBitIdenticalResults) {
+    const std::uint64_t chaos_seed =
+        wavehpc::testing::env_seed("WAVEHPC_CHAOS_SEED", 5150);
+    const std::uint64_t base_seed = wavehpc::testing::env_seed("WAVEHPC_FUZZ_SEED", 31);
+    const auto scenes = make_scenes(6);
+
+    ThreadPool pool(4);
+    ServiceConfig cfg;
+    cfg.max_queue_depth = 16;
+    cfg.max_concurrency = 2;
+    cfg.resilience.retry.base_seconds = 0.001;
+    cfg.resilience.retry.cap_seconds = 0.004;
+    PyramidService service(pool, cfg);
+    service.set_chaos_plan(wavehpc::svc::ChaosPlan::parse(
+        "compute=0.02,alloc=0.005,corrupt=0.01,stall=0.01,stall_ms=2",
+        chaos_seed));
+
+    constexpr int kClients = 6;
+    constexpr int kRequestsPerClient = 150;
+    std::atomic<std::uint64_t> bad_buffers{0};   // CRC-failing deliveries
+    std::atomic<std::uint64_t> mismatches{0};    // exact replies != reference
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> failed{0};
+
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            SplitMix64 rng(wavehpc::testing::derive_seed(base_seed,
+                                                         static_cast<std::uint64_t>(c)));
+            for (int i = 0; i < kRequestsPerClient; ++i) {
+                const std::size_t idx = rng.below(scenes.size());
+                TransformRequest req;
+                req.image = scenes[idx].image;
+                req.taps = 4;
+                req.levels = 1;
+                req.backend = rng.below(2) == 0 ? Backend::Serial : Backend::Threads;
+                req.allow_degraded = rng.below(4) == 0;
+                auto sub = service.submit(req);
+                if (!sub.accepted) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                try {
+                    const auto reply = sub.future.get();
+                    delivered.fetch_add(1, std::memory_order_relaxed);
+                    if (!wavehpc::svc::audit_result(*reply.result)) {
+                        bad_buffers.fetch_add(1, std::memory_order_relaxed);
+                    }
+                    if (!reply.degraded &&
+                        !matches_reference(reply.result->pyramid,
+                                           scenes[idx].reference)) {
+                        mismatches.fetch_add(1, std::memory_order_relaxed);
+                    }
+                } catch (const std::exception&) {
+                    // Exhausted retries / quarantine / watchdog: an honest
+                    // failure is fine — a corrupt delivery is not.
+                    failed.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+
+    EXPECT_EQ(bad_buffers.load(), 0U)
+        << "a corrupted buffer escaped the CRC audit";
+    EXPECT_EQ(mismatches.load(), 0U);
+    EXPECT_GT(delivered.load(), 0U);
+
+    const auto m = service.metrics();
+    EXPECT_EQ(m.counters.submitted, m.counters.accepted + m.counters.rejected);
+    EXPECT_EQ(m.counters.accepted,
+              m.counters.completed + m.counters.deadline_failures +
+                  m.counters.shutdown_failures + m.counters.compute_failures +
+                  m.counters.watchdog_timeouts);
+    EXPECT_EQ(delivered.load() + failed.load(), m.counters.accepted);
+    const auto cs = service.chaos_stats();
+    EXPECT_GT(cs.draws, 0U);
+    // The audit must have caught exactly the injected corruptions that made
+    // it to a finished buffer.
+    EXPECT_EQ(m.counters.crc_audit_failures, cs.corruptions);
+    service.shutdown();
+    const auto after = service.metrics();
+    EXPECT_EQ(after.running, 0U);
+    EXPECT_EQ(after.queue_depth, 0U);
+    EXPECT_EQ(after.backoff_depth, 0U);
 }
 
 }  // namespace
