@@ -1,24 +1,38 @@
 // google-benchmark microbenchmarks of the host wavelet kernels: sequential
-// vs thread-pool decomposition, per filter size, plus the primitive passes.
+// vs thread-pool decomposition, per filter size, plus the primitive passes
+// and the convolve-vs-lifting kernel comparison.
 //
 // Takes the shared bench knobs (--seed / --size / --smoke, common_args.hpp)
 // ahead of the usual --benchmark_* flags; --smoke shrinks min_time so CI
 // can pipeline-check the binary without measuring anything.
+//
+// Extra flags (via the shared parser's hook):
+//   --json PATH        write the per-kernel ns/pixel report as JSON
+//                      (--smoke defaults this to BENCH_kernels.json)
+//   --min-speedup F    exit non-zero unless lifting/convolve speedup at the
+//                      widest filter reaches F (the CI regression gate)
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common_args.hpp"
 #include "core/convolve.hpp"
+#include "core/kernels.hpp"
 #include "core/synthetic.hpp"
 #include "wavelet/threads_dwt.hpp"
 
 namespace {
 
 using wavehpc::core::BoundaryMode;
+using wavehpc::core::DwtKernel;
 using wavehpc::core::FilterPair;
 using wavehpc::core::ImageF;
 
@@ -55,6 +69,28 @@ void BM_ColPass(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_ColPass)->Arg(2)->Arg(4)->Arg(8);
+
+// Convolve vs lifting through the unified kernel layer: one fused level
+// (row pass + column pass, all four subbands). Arg 0 = taps, arg 1 = the
+// DwtKernel enum value (1 = convolve, 2 = lifting).
+void BM_AnalyzeLevel(benchmark::State& state) {
+    const FilterPair fp = FilterPair::daubechies(static_cast<int>(state.range(0)));
+    const auto kernel = static_cast<DwtKernel>(state.range(1));
+    const ImageF& img = scene512();
+    ImageF ll, lh, hl, hh;
+    for (auto _ : state) {
+        wavehpc::core::analyze_level(img, fp, ll, lh, hl, hh,
+                                     BoundaryMode::Periodic, kernel);
+        benchmark::DoNotOptimize(ll);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(img.size()));
+}
+BENCHMARK(BM_AnalyzeLevel)
+    ->ArgNames({"taps", "kernel"})
+    ->Args({2, 1})->Args({2, 2})
+    ->Args({4, 1})->Args({4, 2})
+    ->Args({8, 1})->Args({8, 2});
 
 void BM_SequentialDecompose(benchmark::State& state) {
     const FilterPair fp = FilterPair::daubechies(static_cast<int>(state.range(0)));
@@ -126,11 +162,75 @@ void BM_Reconstruct(benchmark::State& state) {
 }
 BENCHMARK(BM_Reconstruct);
 
+// ------------------------------------------------------------------ report
+//
+// Own-timed convolve-vs-lifting comparison, independent of google-benchmark
+// so CI can gate on it and commit the numbers: best-of-R wall time of one
+// fused analysis level per (taps, kernel), reported as ns/pixel.
+
+struct KernelRow {
+    int taps = 0;
+    double convolve_ns = 0.0;  // ns per input pixel
+    double lifting_ns = 0.0;
+    [[nodiscard]] double speedup() const { return convolve_ns / lifting_ns; }
+};
+
+double time_level_ns_per_pixel(const ImageF& img, const FilterPair& fp,
+                               DwtKernel kernel, int reps) {
+    using Clock = std::chrono::steady_clock;
+    ImageF ll, lh, hl, hh;
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r <= reps; ++r) {  // iteration 0 is warm-up
+        const auto t0 = Clock::now();
+        wavehpc::core::analyze_level(img, fp, ll, lh, hl, hh,
+                                     BoundaryMode::Periodic, kernel);
+        const double dt = std::chrono::duration<double>(Clock::now() - t0).count();
+        if (r > 0) best = std::min(best, dt);
+    }
+    return best * 1e9 / static_cast<double>(img.size());
+}
+
+std::vector<KernelRow> run_kernel_report(int reps) {
+    std::vector<KernelRow> rows;
+    for (const int taps : {2, 4, 8}) {
+        const FilterPair fp = FilterPair::daubechies(taps);
+        KernelRow row;
+        row.taps = taps;
+        row.convolve_ns =
+            time_level_ns_per_pixel(scene512(), fp, DwtKernel::Convolve, reps);
+        row.lifting_ns =
+            time_level_ns_per_pixel(scene512(), fp, DwtKernel::Lifting, reps);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+void write_kernel_json(const std::string& path, const std::vector<KernelRow>& rows) {
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"bench\": \"kernels_micro\",\n"
+        << "  \"size\": " << g_size << ",\n"
+        << "  \"seed\": " << g_seed << ",\n"
+        << "  \"mode\": \"periodic\",\n"
+        << "  \"unit\": \"ns_per_pixel\",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        out << "    {\"taps\": " << r.taps                        //
+            << ", \"convolve\": " << r.convolve_ns                //
+            << ", \"lifting\": " << r.lifting_ns                  //
+            << ", \"speedup\": " << r.speedup() << "}"            //
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     // Split argv: --benchmark_* flags go to google-benchmark untouched,
-    // everything else is ours (--seed / --size / --smoke).
+    // everything else is ours (--seed / --size / --smoke / --json /
+    // --min-speedup).
     std::vector<char*> gb_argv = {argv[0]};
     std::vector<char*> our_argv = {argv[0]};
     for (int i = 1; i < argc; ++i) {
@@ -139,14 +239,57 @@ int main(int argc, char** argv) {
     }
 
     wavehpc::bench::CommonArgs args;
+    std::string json_path;
+    double min_speedup = 0.0;
+    const auto extra = [&](std::string_view flag, std::string_view value) {
+        if (flag == "--json" && !value.empty()) {
+            json_path = std::string(value);
+            return wavehpc::bench::Consume::kFlagAndValue;
+        }
+        if (flag == "--min-speedup" && !value.empty()) {
+            char* end = nullptr;
+            const std::string text(value);
+            min_speedup = std::strtod(text.c_str(), &end);
+            if (end != nullptr && *end == '\0' && min_speedup > 0.0) {
+                return wavehpc::bench::Consume::kFlagAndValue;
+            }
+        }
+        return wavehpc::bench::Consume::kNo;
+    };
     int our_argc = static_cast<int>(our_argv.size());
-    if (!wavehpc::bench::parse_bench_args(our_argc, our_argv.data(), args)) {
+    if (!wavehpc::bench::parse_bench_args(our_argc, our_argv.data(), args, extra)) {
         return 2;
     }
     g_seed = wavehpc::bench::or_default<std::uint64_t>(args.seed, 1996);
     g_size = wavehpc::bench::or_default<std::size_t>(args.size, 512);
     std::string smoke_min_time = "--benchmark_min_time=0.001";
     if (args.smoke) gb_argv.push_back(smoke_min_time.data());
+    // The PR-committed artifact: --smoke emits BENCH_kernels.json by default.
+    if (args.smoke && json_path.empty()) json_path = "BENCH_kernels.json";
+
+    // Kernel comparison report (own timing, runs before google-benchmark).
+    const auto rows = run_kernel_report(args.smoke ? 3 : 9);
+    std::cout << "=== DWT kernel comparison: " << g_size << "x" << g_size
+              << " scene, seed " << g_seed << ", one fused level, ns/pixel ===\n";
+    for (const auto& r : rows) {
+        std::cout << "  taps " << r.taps << ": convolve " << r.convolve_ns
+                  << "  lifting " << r.lifting_ns << "  speedup " << r.speedup()
+                  << "x\n";
+    }
+    if (!json_path.empty()) {
+        write_kernel_json(json_path, rows);
+        std::cout << "wrote " << json_path << "\n";
+    }
+    std::cout << "\n";
+    if (min_speedup > 0.0) {
+        const auto& widest = rows.back();
+        if (widest.speedup() < min_speedup) {
+            std::cerr << argv[0] << ": lifting speedup " << widest.speedup()
+                      << "x at " << widest.taps << " taps is below the --min-speedup "
+                      << min_speedup << "x gate\n";
+            return 1;
+        }
+    }
 
     int gb_argc = static_cast<int>(gb_argv.size());
     benchmark::Initialize(&gb_argc, gb_argv.data());

@@ -13,6 +13,9 @@
 //
 // Extra flags (via the shared parser's hook):
 //   --requests N   arrivals per load point (default 400, smoke 120)
+//   --kernel K     DWT kernel for every request and reference: "convolve"
+//                  (default), "lifting", or "auto" (process selector) —
+//                  the capacity-lift knob for the unified kernel layer
 
 #include <chrono>
 #include <cmath>
@@ -63,6 +66,11 @@ constexpr MixEntry kMix[] = {
 };
 constexpr std::size_t kMixCount = sizeof(kMix) / sizeof(kMix[0]);
 constexpr std::size_t kScenes = 8;
+
+// Set from --kernel before any point runs; requests and the out-of-band
+// references use the same kernel so the bit-identity check stays valid
+// (threads and serial lifting are bit-identical, pinned by test_kernels).
+wavehpc::core::DwtKernel g_kernel = wavehpc::core::DwtKernel::Convolve;
 
 std::size_t pick_mix(SplitMix64& rng) {
     double r = rng.uniform();
@@ -132,6 +140,7 @@ PointResult run_point(ThreadPool& pool, const ServiceConfig& cfg,
         req.image = scenes[scene];
         req.taps = kMix[mix].taps;
         req.levels = kMix[mix].levels;
+        req.kernel = g_kernel;
         req.backend = Backend::Threads;
         auto sub = service.submit(req);
         if (sub.accepted) pending.push_back({std::move(sub.future), scene, mix});
@@ -167,6 +176,9 @@ int main(int argc, char** argv) {
             wavehpc::bench::detail::parse_u64(value, requests_flag)) {
             return Consume::kFlagAndValue;
         }
+        if (flag == "--kernel" && wavehpc::core::parse_dwt_kernel(value, g_kernel)) {
+            return Consume::kFlagAndValue;
+        }
         return Consume::kNo;
     };
     if (!wavehpc::bench::parse_bench_args(argc, argv, args, extra)) return 2;
@@ -182,7 +194,8 @@ int main(int argc, char** argv) {
               << edge << "x" << edge << " scenes, pool of " << kScenes
               << " (scene 0 takes half the traffic), mix F8/L1 40% / F4/L2 35% "
                  "/ F2/L4 25%, seed "
-              << seed << ", " << n_requests << " Poisson arrivals per point\n\n";
+              << seed << ", " << n_requests << " Poisson arrivals per point, "
+              << wavehpc::core::to_string(g_kernel) << " kernel\n\n";
 
     std::vector<std::shared_ptr<const ImageF>> scenes;
     scenes.reserve(kScenes);
@@ -197,7 +210,7 @@ int main(int argc, char** argv) {
     for (const auto& m : kMix) {
         scene0_refs.push_back(wavehpc::core::decompose(
             *scenes[0], FilterPair::daubechies(m.taps), m.levels,
-            BoundaryMode::Periodic));
+            BoundaryMode::Periodic, g_kernel));
     }
 
     ThreadPool pool(std::max(2U, std::thread::hardware_concurrency()));
@@ -210,7 +223,8 @@ int main(int argc, char** argv) {
         const auto t0 = Clock::now();
         (void)wavehpc::core::decompose(*scenes[0],
                                        FilterPair::daubechies(kMix[m].taps),
-                                       kMix[m].levels, BoundaryMode::Periodic);
+                                       kMix[m].levels, BoundaryMode::Periodic,
+                                       g_kernel);
         weighted_compute +=
             kMix[m].weight * std::chrono::duration<double>(Clock::now() - t0).count();
     }

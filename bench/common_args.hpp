@@ -40,10 +40,14 @@ namespace detail {
 
 inline bool parse_u64(std::string_view text, std::uint64_t& out) {
     if (text.empty()) return false;
+    constexpr std::uint64_t kMax = ~std::uint64_t{0};
     std::uint64_t v = 0;
     for (const char c : text) {
         if (c < '0' || c > '9') return false;
-        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+        const auto d = static_cast<std::uint64_t>(c - '0');
+        // Reject instead of silently wrapping: v*10 + d must fit.
+        if (v > (kMax - d) / 10) return false;
+        v = v * 10 + d;
     }
     out = v;
     return true;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/kernels.hpp"
+
 namespace wavehpc::core {
 
 namespace {
@@ -81,7 +83,7 @@ void convolve_decimate_cols(const ImageF& in, std::span<const float> f, ImageF& 
 }
 
 void synthesize_rows(const ImageF& low, const ImageF& high, std::span<const float> lowf,
-                     std::span<const float> highf, ImageF& out) {
+                     std::span<const float> highf, ImageF& out, BoundaryMode mode) {
     if (low.rows() != high.rows() || low.cols() != high.cols()) {
         throw std::invalid_argument("synthesize_rows: band shapes differ");
     }
@@ -97,15 +99,10 @@ void synthesize_rows(const ImageF& low, const ImageF& high, std::span<const floa
         auto dst = out.row(r);
         for (std::size_t m = 0; m < n; ++m) {
             float acc = 0.0F;
-            for (std::size_t j = m % 2; j < taps; j += 2) {
-                std::ptrdiff_t d = static_cast<std::ptrdiff_t>(m) -
-                                   static_cast<std::ptrdiff_t>(j);
-                d %= static_cast<std::ptrdiff_t>(n);
-                if (d < 0) d += static_cast<std::ptrdiff_t>(n);
-                const auto k = static_cast<std::size_t>(d) / 2;
+            for_each_synthesis_tap(m, half, taps, mode, [&](std::size_t k, std::size_t j) {
                 acc += lowf[j] * lo[k];
                 acc += highf[j] * hi[k];
-            }
+            });
             dst[m] = acc;
         }
     }
@@ -115,15 +112,10 @@ void synthesize_col_row(std::size_t m, std::size_t half_rows,
                         std::span<const float> lowf, std::span<const float> highf,
                         const std::function<std::span<const float>(std::size_t)>& low_row,
                         const std::function<std::span<const float>(std::size_t)>& high_row,
-                        std::span<float> out) {
-    const std::size_t n = 2 * half_rows;
+                        std::span<float> out, BoundaryMode mode) {
     const std::size_t taps = lowf.size();
     for (auto& v : out) v = 0.0F;
-    for (std::size_t j = m % 2; j < taps; j += 2) {
-        std::ptrdiff_t d = static_cast<std::ptrdiff_t>(m) - static_cast<std::ptrdiff_t>(j);
-        d %= static_cast<std::ptrdiff_t>(n);
-        if (d < 0) d += static_cast<std::ptrdiff_t>(n);
-        const auto k = static_cast<std::size_t>(d) / 2;
+    for_each_synthesis_tap(m, half_rows, taps, mode, [&](std::size_t k, std::size_t j) {
         const float wl = lowf[j];
         const float wh = highf[j];
         const auto lo = low_row(k);
@@ -132,11 +124,11 @@ void synthesize_col_row(std::size_t m, std::size_t half_rows,
             out[c] += wl * lo[c];
             out[c] += wh * hi[c];
         }
-    }
+    });
 }
 
 void synthesize_cols(const ImageF& low, const ImageF& high, std::span<const float> lowf,
-                     std::span<const float> highf, ImageF& out) {
+                     std::span<const float> highf, ImageF& out, BoundaryMode mode) {
     if (low.rows() != high.rows() || low.cols() != high.cols()) {
         throw std::invalid_argument("synthesize_cols: band shapes differ");
     }
@@ -148,11 +140,12 @@ void synthesize_cols(const ImageF& low, const ImageF& high, std::span<const floa
     for (std::size_t m = 0; m < n; ++m) {
         synthesize_col_row(
             m, half, lowf, highf, [&](std::size_t k) { return low.row(k); },
-            [&](std::size_t k) { return high.row(k); }, out.row(m));
+            [&](std::size_t k) { return high.row(k); }, out.row(m), mode);
     }
 }
 
-void upsample_accumulate_rows(const ImageF& in, std::span<const float> f, ImageF& out) {
+void upsample_accumulate_rows(const ImageF& in, std::span<const float> f, ImageF& out,
+                              BoundaryMode mode) {
     const std::size_t n = 2 * in.cols();
     if (out.rows() != in.rows() || out.cols() != n) {
         throw std::invalid_argument("upsample_accumulate_rows: bad output shape");
@@ -164,13 +157,17 @@ void upsample_accumulate_rows(const ImageF& in, std::span<const float> f, ImageF
         for (std::size_t k = 0; k < in.cols(); ++k) {
             const float v = src[k];
             for (std::size_t j = 0; j < taps; ++j) {
-                dst[(2 * k + j) % n] += f[j] * v;
+                const std::size_t idx =
+                    extend_index(static_cast<std::ptrdiff_t>(2 * k + j), n, mode);
+                if (idx >= n) continue;  // ZeroPad: analysis read a zero here
+                dst[idx] += f[j] * v;
             }
         }
     }
 }
 
-void upsample_accumulate_cols(const ImageF& in, std::span<const float> f, ImageF& out) {
+void upsample_accumulate_cols(const ImageF& in, std::span<const float> f, ImageF& out,
+                              BoundaryMode mode) {
     const std::size_t n = 2 * in.rows();
     if (out.rows() != n || out.cols() != in.cols()) {
         throw std::invalid_argument("upsample_accumulate_cols: bad output shape");
@@ -179,8 +176,11 @@ void upsample_accumulate_cols(const ImageF& in, std::span<const float> f, ImageF
     for (std::size_t k = 0; k < in.rows(); ++k) {
         auto src = in.row(k);
         for (std::size_t j = 0; j < taps; ++j) {
+            const std::size_t idx =
+                extend_index(static_cast<std::ptrdiff_t>(2 * k + j), n, mode);
+            if (idx >= n) continue;  // ZeroPad: analysis read a zero here
             const float w = f[j];
-            auto dst = out.row((2 * k + j) % n);
+            auto dst = out.row(idx);
             for (std::size_t c = 0; c < in.cols(); ++c) dst[c] += w * src[c];
         }
     }

@@ -18,54 +18,49 @@ void validate_decomposition_request(std::size_t rows, std::size_t cols, int leve
     }
 }
 
-Subbands decompose_level(const ImageF& in, const FilterPair& fp, BoundaryMode mode) {
+Subbands decompose_level(const ImageF& in, const FilterPair& fp, BoundaryMode mode,
+                         DwtKernel kernel) {
     validate_decomposition_request(in.rows(), in.cols(), 1);
-    // Row filtering + column decimation: I -> L, H (steps 1-2).
-    ImageF low_rows;
-    ImageF high_rows;
-    convolve_decimate_rows(in, fp.low(), low_rows, mode);
-    convolve_decimate_rows(in, fp.high(), high_rows, mode);
-
-    // Column filtering + row decimation: L -> LL, LH; H -> HL, HH (steps 3-4).
+    // Steps 1-4 run through the shared kernel layer: one fused row pass
+    // (I -> L, H) and one fused column pass (L, H -> LL, LH, HL, HH).
     Subbands sb;
-    convolve_decimate_cols(low_rows, fp.low(), sb.ll, mode);
-    convolve_decimate_cols(low_rows, fp.high(), sb.detail.lh, mode);
-    convolve_decimate_cols(high_rows, fp.low(), sb.detail.hl, mode);
-    convolve_decimate_cols(high_rows, fp.high(), sb.detail.hh, mode);
+    analyze_level(in, fp, sb.ll, sb.detail.lh, sb.detail.hl, sb.detail.hh, mode,
+                  kernel);
     return sb;
 }
 
-ImageF reconstruct_level(const Subbands& sb, const FilterPair& fp) {
+ImageF reconstruct_level(const Subbands& sb, const FilterPair& fp, BoundaryMode mode) {
     const std::size_t half_r = sb.ll.rows();
     const std::size_t half_c = sb.ll.cols();
 
     // Column synthesis: (LL, LH) -> L and (HL, HH) -> H.
     ImageF low_rows(2 * half_r, half_c, 0.0F);
-    upsample_accumulate_cols(sb.ll, fp.low(), low_rows);
-    upsample_accumulate_cols(sb.detail.lh, fp.high(), low_rows);
+    upsample_accumulate_cols(sb.ll, fp.low(), low_rows, mode);
+    upsample_accumulate_cols(sb.detail.lh, fp.high(), low_rows, mode);
 
     ImageF high_rows(2 * half_r, half_c, 0.0F);
-    upsample_accumulate_cols(sb.detail.hl, fp.low(), high_rows);
-    upsample_accumulate_cols(sb.detail.hh, fp.high(), high_rows);
+    upsample_accumulate_cols(sb.detail.hl, fp.low(), high_rows, mode);
+    upsample_accumulate_cols(sb.detail.hh, fp.high(), high_rows, mode);
 
     // Row synthesis: (L, H) -> I.
     ImageF out(2 * half_r, 2 * half_c, 0.0F);
-    upsample_accumulate_rows(low_rows, fp.low(), out);
-    upsample_accumulate_rows(high_rows, fp.high(), out);
+    upsample_accumulate_rows(low_rows, fp.low(), out, mode);
+    upsample_accumulate_rows(high_rows, fp.high(), out, mode);
     return out;
 }
 
-ImageF reconstruct_level_gather(const Subbands& sb, const FilterPair& fp) {
+ImageF reconstruct_level_gather(const Subbands& sb, const FilterPair& fp,
+                                BoundaryMode mode) {
     ImageF low_rows;
     ImageF high_rows;
-    synthesize_cols(sb.ll, sb.detail.lh, fp.low(), fp.high(), low_rows);
-    synthesize_cols(sb.detail.hl, sb.detail.hh, fp.low(), fp.high(), high_rows);
+    synthesize_cols(sb.ll, sb.detail.lh, fp.low(), fp.high(), low_rows, mode);
+    synthesize_cols(sb.detail.hl, sb.detail.hh, fp.low(), fp.high(), high_rows, mode);
     ImageF out;
-    synthesize_rows(low_rows, high_rows, fp.low(), fp.high(), out);
+    synthesize_rows(low_rows, high_rows, fp.low(), fp.high(), out, mode);
     return out;
 }
 
-ImageF reconstruct_gather(const Pyramid& pyr, const FilterPair& fp) {
+ImageF reconstruct_gather(const Pyramid& pyr, const FilterPair& fp, BoundaryMode mode) {
     if (pyr.depth() == 0) {
         throw std::invalid_argument("reconstruct_gather: empty pyramid");
     }
@@ -74,18 +69,20 @@ ImageF reconstruct_gather(const Pyramid& pyr, const FilterPair& fp) {
         Subbands sb;
         sb.ll = std::move(current);
         sb.detail = pyr.levels[k];
-        current = reconstruct_level_gather(sb, fp);
+        current = reconstruct_level_gather(sb, fp, mode);
     }
     return current;
 }
 
-Pyramid decompose(const ImageF& img, const FilterPair& fp, int levels, BoundaryMode mode) {
+Pyramid decompose(const ImageF& img, const FilterPair& fp, int levels, BoundaryMode mode,
+                  DwtKernel kernel) {
     validate_decomposition_request(img.rows(), img.cols(), levels);
+    kernel = resolve_dwt_kernel(kernel, fp);  // resolve once for all levels
     Pyramid pyr;
     pyr.levels.reserve(static_cast<std::size_t>(levels));
     ImageF current = img;
     for (int k = 0; k < levels; ++k) {
-        Subbands sb = decompose_level(current, fp, mode);
+        Subbands sb = decompose_level(current, fp, mode, kernel);
         pyr.levels.push_back(std::move(sb.detail));
         current = std::move(sb.ll);
     }
@@ -93,7 +90,7 @@ Pyramid decompose(const ImageF& img, const FilterPair& fp, int levels, BoundaryM
     return pyr;
 }
 
-ImageF reconstruct(const Pyramid& pyr, const FilterPair& fp) {
+ImageF reconstruct(const Pyramid& pyr, const FilterPair& fp, BoundaryMode mode) {
     if (pyr.depth() == 0) {
         throw std::invalid_argument("reconstruct: empty pyramid");
     }
@@ -102,7 +99,7 @@ ImageF reconstruct(const Pyramid& pyr, const FilterPair& fp) {
         Subbands sb;
         sb.ll = std::move(current);
         sb.detail = pyr.levels[k];  // copy: the pyramid stays usable
-        current = reconstruct_level(sb, fp);
+        current = reconstruct_level(sb, fp, mode);
     }
     return current;
 }

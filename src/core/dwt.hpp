@@ -10,6 +10,7 @@
 #include "core/convolve.hpp"
 #include "core/filters.hpp"
 #include "core/image.hpp"
+#include "core/kernels.hpp"
 
 namespace wavehpc::core {
 
@@ -36,29 +37,39 @@ struct Pyramid {
     [[nodiscard]] std::size_t depth() const noexcept { return levels.size(); }
 };
 
-/// Steps (1)-(4) of the paper's algorithm: decompose one level.
+/// Steps (1)-(4) of the paper's algorithm: decompose one level. `kernel`
+/// selects the arithmetic path (core/kernels.hpp); Auto defers to the
+/// process-wide selector and resolves to Convolve by default.
 [[nodiscard]] Subbands decompose_level(const ImageF& in, const FilterPair& fp,
-                                       BoundaryMode mode = BoundaryMode::Periodic);
+                                       BoundaryMode mode = BoundaryMode::Periodic,
+                                       DwtKernel kernel = DwtKernel::Auto);
 
-/// Inverse of decompose_level under periodic extension.
-[[nodiscard]] ImageF reconstruct_level(const Subbands& sb, const FilterPair& fp);
+/// Inverse of decompose_level under the same boundary mode.
+[[nodiscard]] ImageF reconstruct_level(const Subbands& sb, const FilterPair& fp,
+                                       BoundaryMode mode = BoundaryMode::Periodic);
 
 /// Full multi-resolution decomposition to `levels` levels. The image
 /// dimensions must be divisible by 2^levels.
 [[nodiscard]] Pyramid decompose(const ImageF& img, const FilterPair& fp, int levels,
-                                BoundaryMode mode = BoundaryMode::Periodic);
+                                BoundaryMode mode = BoundaryMode::Periodic,
+                                DwtKernel kernel = DwtKernel::Auto);
 
-/// Full reconstruction (figure 2). Exact for BoundaryMode::Periodic input.
-[[nodiscard]] ImageF reconstruct(const Pyramid& pyr, const FilterPair& fp);
+/// Full reconstruction (figure 2). Pass the mode used for analysis; the
+/// inverse is exact (up to float rounding) for Periodic, and edge-consistent
+/// for Symmetric/ZeroPad.
+[[nodiscard]] ImageF reconstruct(const Pyramid& pyr, const FilterPair& fp,
+                                 BoundaryMode mode = BoundaryMode::Periodic);
 
 /// Gather-form reconstruction: identical mathematics with a per-output
 /// accumulation order; the bit-exact reference for the parallel backends
 /// (each parallel rank computes whole outputs). Differences from
 /// reconstruct() stay at float rounding level.
-[[nodiscard]] ImageF reconstruct_gather(const Pyramid& pyr, const FilterPair& fp);
+[[nodiscard]] ImageF reconstruct_gather(const Pyramid& pyr, const FilterPair& fp,
+                                        BoundaryMode mode = BoundaryMode::Periodic);
 
 /// One gather-form synthesis level.
-[[nodiscard]] ImageF reconstruct_level_gather(const Subbands& sb, const FilterPair& fp);
+[[nodiscard]] ImageF reconstruct_level_gather(const Subbands& sb, const FilterPair& fp,
+                                              BoundaryMode mode = BoundaryMode::Periodic);
 
 /// Throws std::invalid_argument unless rows and cols are divisible by
 /// 2^levels and levels >= 1.

@@ -67,6 +67,7 @@ std::shared_ptr<const TransformResult> ResultCache::lookup_variant(
         }
         if (audit_lookups_ && !audit_result(*it->result)) {
             ++stats_.audit_failures;
+            ++stats_.misses;  // the caller recomputes; hit-rate must see it
             erase_entry_locked(it);
             return nullptr;  // one shot; the next variant request rescans
         }
@@ -74,6 +75,7 @@ std::shared_ptr<const TransformResult> ResultCache::lookup_variant(
         lru_.splice(lru_.begin(), lru_, it);
         return lru_.front().result;
     }
+    ++stats_.misses;  // scanned the whole cache and found no variant
     return nullptr;
 }
 

@@ -45,7 +45,7 @@ void content_digest(const core::ImageF& img, std::uint64_t& lo, std::uint64_t& h
 }
 
 CacheKey make_cache_key(const core::ImageF& img, int taps, int levels,
-                        core::BoundaryMode boundary) {
+                        core::BoundaryMode boundary, core::DwtKernel kernel) {
     CacheKey key;
     content_digest(img, key.digest_lo, key.digest_hi);
     key.rows = static_cast<std::uint32_t>(img.rows());
@@ -53,6 +53,7 @@ CacheKey make_cache_key(const core::ImageF& img, int taps, int levels,
     key.taps = static_cast<std::uint8_t>(taps);
     key.levels = static_cast<std::uint8_t>(levels);
     key.boundary = static_cast<std::uint8_t>(boundary);
+    key.kernel = static_cast<std::uint8_t>(kernel);
     return key;
 }
 

@@ -3,10 +3,15 @@
 //
 // A cache key is a 128-bit digest of the request's *image bytes* plus the
 // transform parameters that change the coefficients (taps, levels,
-// boundary mode). The backend is deliberately excluded: every in-process
-// backend is bit-identical to core::decompose by construction (tested in
-// test_wavelet_parallel), so requests that differ only in backend may —
-// must, for single-flight to pay off — share one cached result.
+// boundary mode, DWT kernel). The backend is deliberately excluded: every
+// in-process backend is bit-identical to core::decompose by construction
+// (tested in test_wavelet_parallel), so requests that differ only in
+// backend may — must, for single-flight to pay off — share one cached
+// result. The kernel IS included: convolve and lifting produce
+// float-rounding-different coefficients (except Haar), so their results
+// are distinct cache entries. Callers pass the *resolved* kernel
+// (core::resolve_dwt_kernel), never Auto, so an env-knob change cannot
+// alias two different computations under one key.
 //
 // The digest is two independent splitmix64-finalizer lanes over the pixel
 // words. Not cryptographic: an adversary could forge a collision, but the
@@ -19,6 +24,7 @@
 
 #include "core/boundary.hpp"
 #include "core/image.hpp"
+#include "core/kernels.hpp"
 
 namespace wavehpc::svc {
 
@@ -31,6 +37,7 @@ struct CacheKey {
     std::uint8_t taps = 0;
     std::uint8_t levels = 0;
     std::uint8_t boundary = 0;
+    std::uint8_t kernel = 0;  ///< resolved core::DwtKernel (never Auto)
 
     friend bool operator==(const CacheKey&, const CacheKey&) = default;
 };
@@ -40,8 +47,8 @@ struct CacheKeyHash {
         // The digest is already uniform; fold in the cheap fields.
         std::uint64_t h = k.digest_lo ^ (k.digest_hi * 0x9e3779b97f4a7c15ULL);
         h ^= (std::uint64_t{k.rows} << 32) | k.cols;
-        h ^= (std::uint64_t{k.taps} << 16) | (std::uint64_t{k.levels} << 8) |
-             k.boundary;
+        h ^= (std::uint64_t{k.kernel} << 24) | (std::uint64_t{k.taps} << 16) |
+             (std::uint64_t{k.levels} << 8) | k.boundary;
         return static_cast<std::size_t>(h);
     }
 };
@@ -50,8 +57,11 @@ struct CacheKeyHash {
 void content_digest(const core::ImageF& img, std::uint64_t& lo, std::uint64_t& hi);
 
 /// Assemble the full key for a transform request. Cost is one linear pass
-/// over the pixels; callers hash outside any service lock.
+/// over the pixels; callers hash outside any service lock. `kernel` must
+/// be resolved (Convolve or Lifting, not Auto); the default matches the
+/// historical key layout.
 [[nodiscard]] CacheKey make_cache_key(const core::ImageF& img, int taps, int levels,
-                                      core::BoundaryMode boundary);
+                                      core::BoundaryMode boundary,
+                                      core::DwtKernel kernel = core::DwtKernel::Convolve);
 
 }  // namespace wavehpc::svc

@@ -73,12 +73,17 @@ SubmitResult PyramidService::submit(TransformRequest request) {
     }
     core::validate_decomposition_request(request.image->rows(),
                                          request.image->cols(), request.levels);
-    (void)core::FilterPair::daubechies(request.taps);  // eager taps validation
+    const auto fp = core::FilterPair::daubechies(request.taps);  // eager taps validation
+    // Resolve the kernel once at admission: the cache key, the flight, and
+    // dedup all see the same concrete kernel even if the process selector
+    // changes while the request is queued.
+    request.kernel = core::resolve_dwt_kernel(request.kernel, fp);
 
     const auto submitted_at = Clock::now();
     // Hash outside the lock: one linear pass over the pixels.
     const CacheKey key = make_cache_key(*request.image, request.taps,
-                                        request.levels, request.boundary);
+                                        request.levels, request.boundary,
+                                        request.kernel);
     const auto image_bytes =
         static_cast<std::uint64_t>(request.image->size()) * sizeof(float);
 
@@ -349,9 +354,10 @@ void PyramidService::run_flight(const std::shared_ptr<Flight>& flight) {
         const auto fp = core::FilterPair::daubechies(req.taps);
         core::Pyramid pyr =
             req.backend == Backend::Serial
-                ? core::decompose(*req.image, fp, req.levels, req.boundary)
+                ? core::decompose(*req.image, fp, req.levels, req.boundary,
+                                  req.kernel)
                 : wavelet::decompose_parallel(*req.image, fp, req.levels,
-                                              req.boundary, pool_);
+                                              req.boundary, pool_, req.kernel);
         auto owned = std::make_shared<TransformResult>();
         owned->pyramid = std::move(pyr);
         owned->key = flight->key;

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "core/convolve.hpp"
+#include "core/kernels.hpp"
 
 namespace wavehpc::wavelet {
 
@@ -32,35 +33,20 @@ std::vector<std::size_t> guard_rows(const core::StripePartition& level0, std::si
 
 void row_pass(const core::ImageF& in, const core::FilterPair& fp,
               core::BoundaryMode mode, core::ImageF& low, core::ImageF& high) {
-    for (std::size_t r = 0; r < in.rows(); ++r) {
-        core::convolve_decimate_1d(in.row(r), fp.low(), low.row(r), mode);
-        core::convolve_decimate_1d(in.row(r), fp.high(), high.row(r), mode);
-    }
+    // The simulator's coefficients are pinned to the convolve golden kernel
+    // so its bit-compared artifacts stay stable regardless of the process
+    // kernel selection (WAVEHPC_DWT_KERNEL).
+    core::analyze_rows_range(in, fp, low, high, mode, core::DwtKernel::Convolve, 0,
+                             in.rows());
 }
 
 void col_pass(const core::ImageF& low_ext, const core::ImageF& high_ext,
               const core::FilterPair& fp, core::ImageF& ll, core::DetailBands& bands) {
-    const std::size_t out_h = ll.rows();
-    const std::size_t half_c = ll.cols();
-    const int taps = fp.taps();
-    // Output row k (stripe-local) reads extended rows 2k .. 2k+taps-1.
-    const auto filt = [&](const core::ImageF& ext, std::span<const float> f,
-                          core::ImageF& out) {
-        for (std::size_t k = 0; k < out_h; ++k) {
-            auto dst = out.row(k);
-            for (auto& v : dst) v = 0.0F;
-            for (int n = 0; n < taps; ++n) {
-                const std::size_t src_row = 2 * k + static_cast<std::size_t>(n);
-                const float w = f[static_cast<std::size_t>(n)];
-                const auto src = ext.row(src_row);
-                for (std::size_t c = 0; c < half_c; ++c) dst[c] += w * src[c];
-            }
-        }
-    };
-    filt(low_ext, fp.low(), ll);
-    filt(low_ext, fp.high(), bands.lh);
-    filt(high_ext, fp.low(), bands.hl);
-    filt(high_ext, fp.high(), bands.hh);
+    // Output row k (stripe-local) reads extended rows 2k .. 2k+taps-1; the
+    // outputs are freshly constructed (zero) stripes, as the fused convolve
+    // accumulation requires.
+    core::analyze_cols_ext_range(low_ext, high_ext, fp, ll, bands.lh, bands.hl,
+                                 bands.hh, 0, ll.rows());
 }
 
 std::vector<float> pack_guard(const core::ImageF& low_rows, const core::ImageF& high_rows,

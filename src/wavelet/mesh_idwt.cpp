@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/convolve.hpp"
+#include "core/kernels.hpp"
 #include "wavelet/mesh_dwt.hpp"  // detail::level_range
 
 namespace wavehpc::wavelet {
@@ -11,17 +12,12 @@ namespace wavehpc::wavelet {
 namespace detail {
 
 std::vector<std::size_t> synthesis_rows_needed(std::size_t first, std::size_t count,
-                                               std::size_t half_rows, int taps) {
+                                               std::size_t half_rows, int taps,
+                                               core::BoundaryMode mode) {
     std::set<std::size_t> rows;
-    const std::size_t n = 2 * half_rows;
     for (std::size_t m = first; m < first + count; ++m) {
-        for (std::size_t j = m % 2; j < static_cast<std::size_t>(taps); j += 2) {
-            std::ptrdiff_t d = static_cast<std::ptrdiff_t>(m) -
-                               static_cast<std::ptrdiff_t>(j);
-            d %= static_cast<std::ptrdiff_t>(n);
-            if (d < 0) d += static_cast<std::ptrdiff_t>(n);
-            rows.insert(static_cast<std::size_t>(d) / 2);
-        }
+        core::for_each_synthesis_tap(m, half_rows, static_cast<std::size_t>(taps), mode,
+                                     [&](std::size_t k, std::size_t) { rows.insert(k); });
     }
     return {rows.begin(), rows.end()};
 }
@@ -137,7 +133,7 @@ MeshIdwtResult mesh_reconstruct(mesh::Machine& machine, const core::Pyramid& pyr
                 if (j == me) continue;
                 const LevelRange jout = detail::level_range(part0, j, stage);
                 const auto needed = detail::synthesis_rows_needed(
-                    jout.first, jout.count, half_rows, taps);
+                    jout.first, jout.count, half_rows, taps, cfg.mode);
                 std::vector<float> payload;
                 for (std::size_t g : needed) {
                     if (g < in_lr.first || g >= in_lr.first + in_lr.count) continue;
@@ -156,7 +152,7 @@ MeshIdwtResult mesh_reconstruct(mesh::Machine& machine, const core::Pyramid& pyr
             }
             // ... and collect what I need, keyed by global coefficient row.
             const auto needed = detail::synthesis_rows_needed(
-                out_lr.first, out_lr.count, half_rows, taps);
+                out_lr.first, out_lr.count, half_rows, taps, cfg.mode);
             std::map<std::size_t, std::size_t> halo_index;  // global row -> slot
             std::vector<std::size_t> missing;
             for (std::size_t g : needed) {
@@ -208,15 +204,16 @@ MeshIdwtResult mesh_reconstruct(mesh::Machine& machine, const core::Pyramid& pyr
                 const std::size_t m = out_lr.first + i;
                 core::synthesize_col_row(m, half_rows, fp.low(), fp.high(),
                                          band_row(current, 0), band_row(d.lh, 1),
-                                         low_rows.row(i));
+                                         low_rows.row(i), cfg.mode);
                 core::synthesize_col_row(m, half_rows, fp.low(), fp.high(),
                                          band_row(d.hl, 2), band_row(d.hh, 3),
-                                         high_rows.row(i));
+                                         high_rows.row(i), cfg.mode);
             }
 
             // ---- local row synthesis -------------------------------------
             core::ImageF out;
-            core::synthesize_rows(low_rows, high_rows, fp.low(), fp.high(), out);
+            core::synthesize_rows(low_rows, high_rows, fp.low(), fp.high(), out,
+                                  cfg.mode);
             const std::size_t outputs = 2 * out_lr.count * (cols >> stage);
             ctx.compute(compute_model.seconds(outputs,
                                               outputs * static_cast<std::size_t>(taps)));

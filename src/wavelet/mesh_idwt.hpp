@@ -3,8 +3,9 @@
 // mesh machine: the pyramid is scattered as stripes, every stage performs
 // the column synthesis after fetching a north guard zone of coefficient
 // rows, the row synthesis is local, and the image is gathered at rank 0.
-// Periodic synthesis (the exact-reconstruction convention); results are
-// bit-identical to core::reconstruct_gather.
+// Synthesis honors the boundary mode the pyramid was analyzed with
+// (cfg.mode, default Periodic — the exact-reconstruction convention);
+// results are bit-identical to core::reconstruct_gather under the same mode.
 
 #include "core/cost_model.hpp"
 #include "core/dwt.hpp"
@@ -16,6 +17,9 @@ namespace wavehpc::wavelet {
 struct MeshIdwtConfig {
     core::MappingPolicy mapping = core::MappingPolicy::Snake;
     bool scatter_gather = true;
+    /// Boundary mode the pyramid was analyzed with; synthesis folds edge
+    /// taps back through the same extension.
+    core::BoundaryMode mode = core::BoundaryMode::Periodic;
 };
 
 struct MeshIdwtResult {
@@ -32,13 +36,13 @@ struct MeshIdwtResult {
                                               const core::SequentialCostModel& compute_model);
 
 namespace detail {
-/// Global coefficient rows (of the half-size bands, wrapped periodically)
-/// that the column synthesis of output rows [first, first+count) reads;
-/// sorted unique.
-[[nodiscard]] std::vector<std::size_t> synthesis_rows_needed(std::size_t first,
-                                                             std::size_t count,
-                                                             std::size_t half_rows,
-                                                             int taps);
+/// Global coefficient rows (of the half-size bands, mapped through `mode` —
+/// wrapped for Periodic, reflected for Symmetric, dropped for ZeroPad) that
+/// the column synthesis of output rows [first, first+count) reads; sorted
+/// unique.
+[[nodiscard]] std::vector<std::size_t> synthesis_rows_needed(
+    std::size_t first, std::size_t count, std::size_t half_rows, int taps,
+    core::BoundaryMode mode = core::BoundaryMode::Periodic);
 }  // namespace detail
 
 }  // namespace wavehpc::wavelet

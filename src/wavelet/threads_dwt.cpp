@@ -3,121 +3,12 @@
 #include <algorithm>
 
 #include "core/convolve.hpp"
+#include "core/kernels.hpp"
 
 namespace wavehpc::wavelet {
 
-namespace {
-
-// Column-tile width (floats) for the fused column sweep: per tile the inner
-// loops touch 4 output slices + 2 source slices, 6 * 512 * 4 B = 12 KiB,
-// comfortably inside L1 alongside the filter taps.
-constexpr std::size_t kColTile = 512;
-
-// Fused row analysis: each input row is read once and produces its low- and
-// high-pass decimated rows together. Per output coefficient the taps
-// accumulate in ascending order, exactly like convolve_decimate_1d (interior
-// fast path included), so coefficients stay bit-identical to the sequential
-// reference.
-void fused_rows(const core::ImageF& in, const core::FilterPair& fp, core::ImageF& lo,
-                core::ImageF& hi, core::BoundaryMode mode, runtime::ThreadPool& pool) {
-    const std::size_t cols = in.cols();
-    const std::size_t half = cols / 2;
-    lo = core::ImageF(in.rows(), half);
-    hi = core::ImageF(in.rows(), half);
-    const auto fl = fp.low();
-    const auto fh = fp.high();
-    const std::size_t taps = fl.size();
-    pool.parallel_for(0, in.rows(), [&](std::size_t rb, std::size_t re) {
-        for (std::size_t r = rb; r < re; ++r) {
-            const auto src = in.row(r);
-            auto dlo = lo.row(r);
-            auto dhi = hi.row(r);
-            for (std::size_t k = 0; k < half; ++k) {
-                float acc_lo = 0.0F;
-                float acc_hi = 0.0F;
-                if (2 * k + taps <= cols) {
-                    const float* base = src.data() + 2 * k;
-                    for (std::size_t n = 0; n < taps; ++n) {
-                        acc_lo += fl[n] * base[n];
-                        acc_hi += fh[n] * base[n];
-                    }
-                } else {
-                    for (std::size_t n = 0; n < taps; ++n) {
-                        const std::size_t idx = core::extend_index(
-                            static_cast<std::ptrdiff_t>(2 * k + n), cols, mode);
-                        if (idx >= cols) continue;  // ZeroPad outside
-                        acc_lo += fl[n] * src[idx];
-                        acc_hi += fh[n] * src[idx];
-                    }
-                }
-                dlo[k] = acc_lo;
-                dhi[k] = acc_hi;
-            }
-        }
-    });
-}
-
-// One tap of the fused column accumulation. Kept as a standalone function
-// because GCC only tracks __restrict reliably on parameters: the six streams
-// (four destination subband rows, two source rows) are distinct allocations,
-// and making that visible here is what lets the loop vectorize.
-void accumulate_tap(float* __restrict dll, float* __restrict dlh, float* __restrict dhl,
-                    float* __restrict dhh, const float* __restrict sl,
-                    const float* __restrict sh, float wl, float wh, std::size_t c0,
-                    std::size_t c1) {
-    for (std::size_t c = c0; c < c1; ++c) {
-        dll[c] += wl * sl[c];
-        dlh[c] += wh * sl[c];
-        dhl[c] += wl * sh[c];
-        dhh[c] += wh * sh[c];
-    }
-}
-
-// Fused column analysis: one cache-tiled sweep over the two row-filtered
-// intermediates produces all four subbands of the level. Each source row is
-// loaded once per tile and feeds both the low- and high-pass column filters
-// (the seed ran four separate passes, reading every intermediate row twice
-// each). Accumulation per output element runs over taps in ascending order,
-// matching convolve_decimate_cols — bit-identical coefficients.
-void fused_cols(const core::ImageF& low_rows, const core::ImageF& high_rows,
-                const core::FilterPair& fp, core::ImageF& ll, core::DetailBands& d,
-                core::BoundaryMode mode, runtime::ThreadPool& pool) {
-    const std::size_t rows = low_rows.rows();
-    const std::size_t cols = low_rows.cols();
-    const std::size_t half = rows / 2;
-    // Freshly constructed images are zero-filled, so the accumulations below
-    // need no explicit clearing pass.
-    ll = core::ImageF(half, cols);
-    d.lh = core::ImageF(half, cols);
-    d.hl = core::ImageF(half, cols);
-    d.hh = core::ImageF(half, cols);
-    const auto fl = fp.low();
-    const auto fh = fp.high();
-    const std::size_t taps = fl.size();
-    pool.parallel_for(0, half, [&](std::size_t kb, std::size_t ke) {
-        for (std::size_t k = kb; k < ke; ++k) {
-            float* dll = ll.row(k).data();
-            float* dlh = d.lh.row(k).data();
-            float* dhl = d.hl.row(k).data();
-            float* dhh = d.hh.row(k).data();
-            for (std::size_t c0 = 0; c0 < cols; c0 += kColTile) {
-                const std::size_t c1 = std::min(cols, c0 + kColTile);
-                for (std::size_t n = 0; n < taps; ++n) {
-                    const std::size_t idx = core::extend_index(
-                        static_cast<std::ptrdiff_t>(2 * k + n), rows, mode);
-                    if (idx >= rows) continue;  // ZeroPad sentinel
-                    accumulate_tap(dll, dlh, dhl, dhh, low_rows.row(idx).data(),
-                                   high_rows.row(idx).data(), fl[n], fh[n], c0, c1);
-                }
-            }
-        }
-    });
-}
-
-}  // namespace
-
 core::ImageF reconstruct_parallel(const core::Pyramid& pyr, const core::FilterPair& fp,
-                                  runtime::ThreadPool& pool) {
+                                  runtime::ThreadPool& pool, core::BoundaryMode mode) {
     if (pyr.depth() == 0) {
         throw std::invalid_argument("reconstruct_parallel: empty pyramid");
     }
@@ -135,11 +26,11 @@ core::ImageF reconstruct_parallel(const core::Pyramid& pyr, const core::FilterPa
                 core::synthesize_col_row(
                     m, half_r, fp.low(), fp.high(),
                     [&](std::size_t k) { return current.row(k); },
-                    [&](std::size_t k) { return d.lh.row(k); }, low_rows.row(m));
+                    [&](std::size_t k) { return d.lh.row(k); }, low_rows.row(m), mode);
                 core::synthesize_col_row(
                     m, half_r, fp.low(), fp.high(),
                     [&](std::size_t k) { return d.hl.row(k); },
-                    [&](std::size_t k) { return d.hh.row(k); }, high_rows.row(m));
+                    [&](std::size_t k) { return d.hh.row(k); }, high_rows.row(m), mode);
             }
         });
 
@@ -157,7 +48,7 @@ core::ImageF reconstruct_parallel(const core::Pyramid& pyr, const core::FilterPa
                 std::copy(high_rows.row(r).begin(), high_rows.row(r).end(),
                           hi.row(0).begin());
                 // synthesize_rows reuses `line` (shape already matches).
-                core::synthesize_rows(lo, hi, fp.low(), fp.high(), line);
+                core::synthesize_rows(lo, hi, fp.low(), fp.high(), line, mode);
                 std::copy(line.row(0).begin(), line.row(0).end(), out.row(r).begin());
             }
         });
@@ -168,18 +59,33 @@ core::ImageF reconstruct_parallel(const core::Pyramid& pyr, const core::FilterPa
 
 core::Pyramid decompose_parallel(const core::ImageF& img, const core::FilterPair& fp,
                                  int levels, core::BoundaryMode mode,
-                                 runtime::ThreadPool& pool) {
+                                 runtime::ThreadPool& pool, core::DwtKernel kernel) {
     core::validate_decomposition_request(img.rows(), img.cols(), levels);
+    kernel = core::resolve_dwt_kernel(kernel, fp);  // resolve once for all levels
     core::Pyramid pyr;
     pyr.levels.reserve(static_cast<std::size_t>(levels));
     core::ImageF current = img;
-    core::ImageF low_rows;
-    core::ImageF high_rows;
     for (int k = 0; k < levels; ++k) {
-        fused_rows(current, fp, low_rows, high_rows, mode, pool);
+        const std::size_t half_r = current.rows() / 2;
+        const std::size_t half_c = current.cols() / 2;
+        core::ImageF low_rows(current.rows(), half_c);
+        core::ImageF high_rows(current.rows(), half_c);
+        pool.parallel_for(0, current.rows(), [&](std::size_t rb, std::size_t re) {
+            core::analyze_rows_range(current, fp, low_rows, high_rows, mode, kernel,
+                                     rb, re);
+        });
+
+        // Freshly constructed images are zero-filled, so the convolve
+        // kernel's accumulation needs no explicit clearing pass.
         core::DetailBands d;
-        core::ImageF ll;
-        fused_cols(low_rows, high_rows, fp, ll, d, mode, pool);
+        core::ImageF ll(half_r, half_c);
+        d.lh = core::ImageF(half_r, half_c);
+        d.hl = core::ImageF(half_r, half_c);
+        d.hh = core::ImageF(half_r, half_c);
+        pool.parallel_for(0, half_r, [&](std::size_t kb, std::size_t ke) {
+            core::analyze_cols_range(low_rows, high_rows, fp, ll, d.lh, d.hl, d.hh,
+                                     mode, kernel, kb, ke);
+        });
         pyr.levels.push_back(std::move(d));
         current = std::move(ll);
     }

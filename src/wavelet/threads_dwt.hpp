@@ -2,29 +2,31 @@
 // Shared-memory parallel Mallat decomposition: the same arithmetic as
 // core::decompose, data-parallel over rows on the host thread pool. This is
 // the "modern node" backend — where the simulators model the 1996 machines,
-// this one actually runs in parallel.
+// this one actually runs in parallel. All arithmetic lives in the shared
+// kernel layer (core/kernels.hpp); this backend only owns the range splits.
 
 #include "core/dwt.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace wavehpc::wavelet {
 
-/// Bit-identical to core::decompose(img, fp, levels, mode): every output
-/// coefficient accumulates its taps in the same order, only the loop over
-/// rows is split across workers and the passes are fused — one sweep
-/// produces the low/high row intermediates, and one cache-tiled sweep
-/// produces all four subbands (LL/LH/HL/HH) of a level.
-[[nodiscard]] core::Pyramid decompose_parallel(const core::ImageF& img,
-                                               const core::FilterPair& fp, int levels,
-                                               core::BoundaryMode mode,
-                                               runtime::ThreadPool& pool);
+/// Bit-identical to core::decompose(img, fp, levels, mode, kernel): both
+/// run the shared fused kernels, and every output coefficient is a fixed
+/// function of its source rows, so splitting the row ranges across workers
+/// changes no accumulation order. `kernel` selects convolve vs lifting
+/// exactly as in core::decompose (Auto defers to the process selector).
+[[nodiscard]] core::Pyramid decompose_parallel(
+    const core::ImageF& img, const core::FilterPair& fp, int levels,
+    core::BoundaryMode mode, runtime::ThreadPool& pool,
+    core::DwtKernel kernel = core::DwtKernel::Auto);
 
-/// Bit-identical to core::reconstruct_gather(pyr, fp): the gather-form
+/// Bit-identical to core::reconstruct_gather(pyr, fp, mode): the gather-form
 /// synthesis computes each output independently, so the row loops
-/// parallelize without changing any accumulation order. Periodic synthesis
-/// (the exact-reconstruction convention).
-[[nodiscard]] core::ImageF reconstruct_parallel(const core::Pyramid& pyr,
-                                                const core::FilterPair& fp,
-                                                runtime::ThreadPool& pool);
+/// parallelize without changing any accumulation order. Pass the boundary
+/// mode the pyramid was analyzed with (default Periodic, the
+/// exact-reconstruction convention).
+[[nodiscard]] core::ImageF reconstruct_parallel(
+    const core::Pyramid& pyr, const core::FilterPair& fp, runtime::ThreadPool& pool,
+    core::BoundaryMode mode = core::BoundaryMode::Periodic);
 
 }  // namespace wavehpc::wavelet

@@ -121,6 +121,65 @@ TEST(ResultCacheTest, OversizedResultIsNotCached) {
     EXPECT_EQ(s.evictions, 0U);
 }
 
+TEST(CacheKeyTest, KernelIsPartOfTheKey) {
+    // Convolve and lifting coefficients differ at rounding level, so a
+    // cached convolve pyramid must never satisfy a lifting request.
+    const auto img = scene(32, 7);
+    const auto convolve = make_cache_key(*img, 8, 1, BoundaryMode::Periodic,
+                                         wavehpc::core::DwtKernel::Convolve);
+    const auto lifting = make_cache_key(*img, 8, 1, BoundaryMode::Periodic,
+                                        wavehpc::core::DwtKernel::Lifting);
+    EXPECT_NE(convolve, lifting);
+    // The 4-arg spelling keys the historical (convolve) kernel.
+    EXPECT_EQ(make_cache_key(*img, 8, 1, BoundaryMode::Periodic), convolve);
+}
+
+// A same-scene key under different transform parameters (what a degraded
+// reply serves).
+CacheKey variant_of(const CacheKey& key, std::uint8_t taps) {
+    CacheKey k = key;
+    k.taps = taps;
+    return k;
+}
+
+TEST(ResultCacheTest, VariantMissesAreCounted) {
+    // Regression: lookup_variant used to return nullptr after a fruitless
+    // scan without counting a miss, so degraded-path hit rates read high.
+    ResultCache cache(1000);
+    EXPECT_EQ(cache.lookup_variant(key_of(1)), nullptr);  // empty cache
+    EXPECT_EQ(cache.stats().misses, 1U);
+
+    cache.insert(key_of(2), fake_result(key_of(2), 40));  // different scene
+    EXPECT_EQ(cache.lookup_variant(key_of(1)), nullptr);
+    EXPECT_EQ(cache.stats().misses, 2U);
+
+    cache.insert(variant_of(key_of(1), 8), fake_result(variant_of(key_of(1), 8), 40));
+    EXPECT_NE(cache.lookup_variant(key_of(1)), nullptr);  // same scene, taps differ
+    const auto s = cache.stats();
+    EXPECT_EQ(s.variant_hits, 1U);
+    EXPECT_EQ(s.misses, 2U);  // a variant hit is not a miss
+}
+
+TEST(ResultCacheTest, VariantAuditEvictionCountsAMiss) {
+    // Regression: the audit-eviction path dropped the rotten entry and
+    // returned nullptr (caller recomputes) without counting that miss.
+    ResultCache cache(1000);
+    cache.set_audit_lookups(true);
+    auto r = std::make_shared<TransformResult>();
+    r->key = key_of(1);
+    r->result_bytes = 40;
+    cache.insert(key_of(1), r);
+    ASSERT_EQ(cache.stats().entries, 1U);
+    r->crc32 = 0xBAD0BAD0;  // corrupt after insert: resident entry rots
+
+    EXPECT_EQ(cache.lookup_variant(key_of(1)), nullptr);
+    const auto s = cache.stats();
+    EXPECT_EQ(s.audit_failures, 1U);
+    EXPECT_EQ(s.misses, 1U);  // the recompute this forces is a miss
+    EXPECT_EQ(s.entries, 0U);
+    EXPECT_EQ(s.variant_hits, 0U);
+}
+
 TEST(ResultCacheTest, ReinsertKeepsExistingBuffer) {
     ResultCache cache(100);
     const auto first = fake_result(key_of(1), 40);
