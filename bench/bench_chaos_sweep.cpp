@@ -9,6 +9,8 @@
 // Every delivered reply is re-verified out of band: its buffer must pass
 // the CRC audit (a corrupted result must never escape), and non-degraded
 // popular-scene replies must stay bit-identical to a sequential reference.
+// The arrival process, mix, and scene pool come from common_load.hpp,
+// shared with bench_service_load and bench_shard_sweep.
 //
 // --smoke: two fault rates {0, 1e-2} x two load factors, fewer arrivals,
 // then asserts goodput >= 95% at every point, zero CRC escapes, zero
@@ -28,8 +30,7 @@
 #include <vector>
 
 #include "common_args.hpp"
-#include "core/dwt.hpp"
-#include "core/synthetic.hpp"
+#include "common_load.hpp"
 #include "perf/histogram.hpp"
 #include "perf/report.hpp"
 #include "svc/cache.hpp"
@@ -39,10 +40,9 @@
 
 namespace {
 
+namespace load = wavehpc::bench::load;
 using wavehpc::bench::CommonArgs;
 using wavehpc::bench::Consume;
-using wavehpc::core::BoundaryMode;
-using wavehpc::core::FilterPair;
 using wavehpc::core::ImageF;
 using wavehpc::core::Pyramid;
 using wavehpc::perf::TableWriter;
@@ -55,48 +55,6 @@ using wavehpc::svc::TransformRequest;
 using wavehpc::testing::SplitMix64;
 
 using Clock = std::chrono::steady_clock;
-
-struct MixEntry {
-    int taps;
-    int levels;
-    double weight;
-};
-
-// The load bench's mix: Table 1's configurations, browse-heavy.
-constexpr MixEntry kMix[] = {
-    {8, 1, 0.40},
-    {4, 2, 0.35},
-    {2, 4, 0.25},
-};
-constexpr std::size_t kMixCount = sizeof(kMix) / sizeof(kMix[0]);
-constexpr std::size_t kScenes = 8;
-
-std::size_t pick_mix(SplitMix64& rng) {
-    double r = rng.uniform();
-    for (std::size_t m = 0; m + 1 < kMixCount; ++m) {
-        if (r < kMix[m].weight) return m;
-        r -= kMix[m].weight;
-    }
-    return kMixCount - 1;
-}
-
-std::size_t pick_scene(SplitMix64& rng) {
-    return rng.below(2) == 0 ? 0 : 1 + rng.below(kScenes - 1);
-}
-
-double exp_interval(SplitMix64& rng, double rate) {
-    return -std::log(1.0 - rng.uniform()) / rate;
-}
-
-bool pyramids_identical(const Pyramid& a, const Pyramid& b) {
-    if (a.depth() != b.depth()) return false;
-    for (std::size_t k = 0; k < a.depth(); ++k) {
-        if (a.levels[k].lh != b.levels[k].lh) return false;
-        if (a.levels[k].hl != b.levels[k].hl) return false;
-        if (a.levels[k].hh != b.levels[k].hh) return false;
-    }
-    return a.approx == b.approx;
-}
 
 /// Fault plan at a sweep rate: compute faults dominate, corruption and
 /// alloc failures ride along at lower rates, plus 1 ms pool stalls.
@@ -138,7 +96,8 @@ PointResult run_point(ThreadPool& pool, const ServiceConfig& cfg,
     PyramidService service(pool, cfg);
     service.set_chaos_plan(plan_at(fault_rate, seed));
     pool.set_task_observer(service.chaos().pool_observer());
-    SplitMix64 rng(seed);
+    load::PoissonOpenLoop gen(seed, offered_rps, scenes.size());
+    SplitMix64 rng(seed ^ 0x9E3779B97F4A7C15ULL);  // bench-local draws
 
     struct Pending {
         wavehpc::svc::TransformFuture future;
@@ -149,24 +108,19 @@ PointResult run_point(ThreadPool& pool, const ServiceConfig& cfg,
     pending.reserve(n_requests);
 
     const auto t0 = Clock::now();
-    double arrival = 0.0;
     for (std::size_t i = 0; i < n_requests; ++i) {
-        arrival += exp_interval(rng, offered_rps);
-        std::this_thread::sleep_until(
-            t0 + std::chrono::duration_cast<Clock::duration>(
-                     std::chrono::duration<double>(arrival)));
-        const std::size_t scene = pick_scene(rng);
-        const std::size_t mix = pick_mix(rng);
+        const load::Arrival a = gen.next();
+        load::sleep_until_offset(t0, a.at_seconds);
         TransformRequest req;
-        req.image = scenes[scene];
-        req.taps = kMix[mix].taps;
-        req.levels = kMix[mix].levels;
+        req.image = scenes[a.scene];
+        req.taps = load::kTable1Mix[a.mix].taps;
+        req.levels = load::kTable1Mix[a.mix].levels;
         req.backend = Backend::Threads;
         // A quarter of the clients tolerate a degraded (cached-variant)
         // reply, modelling browse traffic that prefers stale to nothing.
         req.allow_degraded = rng.below(4) == 0;
         auto sub = service.submit(req);
-        if (sub.accepted) pending.push_back({std::move(sub.future), scene, mix});
+        if (sub.accepted) pending.push_back({std::move(sub.future), a.scene, a.mix});
     }
 
     PointResult out;
@@ -180,7 +134,8 @@ PointResult run_point(ThreadPool& pool, const ServiceConfig& cfg,
             if (!wavehpc::svc::audit_result(*reply.result)) ++out.crc_escapes;
             if (p.scene == 0 && !reply.degraded) {
                 ++out.verified;
-                if (!pyramids_identical(reply.result->pyramid, scene0_refs[p.mix])) {
+                if (!load::pyramids_identical(reply.result->pyramid,
+                                              scene0_refs[p.mix])) {
                     ++out.mismatches;
                 }
             }
@@ -225,24 +180,16 @@ int main(int argc, char** argv) {
     const std::vector<double> load_factors = {0.5, 2.0};
 
     std::cout << "=== Pyramid service chaos sweep ===\n"
-              << edge << "x" << edge << " scenes, pool of " << kScenes
+              << edge << "x" << edge << " scenes, pool of " << load::kDefaultScenes
               << ", seed " << seed << ", " << n_requests
               << " Poisson arrivals per point; plan per fault rate R: "
                  "compute=R, corrupt=R/2, alloc=R/4, pool_stall=R (1 ms)\n\n";
 
-    std::vector<std::shared_ptr<const ImageF>> scenes;
-    scenes.reserve(kScenes);
-    for (std::size_t i = 0; i < kScenes; ++i) {
-        scenes.push_back(std::make_shared<const ImageF>(
-            wavehpc::core::landsat_tm_like(edge, edge, seed + i)));
-    }
-    std::vector<Pyramid> scene0_refs;
-    scene0_refs.reserve(kMixCount);
-    for (const auto& m : kMix) {
-        scene0_refs.push_back(wavehpc::core::decompose(
-            *scenes[0], FilterPair::daubechies(m.taps), m.levels,
-            BoundaryMode::Periodic));
-    }
+    // Auto kernel end to end: requests leave kernel at Auto, so references
+    // and replies resolve through the same process selector.
+    const auto scenes = load::make_scene_pool(edge, seed);
+    const auto scene0_refs =
+        load::make_scene0_refs(*scenes[0], wavehpc::core::DwtKernel::Auto);
 
     ThreadPool pool(std::max(2U, std::thread::hardware_concurrency()));
     ServiceConfig cfg = ServiceConfig::from_env();  // WAVEHPC_SVC_* apply
@@ -254,15 +201,8 @@ int main(int argc, char** argv) {
         std::min(cfg.resilience.retry.cap_seconds, 0.008);
 
     // Capacity estimate (the load bench's): mix-weighted cold compute.
-    double weighted_compute = 0.0;
-    for (std::size_t m = 0; m < kMixCount; ++m) {
-        const auto t0 = Clock::now();
-        (void)wavehpc::core::decompose(*scenes[0],
-                                       FilterPair::daubechies(kMix[m].taps),
-                                       kMix[m].levels, BoundaryMode::Periodic);
-        weighted_compute +=
-            kMix[m].weight * std::chrono::duration<double>(Clock::now() - t0).count();
-    }
+    const double weighted_compute = load::measure_weighted_cold_compute(
+        *scenes[0], wavehpc::core::DwtKernel::Auto);
     const double capacity_rps =
         static_cast<double>(cfg.max_concurrency) / weighted_compute;
     std::cout << "measured cold compute (mix-weighted): "

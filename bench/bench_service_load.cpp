@@ -5,7 +5,9 @@
 // Each point gets a fresh service; the report is throughput, tail latency
 // (p50/p95/p99 from the service histograms), admission rejects, and cache
 // behaviour. Every reply for the most popular scene is checked
-// bit-identical against an out-of-band sequential decomposition.
+// bit-identical against an out-of-band sequential decomposition. The
+// arrival process, mix, and scene pool come from common_load.hpp, shared
+// with bench_chaos_sweep and bench_shard_sweep.
 //
 // --smoke: fewer requests per point and a smaller scene, then asserts the
 // accounting invariants (submitted = completed + rejected, hit rate > 0,
@@ -16,28 +18,28 @@
 //   --kernel K     DWT kernel for every request and reference: "convolve"
 //                  (default), "lifting", or "auto" (process selector) —
 //                  the capacity-lift knob for the unified kernel layer
+//   --json PATH    also write the sweep as JSON (the per-PR BENCH_service
+//                  artifact: offered/done rps, p50/p95/p99, hit rate)
 
 #include <chrono>
-#include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "common_args.hpp"
-#include "core/dwt.hpp"
-#include "core/synthetic.hpp"
+#include "common_load.hpp"
 #include "perf/report.hpp"
 #include "svc/service.hpp"
 #include "testing/seeds.hpp"
 
 namespace {
 
+namespace load = wavehpc::bench::load;
 using wavehpc::bench::CommonArgs;
 using wavehpc::bench::Consume;
-using wavehpc::core::BoundaryMode;
-using wavehpc::core::FilterPair;
 using wavehpc::core::ImageF;
 using wavehpc::core::Pyramid;
 using wavehpc::perf::TableWriter;
@@ -46,59 +48,13 @@ using wavehpc::svc::Backend;
 using wavehpc::svc::PyramidService;
 using wavehpc::svc::ServiceConfig;
 using wavehpc::svc::TransformRequest;
-using wavehpc::testing::SplitMix64;
 
 using Clock = std::chrono::steady_clock;
-
-struct MixEntry {
-    int taps;
-    int levels;
-    const char* label;
-    double weight;  // fraction of offered traffic
-};
-
-// Table 1's three configurations, weighted toward the cheap filter the way
-// a browse-heavy image service would be.
-constexpr MixEntry kMix[] = {
-    {8, 1, "F8/L1", 0.40},
-    {4, 2, "F4/L2", 0.35},
-    {2, 4, "F2/L4", 0.25},
-};
-constexpr std::size_t kMixCount = sizeof(kMix) / sizeof(kMix[0]);
-constexpr std::size_t kScenes = 8;
 
 // Set from --kernel before any point runs; requests and the out-of-band
 // references use the same kernel so the bit-identity check stays valid
 // (threads and serial lifting are bit-identical, pinned by test_kernels).
 wavehpc::core::DwtKernel g_kernel = wavehpc::core::DwtKernel::Convolve;
-
-std::size_t pick_mix(SplitMix64& rng) {
-    double r = rng.uniform();
-    for (std::size_t m = 0; m + 1 < kMixCount; ++m) {
-        if (r < kMix[m].weight) return m;
-        r -= kMix[m].weight;
-    }
-    return kMixCount - 1;
-}
-
-// Skewed popularity: half the traffic lands on scene 0, the rest uniform.
-std::size_t pick_scene(SplitMix64& rng) {
-    return rng.below(2) == 0 ? 0 : 1 + rng.below(kScenes - 1);
-}
-
-double exp_interval(SplitMix64& rng, double rate) {
-    return -std::log(1.0 - rng.uniform()) / rate;
-}
-
-bool pyramids_identical(const Pyramid& a, const Pyramid& b) {
-    if (a.depth() != b.depth()) return false;
-    for (std::size_t k = 0; k < a.depth(); ++k) {
-        if (a.levels[k].lh != b.levels[k].lh) return false;
-        if (a.levels[k].hl != b.levels[k].hl) return false;
-        if (a.levels[k].hh != b.levels[k].hh) return false;
-    }
-    return a.approx == b.approx;
-}
 
 struct PointResult {
     double offered_rps = 0.0;
@@ -114,7 +70,7 @@ PointResult run_point(ThreadPool& pool, const ServiceConfig& cfg,
                       const std::vector<Pyramid>& scene0_refs, double offered_rps,
                       std::size_t n_requests, std::uint64_t seed) {
     PyramidService service(pool, cfg);
-    SplitMix64 rng(seed);
+    load::PoissonOpenLoop gen(seed, offered_rps, scenes.size());
 
     struct Pending {
         wavehpc::svc::TransformFuture future;
@@ -124,26 +80,18 @@ PointResult run_point(ThreadPool& pool, const ServiceConfig& cfg,
     std::vector<Pending> pending;
     pending.reserve(n_requests);
 
-    // Open loop: arrival times are drawn up front and honoured regardless
-    // of completions, so overload shows up as rejects and queueing delay
-    // rather than as a slowed-down generator.
     const auto t0 = Clock::now();
-    double arrival = 0.0;
     for (std::size_t i = 0; i < n_requests; ++i) {
-        arrival += exp_interval(rng, offered_rps);
-        std::this_thread::sleep_until(
-            t0 + std::chrono::duration_cast<Clock::duration>(
-                     std::chrono::duration<double>(arrival)));
-        const std::size_t scene = pick_scene(rng);
-        const std::size_t mix = pick_mix(rng);
+        const load::Arrival a = gen.next();
+        load::sleep_until_offset(t0, a.at_seconds);
         TransformRequest req;
-        req.image = scenes[scene];
-        req.taps = kMix[mix].taps;
-        req.levels = kMix[mix].levels;
+        req.image = scenes[a.scene];
+        req.taps = load::kTable1Mix[a.mix].taps;
+        req.levels = load::kTable1Mix[a.mix].levels;
         req.kernel = g_kernel;
         req.backend = Backend::Threads;
         auto sub = service.submit(req);
-        if (sub.accepted) pending.push_back({std::move(sub.future), scene, mix});
+        if (sub.accepted) pending.push_back({std::move(sub.future), a.scene, a.mix});
     }
 
     PointResult out;
@@ -152,7 +100,8 @@ PointResult run_point(ThreadPool& pool, const ServiceConfig& cfg,
         const auto reply = p.future.get();
         if (p.scene == 0) {
             ++out.verified;
-            if (!pyramids_identical(reply.result->pyramid, scene0_refs[p.mix])) {
+            if (!load::pyramids_identical(reply.result->pyramid,
+                                          scene0_refs[p.mix])) {
                 ++out.mismatches;
             }
         }
@@ -165,18 +114,53 @@ PointResult run_point(ThreadPool& pool, const ServiceConfig& cfg,
     return out;
 }
 
+void write_json(const std::string& path, std::size_t edge, std::uint64_t seed,
+                std::size_t n_requests, double capacity_rps,
+                const std::vector<PointResult>& points) {
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "warning: could not open " << path << " for writing\n";
+        return;
+    }
+    os << "{\n  \"bench\": \"service_load\",\n  \"edge\": " << edge
+       << ",\n  \"seed\": " << seed << ",\n  \"requests_per_point\": "
+       << n_requests << ",\n  \"kernel\": \""
+       << wavehpc::core::to_string(g_kernel) << "\",\n  \"cold_capacity_rps\": "
+       << capacity_rps << ",\n  \"points\": [\n";
+    for (std::size_t k = 0; k < points.size(); ++k) {
+        const auto& p = points[k];
+        const auto& c = p.metrics.counters;
+        os << "    {\"offered_rps\": " << p.offered_rps << ", \"done_rps\": "
+           << (static_cast<double>(c.completed) / p.wall_seconds)
+           << ", \"completed\": " << c.completed << ", \"rejected\": "
+           << c.rejected << ", \"cache_hit_rate\": " << p.cache.hit_rate()
+           << ", \"p50_s\": " << p.metrics.total.quantile(0.50)
+           << ", \"p95_s\": " << p.metrics.total.quantile(0.95)
+           << ", \"p99_s\": " << p.metrics.total.quantile(0.99)
+           << ", \"verified\": " << p.verified << ", \"mismatches\": "
+           << p.mismatches << "}" << (k + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     CommonArgs args;
     std::uint64_t requests_flag = 0;
-    const auto extra = [&requests_flag](std::string_view flag,
-                                        std::string_view value) {
+    std::string json_path;
+    const auto extra = [&requests_flag, &json_path](std::string_view flag,
+                                                    std::string_view value) {
         if (flag == "--requests" &&
             wavehpc::bench::detail::parse_u64(value, requests_flag)) {
             return Consume::kFlagAndValue;
         }
         if (flag == "--kernel" && wavehpc::core::parse_dwt_kernel(value, g_kernel)) {
+            return Consume::kFlagAndValue;
+        }
+        if (flag == "--json" && !value.empty()) {
+            json_path = std::string(value);
             return Consume::kFlagAndValue;
         }
         return Consume::kNo;
@@ -191,43 +175,22 @@ int main(int argc, char** argv) {
                                                   args.smoke ? 120 : 400));
 
     std::cout << "=== Pyramid service load sweep ===\n"
-              << edge << "x" << edge << " scenes, pool of " << kScenes
+              << edge << "x" << edge << " scenes, pool of " << load::kDefaultScenes
               << " (scene 0 takes half the traffic), mix F8/L1 40% / F4/L2 35% "
                  "/ F2/L4 25%, seed "
               << seed << ", " << n_requests << " Poisson arrivals per point, "
               << wavehpc::core::to_string(g_kernel) << " kernel\n\n";
 
-    std::vector<std::shared_ptr<const ImageF>> scenes;
-    scenes.reserve(kScenes);
-    for (std::size_t i = 0; i < kScenes; ++i) {
-        scenes.push_back(std::make_shared<const ImageF>(
-            wavehpc::core::landsat_tm_like(edge, edge, seed + i)));
-    }
-    // Ground truth for the bit-identity check: sequential decompositions of
-    // the popular scene, one per mix configuration.
-    std::vector<Pyramid> scene0_refs;
-    scene0_refs.reserve(kMixCount);
-    for (const auto& m : kMix) {
-        scene0_refs.push_back(wavehpc::core::decompose(
-            *scenes[0], FilterPair::daubechies(m.taps), m.levels,
-            BoundaryMode::Periodic, g_kernel));
-    }
+    const auto scenes = load::make_scene_pool(edge, seed);
+    const auto scene0_refs = load::make_scene0_refs(*scenes[0], g_kernel);
 
     ThreadPool pool(std::max(2U, std::thread::hardware_concurrency()));
     ServiceConfig cfg = ServiceConfig::from_env();  // WAVEHPC_SVC_* apply
 
     // Capacity estimate: mix-weighted cold compute time of the popular
     // scene, measured sequentially, times the service concurrency.
-    double weighted_compute = 0.0;
-    for (std::size_t m = 0; m < kMixCount; ++m) {
-        const auto t0 = Clock::now();
-        (void)wavehpc::core::decompose(*scenes[0],
-                                       FilterPair::daubechies(kMix[m].taps),
-                                       kMix[m].levels, BoundaryMode::Periodic,
-                                       g_kernel);
-        weighted_compute +=
-            kMix[m].weight * std::chrono::duration<double>(Clock::now() - t0).count();
-    }
+    const double weighted_compute =
+        load::measure_weighted_cold_compute(*scenes[0], g_kernel);
     const double capacity_rps =
         static_cast<double>(cfg.max_concurrency) / weighted_compute;
     std::cout << "measured cold compute (mix-weighted): "
@@ -282,6 +245,10 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nbit-identity: " << verified << " scene-0 replies checked, "
               << mismatches << " mismatches\n";
+
+    if (!json_path.empty()) {
+        write_json(json_path, edge, seed, n_requests, capacity_rps, points);
+    }
 
     if (args.smoke) {
         const bool ok = accounted && any_hits && verified > 0 && mismatches == 0;

@@ -52,6 +52,23 @@ struct CacheStats {
         const auto total = hits + misses;
         return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
     }
+
+    /// Fold another cache's stats into this one (fleet aggregation across
+    /// shards): every field adds, including the resident gauges — the
+    /// merged bytes_in_use / entries / byte_budget are fleet totals.
+    void merge(const CacheStats& o) noexcept {
+        hits += o.hits;
+        misses += o.misses;
+        insertions += o.insertions;
+        rejected_oversize += o.rejected_oversize;
+        evictions += o.evictions;
+        evicted_bytes += o.evicted_bytes;
+        audit_failures += o.audit_failures;
+        variant_hits += o.variant_hits;
+        bytes_in_use += o.bytes_in_use;
+        entries += o.entries;
+        byte_budget += o.byte_budget;
+    }
 };
 
 class ResultCache {

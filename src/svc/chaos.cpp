@@ -66,12 +66,81 @@ void sleep_seconds(double seconds) {
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
+[[nodiscard]] std::uint64_t parse_uint(std::string_view key, std::string_view num) {
+    if (num.empty()) {
+        throw std::invalid_argument("ChaosPlan: '" + std::string(key) +
+                                    "' has an empty numeric field");
+    }
+    std::uint64_t v = 0;
+    for (const char c : num) {
+        if (c < '0' || c > '9') {
+            throw std::invalid_argument("ChaosPlan: '" + std::string(key) +
+                                        "' needs unsigned integers, got '" +
+                                        std::string(num) + "'");
+        }
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+}
+
+/// One SHARD:START_MS:DURATION_MS[:STALL_MS] entry of a shard-event list.
+[[nodiscard]] ShardEvent parse_shard_event(std::string_view key,
+                                           std::string_view text,
+                                           ShardEventKind kind) {
+    std::vector<std::string_view> fields;
+    std::size_t p = 0;
+    while (p <= text.size()) {
+        std::size_t colon = text.find(':', p);
+        if (colon == std::string_view::npos) colon = text.size();
+        fields.push_back(text.substr(p, colon - p));
+        p = colon + 1;
+    }
+    const std::size_t want_max = kind == ShardEventKind::Slow ? 4 : 3;
+    if (fields.size() < 3 || fields.size() > want_max) {
+        throw std::invalid_argument(
+            "ChaosPlan: '" + std::string(key) +
+            "' entries are SHARD:START_MS:DURATION_MS" +
+            (kind == ShardEventKind::Slow ? "[:STALL_MS]" : "") + ", got '" +
+            std::string(text) + "'");
+    }
+    ShardEvent ev;
+    ev.kind = kind;
+    ev.shard = static_cast<std::size_t>(parse_uint(key, fields[0]));
+    ev.start_seconds = parse_millis(key, fields[1]);
+    ev.duration_seconds = parse_millis(key, fields[2]);
+    if (fields.size() == 4) ev.stall_seconds = parse_millis(key, fields[3]);
+    return ev;
+}
+
+void parse_shard_events(std::string_view key, std::string_view value,
+                        ShardEventKind kind, std::vector<ShardEvent>& out) {
+    bool any = false;
+    std::size_t p = 0;
+    while (p <= value.size()) {
+        std::size_t semi = value.find(';', p);
+        if (semi == std::string_view::npos) semi = value.size();
+        const std::string_view item = value.substr(p, semi - p);
+        if (!item.empty()) {
+            out.push_back(parse_shard_event(key, item, kind));
+            any = true;
+        }
+        p = semi + 1;
+    }
+    if (!any) {
+        // A key that injects nothing would silently test nothing.
+        throw std::invalid_argument("ChaosPlan: '" + std::string(key) +
+                                    "' needs at least one "
+                                    "SHARD:START_MS:DURATION_MS entry");
+    }
+}
+
 }  // namespace
 
 bool ChaosPlan::enabled() const noexcept {
     return compute_error_probability > 0.0 || alloc_failure_probability > 0.0 ||
            stall_probability > 0.0 || corrupt_probability > 0.0 ||
-           pool_stall_probability > 0.0 || !compute_error_exact.empty();
+           pool_stall_probability > 0.0 || !compute_error_exact.empty() ||
+           !shard_events.empty();
 }
 
 ChaosDecision ChaosPlan::decide(std::uint64_t index) const {
@@ -146,6 +215,13 @@ ChaosPlan ChaosPlan::parse(std::string_view spec, std::uint64_t seed) {
             plan.pool_stall_probability = parse_probability(key, value);
         } else if (key == "pool_stall_ms") {
             plan.pool_stall_seconds = parse_millis(key, value);
+        } else if (key == "shard_kill") {
+            parse_shard_events(key, value, ShardEventKind::Kill, plan.shard_events);
+        } else if (key == "shard_partition") {
+            parse_shard_events(key, value, ShardEventKind::Partition,
+                               plan.shard_events);
+        } else if (key == "shard_slow") {
+            parse_shard_events(key, value, ShardEventKind::Slow, plan.shard_events);
         } else if (key == "compute_exact") {
             std::size_t p = 0;
             while (p <= value.size()) {
@@ -171,6 +247,10 @@ ChaosPlan ChaosPlan::parse(std::string_view spec, std::uint64_t seed) {
                                         std::string(key) + "'");
         }
     }
+    std::stable_sort(plan.shard_events.begin(), plan.shard_events.end(),
+                     [](const ShardEvent& a, const ShardEvent& b) {
+                         return a.start_seconds < b.start_seconds;
+                     });
     return plan;
 }
 

@@ -50,6 +50,25 @@ struct ChaosDecision {
     unsigned corrupt_bit = 0;        ///< bit 0-31 within that float word
 };
 
+/// Cluster-level fault kinds for the shard tier (shard/cluster.hpp). The
+/// engine below never interprets these — ShardCluster replays them off its
+/// own timeline; they live on the plan so one spec string describes a
+/// whole chaos run (compute faults riding along with shard kills).
+enum class ShardEventKind : std::uint8_t {
+    Kill,       ///< crash-stop: requests unreachable, service drained, state lost
+    Partition,  ///< unreachable (requests + heartbeats) but the process survives
+    Slow,       ///< every request to the shard stalls `stall_seconds`
+};
+
+/// One timed shard fault: [start, start + duration) on the cluster clock.
+struct ShardEvent {
+    ShardEventKind kind = ShardEventKind::Kill;
+    std::size_t shard = 0;
+    double start_seconds = 0.0;
+    double duration_seconds = 0.0;
+    double stall_seconds = 0.010;  ///< Slow only: added per request
+};
+
 struct ChaosPlan {
     std::uint64_t seed = 1;
     double compute_error_probability = 0.0;  ///< i.i.d. per compute attempt
@@ -62,6 +81,10 @@ struct ChaosPlan {
     /// Attempt indices that always throw ChaosComputeError — targeted
     /// deterministic tests, like FaultPlan::drop_exact.
     std::vector<std::uint64_t> compute_error_exact;
+    /// Timed shard-tier faults (kill / partition / slow), replayed by
+    /// ShardCluster against its own clock; ignored by the in-service
+    /// engine. Kept sorted by start time after parse().
+    std::vector<ShardEvent> shard_events;
 
     [[nodiscard]] bool enabled() const noexcept;
 
@@ -74,7 +97,10 @@ struct ChaosPlan {
 
     /// Parse "key=value,..." with keys compute, alloc, stall, stall_ms,
     /// corrupt, pool_stall, pool_stall_ms, compute_exact (':'-separated
-    /// indices). Throws std::invalid_argument on malformed input.
+    /// indices), and the shard-tier events shard_kill / shard_partition /
+    /// shard_slow, each a ';'-separated list of
+    /// SHARD:START_MS:DURATION_MS[:STALL_MS] entries (STALL_MS is
+    /// shard_slow-only). Throws std::invalid_argument on malformed input.
     [[nodiscard]] static ChaosPlan parse(std::string_view spec, std::uint64_t seed);
 
     /// WAVEHPC_CHAOS_PLAN under WAVEHPC_CHAOS_SEED; a disabled (empty) plan

@@ -6,6 +6,38 @@
 
 namespace wavehpc::svc {
 
+void ServiceCounters::merge(const ServiceCounters& o) noexcept {
+    submitted += o.submitted;
+    accepted += o.accepted;
+    rejected += o.rejected;
+    cache_hits += o.cache_hits;
+    dedup_joins += o.dedup_joins;
+    computes += o.computes;
+    completed += o.completed;
+    deadline_failures += o.deadline_failures;
+    shutdown_failures += o.shutdown_failures;
+    compute_failures += o.compute_failures;
+    retries += o.retries;
+    watchdog_timeouts += o.watchdog_timeouts;
+    quarantined += o.quarantined;
+    quarantine_rejects += o.quarantine_rejects;
+    breaker_rejects += o.breaker_rejects;
+    degraded_replies += o.degraded_replies;
+    crc_audit_failures += o.crc_audit_failures;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& o) {
+    counters.merge(o.counters);
+    queue_wait.merge(o.queue_wait);
+    compute.merge(o.compute);
+    total.merge(o.total);
+    for (std::size_t i = 0; i < kOutcomeCount; ++i) outcome[i].merge(o.outcome[i]);
+    queue_depth += o.queue_depth;
+    backoff_depth += o.backoff_depth;
+    running += o.running;
+    queued_bytes += o.queued_bytes;
+}
+
 const char* outcome_name(Outcome o) noexcept {
     switch (o) {
     case Outcome::Ok: return "ok";

@@ -39,6 +39,10 @@ struct ServiceCounters {
     std::uint64_t breaker_rejects = 0;    ///< fast-rejected while a breaker was open
     std::uint64_t degraded_replies = 0;   ///< served a cached same-scene variant
     std::uint64_t crc_audit_failures = 0; ///< corrupted result buffers caught
+
+    /// Fold another service's counters into this one; the accounting
+    /// identities above hold for the sum iff they hold per shard.
+    void merge(const ServiceCounters& o) noexcept;
 };
 
 /// Terminal outcome classes; one latency histogram per class so tail
@@ -67,6 +71,11 @@ struct MetricsSnapshot {
     std::size_t backoff_depth = 0;      ///< flights waiting out a retry backoff
     std::size_t running = 0;            ///< flights currently computing
     std::uint64_t queued_bytes = 0;     ///< image bytes held by queue + running
+
+    /// Fold another shard's snapshot into this one for fleet reporting:
+    /// counters and depth gauges add, histograms merge bucket-wise — the
+    /// merged quantiles equal those of one histogram fed both streams.
+    void merge(const MetricsSnapshot& o);
 };
 
 /// Print the full service report (counters, latency table incl. the

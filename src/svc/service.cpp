@@ -585,4 +585,10 @@ MetricsSnapshot PyramidService::metrics() const {
     return m;
 }
 
+std::shared_ptr<const TransformResult> PyramidService::peek_cached(
+    const CacheKey& key) {
+    if (auto exact = cache_.lookup(key)) return exact;
+    return cache_.lookup_variant(key);
+}
+
 }  // namespace wavehpc::svc

@@ -106,6 +106,13 @@ public:
 
     [[nodiscard]] MetricsSnapshot metrics() const;
     [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+
+    /// Cross-shard degraded scan (shard/cluster.hpp): the cached result for
+    /// `key` exactly, else the freshest cached same-scene variant, else
+    /// null. Pure cache read — no admission, no flight, no counters beyond
+    /// the cache's own hit/variant bookkeeping.
+    [[nodiscard]] std::shared_ptr<const TransformResult> peek_cached(
+        const CacheKey& key);
     [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
 
     /// Swap the chaos plan (test/bench seam) and re-wire the cache lookup

@@ -1,0 +1,486 @@
+#include "svc/shard/cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/kernels.hpp"
+
+namespace wavehpc::svc::shard {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0') return fallback;
+    return std::max<std::uint64_t>(1, v);
+}
+
+double env_millis(const char* name, double fallback_seconds) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback_seconds;
+    char* end = nullptr;
+    const double v = std::strtod(raw, &end);
+    if (end == raw || *end != '\0' || !(v > 0.0)) return fallback_seconds;
+    return v * 1e-3;
+}
+
+void sleep_seconds(double seconds) {
+    if (seconds <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+ShardClusterConfig ShardClusterConfig::from_env() {
+    ShardClusterConfig cfg;
+    cfg.shard_count =
+        static_cast<std::size_t>(env_u64("WAVEHPC_SHARD_COUNT", cfg.shard_count));
+    cfg.vnodes = static_cast<std::size_t>(env_u64("WAVEHPC_SHARD_VNODES", cfg.vnodes));
+    cfg.replicas =
+        static_cast<std::size_t>(env_u64("WAVEHPC_SHARD_REPLICAS", cfg.replicas));
+    cfg.seed = env_u64("WAVEHPC_SHARD_SEED",
+                       env_u64("WAVEHPC_SCHED_SEED", cfg.seed));
+    cfg.membership.heartbeat_interval =
+        env_millis("WAVEHPC_SHARD_HB_MS", cfg.membership.heartbeat_interval);
+    cfg.membership.suspect_after =
+        env_millis("WAVEHPC_SHARD_SUSPECT_MS", cfg.membership.suspect_after);
+    cfg.membership.dead_after =
+        env_millis("WAVEHPC_SHARD_DEAD_MS", cfg.membership.dead_after);
+    cfg.membership.readmit_oks = static_cast<std::uint32_t>(
+        env_u64("WAVEHPC_SHARD_READMIT_OKS", cfg.membership.readmit_oks));
+    cfg.service = ServiceConfig::from_env();
+    return cfg;
+}
+
+ShardCluster::ShardCluster(runtime::ThreadPool& pool, ShardClusterConfig cfg)
+    : pool_(pool),
+      cfg_(cfg),
+      ring_(cfg.shard_count, cfg.vnodes, cfg.seed),
+      nodes_(cfg.shard_count),
+      detector_(cfg.shard_count, cfg.membership) {
+    for (auto& node : nodes_) {
+        node.service = std::make_shared<PyramidService>(pool_, cfg_.service);
+    }
+    if (!cfg_.manual_clock) {
+        monitor_ = std::thread([this] { monitor_loop(); });
+    }
+}
+
+ShardCluster::~ShardCluster() { shutdown(); }
+
+double ShardCluster::now_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - epoch0_).count();
+}
+
+void ShardCluster::monitor_loop() {
+    std::unique_lock lk(mu_);
+    while (!stopping_) {
+        cv_monitor_.wait_for(
+            lk, std::chrono::duration<double>(cfg_.membership.heartbeat_interval),
+            [this] { return stopping_; });
+        if (stopping_) break;
+        const double now = std::max(now_, now_seconds());
+        now_ = now;
+        apply_due_actions(lk, now);
+        if (stopping_) break;
+        for (std::size_t s = 0; s < nodes_.size(); ++s) {
+            const Node& node = nodes_[s];
+            const bool ok = !node.killed && !node.partitioned;
+            detector_.observe(s, ok, now, node.incarnation);
+        }
+        detector_.sweep(now);
+        absorb_transitions_locked();
+    }
+}
+
+void ShardCluster::tick(double now) {
+    std::unique_lock lk(mu_);
+    if (stopping_) return;
+    now_ = std::max(now_, now);
+    apply_due_actions(lk, now_);
+    if (stopping_) return;
+    for (std::size_t s = 0; s < nodes_.size(); ++s) {
+        const Node& node = nodes_[s];
+        const bool ok = !node.killed && !node.partitioned;
+        detector_.observe(s, ok, now_, node.incarnation);
+    }
+    detector_.sweep(now_);
+    absorb_transitions_locked();
+}
+
+void ShardCluster::absorb_transitions_locked() {
+    for (const RosterTransition& t : detector_.drain_transitions()) {
+        switch (t.to) {
+        case ShardHealth::Suspect: ++counters_.suspicions; break;
+        case ShardHealth::Dead: ++counters_.deaths; break;
+        case ShardHealth::Alive:
+            if (t.from == ShardHealth::Dead) ++counters_.readmissions;
+            break;
+        }
+    }
+}
+
+void ShardCluster::set_chaos_plan(const ChaosPlan& plan) {
+    // Validate and build first: a malformed plan must not half-install.
+    std::vector<ChaosAction> actions;
+    for (const ShardEvent& ev : plan.shard_events) {
+        if (ev.shard >= cfg_.shard_count) {
+            throw std::out_of_range("ShardCluster: chaos event names shard " +
+                                    std::to_string(ev.shard) + " of " +
+                                    std::to_string(cfg_.shard_count));
+        }
+        actions.push_back({ev.start_seconds, ev.shard, ev.kind, true,
+                           ev.stall_seconds});
+        actions.push_back({ev.start_seconds + ev.duration_seconds, ev.shard,
+                           ev.kind, false, 0.0});
+    }
+    std::stable_sort(actions.begin(), actions.end(),
+                     [](const ChaosAction& a, const ChaosAction& b) {
+                         return a.at < b.at;
+                     });
+
+    std::lock_guard lk(mu_);
+    service_plan_ = plan;
+    have_service_plan_ = true;
+    for (Node& node : nodes_) {
+        if (node.service) node.service->set_chaos_plan(plan);
+    }
+    actions_ = std::move(actions);
+    next_action_ = 0;
+}
+
+void ShardCluster::apply_due_actions(std::unique_lock<std::mutex>& lk, double now) {
+    // Kills drain outside the lock (a drain blocks on in-flight compute and
+    // submits need mu_); the state flip happens under it, so the transport
+    // refuses from the instant the action is due.
+    std::vector<std::shared_ptr<PyramidService>> drains;
+    while (next_action_ < actions_.size() && actions_[next_action_].at <= now) {
+        const ChaosAction a = actions_[next_action_++];
+        Node& node = nodes_[a.shard];
+        switch (a.kind) {
+        case ShardEventKind::Kill:
+            if (a.begin) {
+                kill_locked_phase1(a.shard, lk, drains);
+            } else {
+                revive_locked(a.shard);
+            }
+            break;
+        case ShardEventKind::Partition:
+            if (node.partitioned != a.begin) {
+                node.partitioned = a.begin;
+                a.begin ? ++counters_.partitions : ++counters_.heals;
+            }
+            break;
+        case ShardEventKind::Slow:
+            if (a.begin) {
+                node.stall_seconds = a.stall_seconds;
+                ++counters_.slowdowns;
+            } else {
+                node.stall_seconds = 0.0;
+                ++counters_.heals;
+            }
+            break;
+        }
+    }
+    if (!drains.empty()) {
+        lk.unlock();
+        drain_and_retire(drains);
+        lk.lock();
+    }
+}
+
+void ShardCluster::kill_locked_phase1(
+    ShardId shard, std::unique_lock<std::mutex>& lk,
+    std::vector<std::shared_ptr<PyramidService>>& drains) {
+    (void)lk;  // documents the precondition: mu_ held
+    Node& node = nodes_[shard];
+    if (node.killed) return;
+    node.killed = true;
+    ++counters_.kills;
+    if (node.service) drains.push_back(std::move(node.service));
+    node.service = nullptr;
+}
+
+void ShardCluster::drain_and_retire(
+    std::vector<std::shared_ptr<PyramidService>>& drains) {
+    for (auto& svc : drains) {
+        svc->shutdown();  // waiters resolve (ServiceShutdownError); nothing strands
+        MetricsSnapshot m = svc->metrics();
+        CacheStats c = svc->cache_stats();
+        std::lock_guard lk(mu_);
+        retired_.merge(m);
+        retired_cache_.merge(c);
+    }
+    drains.clear();
+}
+
+void ShardCluster::revive_locked(ShardId shard) {
+    Node& node = nodes_[shard];
+    if (!node.killed) return;
+    node.service = std::make_shared<PyramidService>(pool_, cfg_.service);
+    if (have_service_plan_) node.service->set_chaos_plan(service_plan_);
+    node.killed = false;
+    ++node.incarnation;  // the new life; the roster's epoch fence keys on this
+    ++counters_.revivals;
+}
+
+void ShardCluster::kill(ShardId shard) {
+    if (shard >= nodes_.size()) throw std::out_of_range("ShardCluster::kill");
+    std::vector<std::shared_ptr<PyramidService>> drains;
+    {
+        std::unique_lock lk(mu_);
+        kill_locked_phase1(shard, lk, drains);
+    }
+    drain_and_retire(drains);
+}
+
+void ShardCluster::revive(ShardId shard) {
+    if (shard >= nodes_.size()) throw std::out_of_range("ShardCluster::revive");
+    std::lock_guard lk(mu_);
+    revive_locked(shard);
+}
+
+void ShardCluster::set_partitioned(ShardId shard, bool on) {
+    if (shard >= nodes_.size()) throw std::out_of_range("ShardCluster::set_partitioned");
+    std::lock_guard lk(mu_);
+    if (nodes_[shard].partitioned == on) return;
+    nodes_[shard].partitioned = on;
+    on ? ++counters_.partitions : ++counters_.heals;
+}
+
+void ShardCluster::set_slow(ShardId shard, double stall_seconds) {
+    if (shard >= nodes_.size()) throw std::out_of_range("ShardCluster::set_slow");
+    std::lock_guard lk(mu_);
+    if (stall_seconds > 0.0 && nodes_[shard].stall_seconds <= 0.0) {
+        ++counters_.slowdowns;
+    } else if (stall_seconds <= 0.0 && nodes_[shard].stall_seconds > 0.0) {
+        ++counters_.heals;
+    }
+    nodes_[shard].stall_seconds = std::max(0.0, stall_seconds);
+}
+
+ShardCluster::Ticket ShardCluster::grab_ticket(ShardId shard, bool fenced,
+                                               std::uint64_t expected_incarnation) {
+    std::lock_guard lk(mu_);
+    Ticket t;
+    Node& node = nodes_[shard];
+    if (node.killed || node.partitioned || !node.service) {
+        ++counters_.transport_refusals;
+        t.refusal = RouteRefusal::Transport;
+        return t;
+    }
+    if (fenced && node.incarnation != expected_incarnation) {
+        ++counters_.stale_epoch_refusals;
+        t.refusal = RouteRefusal::StaleEpoch;
+        return t;
+    }
+    t.service = node.service;  // ref held: a concurrent kill cannot free it
+    t.stall_seconds = node.stall_seconds;
+    return t;
+}
+
+std::vector<ShardId> ShardCluster::placement(const TransformRequest& request) const {
+    if (!request.image) {
+        throw std::invalid_argument("ShardCluster::placement: null image");
+    }
+    const CacheKey key = make_cache_key(*request.image, request.taps,
+                                        request.levels, request.boundary,
+                                        core::resolve_dwt_kernel(
+                                            request.kernel,
+                                            core::FilterPair::daubechies(request.taps)));
+    return ring_.replicas(key, cfg_.replicas);
+}
+
+ClusterSubmitResult ShardCluster::submit(TransformRequest request) {
+    if (!request.image) {
+        throw std::invalid_argument("ShardCluster::submit: null image");
+    }
+    // Resolve + hash once here, exactly as the shard's own submit would, so
+    // routing, the epoch fence, and the degraded scan all talk about the
+    // same key (the shard re-hashes on delivery; placement uses only the
+    // digest + dims half of the key, which no shard ever recomputes
+    // differently).
+    const auto fp = core::FilterPair::daubechies(request.taps);
+    request.kernel = core::resolve_dwt_kernel(request.kernel, fp);
+    const CacheKey key = make_cache_key(*request.image, request.taps,
+                                        request.levels, request.boundary,
+                                        request.kernel);
+    const std::vector<ShardId> chain = ring_.replicas(key, cfg_.replicas);
+
+    ClusterSubmitResult out;
+    {
+        std::lock_guard lk(mu_);
+        ++counters_.routed;
+    }
+    for (const ShardId shard : chain) {
+        // Roster check first: a Dead shard is skipped without touching its
+        // transport (the whole point of the failure detector — no waiting
+        // on a corpse's timeout per request).
+        std::uint64_t expected = 0;
+        {
+            std::lock_guard lk(mu_);
+            if (detector_.health(shard) == ShardHealth::Dead) {
+                ++counters_.roster_skips;
+                continue;
+            }
+            expected = detector_.incarnation(shard);
+        }
+        Ticket t = grab_ticket(shard, /*fenced=*/true, expected);
+        if (t.refusal != RouteRefusal::None) continue;
+        ++out.hops;
+        sleep_seconds(t.stall_seconds);  // Slow shard: clients feel it
+        SubmitResult r = t.service->submit(request);
+        out.shard = shard;
+        out.result = std::move(r);
+        if (out.result.accepted) {
+            std::lock_guard lk(mu_);
+            ++counters_.accepted;
+            if (shard != chain.front()) ++counters_.failovers;
+            return out;
+        }
+        // Breaker-open / saturated / quarantined on this replica: the next
+        // replica may be healthy. ShuttingDown means a racing kill — also
+        // worth failing over.
+    }
+
+    // Replica chain exhausted. Degraded clients take any live shard's
+    // cached answer for the scene (exact key preferred).
+    if (request.allow_degraded) {
+        const auto started = Clock::now();
+        for (std::size_t s = 0; s < shard_count(); ++s) {
+            Ticket t = grab_ticket(s, /*fenced=*/false, 0);
+            if (t.refusal != RouteRefusal::None) continue;
+            if (auto cached = t.service->peek_cached(key)) {
+                TransformReply reply;
+                reply.degraded = !(cached->key == key);
+                reply.cache_hit = true;
+                reply.result = std::move(cached);
+                reply.total_seconds =
+                    std::chrono::duration<double>(Clock::now() - started).count();
+                std::promise<TransformReply> promise;
+                promise.set_value(std::move(reply));
+                out.shard = s;
+                out.cross_shard_degraded = true;
+                out.result = SubmitResult{};
+                out.result.accepted = true;
+                out.result.future = promise.get_future().share();
+                std::lock_guard lk(mu_);
+                ++counters_.accepted;
+                ++counters_.cross_shard_degraded;
+                return out;
+            }
+        }
+    }
+    std::lock_guard lk(mu_);
+    ++counters_.rejected;
+    if (out.result.reject_reason == RejectReason::None) {
+        // Never reached a shard's admission: every replica was dead or
+        // unreachable. Report it as saturation-shaped backpressure with a
+        // heartbeat-scaled retry hint (the roster heals on that cadence).
+        out.result.accepted = false;
+        out.result.reject_reason = RejectReason::Saturated;
+        out.result.retry_after_seconds = cfg_.membership.dead_after;
+    }
+    return out;
+}
+
+SubmitResult ShardCluster::submit_to_shard(ShardId shard, TransformRequest request) {
+    if (shard >= nodes_.size()) {
+        throw std::out_of_range("ShardCluster::submit_to_shard");
+    }
+    Ticket t = grab_ticket(shard, /*fenced=*/false, 0);
+    if (t.refusal != RouteRefusal::None) {
+        SubmitResult r;
+        r.accepted = false;
+        r.reject_reason = RejectReason::ShuttingDown;
+        return r;
+    }
+    sleep_seconds(t.stall_seconds);
+    return t.service->submit(std::move(request));
+}
+
+PyramidService* ShardCluster::service(ShardId shard) {
+    if (shard >= nodes_.size()) throw std::out_of_range("ShardCluster::service");
+    std::lock_guard lk(mu_);
+    return nodes_[shard].service.get();
+}
+
+std::size_t ShardCluster::shard_count() const noexcept { return nodes_.size(); }
+
+ShardHealth ShardCluster::health(ShardId shard) const {
+    std::lock_guard lk(mu_);
+    return detector_.health(shard);
+}
+
+std::uint64_t ShardCluster::incarnation(ShardId shard) const {
+    std::lock_guard lk(mu_);
+    return detector_.incarnation(shard);
+}
+
+std::uint64_t ShardCluster::roster_epoch() const {
+    std::lock_guard lk(mu_);
+    return detector_.epoch();
+}
+
+std::uint64_t ShardCluster::roster_hash() const {
+    std::lock_guard lk(mu_);
+    return detector_.roster_hash();
+}
+
+ClusterCounters ShardCluster::counters() const {
+    std::lock_guard lk(mu_);
+    return counters_;
+}
+
+MetricsSnapshot ShardCluster::fleet_metrics() const {
+    std::vector<std::shared_ptr<PyramidService>> live;
+    MetricsSnapshot fleet;
+    {
+        std::lock_guard lk(mu_);
+        fleet = retired_;
+        for (const Node& node : nodes_) {
+            if (node.service) live.push_back(node.service);
+        }
+    }
+    for (const auto& svc : live) fleet.merge(svc->metrics());
+    return fleet;
+}
+
+CacheStats ShardCluster::fleet_cache_stats() const {
+    std::vector<std::shared_ptr<PyramidService>> live;
+    CacheStats fleet;
+    {
+        std::lock_guard lk(mu_);
+        fleet = retired_cache_;
+        for (const Node& node : nodes_) {
+            if (node.service) live.push_back(node.service);
+        }
+    }
+    for (const auto& svc : live) fleet.merge(svc->cache_stats());
+    return fleet;
+}
+
+void ShardCluster::shutdown() {
+    std::vector<std::shared_ptr<PyramidService>> drains;
+    bool first = false;
+    {
+        std::lock_guard lk(mu_);
+        first = !stopping_;
+        stopping_ = true;
+        for (Node& node : nodes_) {
+            if (node.service) drains.push_back(std::move(node.service));
+            node.service = nullptr;
+            node.killed = true;
+        }
+    }
+    cv_monitor_.notify_all();
+    if (first && monitor_.joinable()) monitor_.join();
+    drain_and_retire(drains);
+}
+
+}  // namespace wavehpc::svc::shard

@@ -1,0 +1,248 @@
+#pragma once
+// Sharded pyramid service: N PyramidService instances ("shards") behind a
+// consistent-hash router (ring.hpp) and a heartbeat failure detector
+// (membership.hpp), sharing one runtime::ThreadPool.
+//
+// Routing walks the key's replica chain (primary first) and skips shards
+// the roster says are Dead or the transport says are unreachable; a
+// breaker-open or saturated reject from one replica fails over to the
+// next. When the whole chain is unusable and the request opted into
+// degradation, the router scans every *live* shard's cache for the scene
+// and answers with a ready degraded reply — a shard's death costs its
+// in-flight work, never an answer some other shard already holds.
+//
+// Failure semantics (replayed from ChaosPlan::shard_events or injected by
+// the kill/revive test seams):
+//   * Kill — crash-stop. The transport refuses instantly (routing fails
+//     over on the very next request, before any heartbeat lapses), the
+//     service is drained (in-flight waiters resolve with
+//     ServiceShutdownError — nothing strands), its metrics are folded
+//     into the retired accumulator, and its cache dies with it.
+//   * Partition — requests and heartbeats are refused but the process
+//     survives: the cache and counters are intact at heal time.
+//   * Slow — every request to the shard stalls first (noisy neighbour).
+//
+// Epoch fencing: each shard carries an incarnation, bumped at revival.
+// The router captures the incarnation it believes in when it routes; the
+// transport refuses on mismatch (StaleEpoch), so a router acting on a
+// pre-kill roster view can never reach a re-admitted shard's fresh life
+// by accident — it re-routes, re-reads the roster, and catches up. The
+// failure detector enforces the same fence on membership: a Dead shard
+// re-admits only after `readmit_oks` consecutive beats from a *newer*
+// incarnation (membership.hpp).
+//
+// Clocking: with `manual_clock` the owner drives tick(now) explicitly and
+// the cluster starts no threads — the deterministic mode every tier-1
+// test uses. Otherwise a monitor thread beats every heartbeat_interval:
+// probe transports, feed the detector, replay due chaos events.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/chaos.hpp"
+#include "svc/service.hpp"
+#include "svc/shard/membership.hpp"
+#include "svc/shard/ring.hpp"
+
+namespace wavehpc::svc::shard {
+
+struct ShardClusterConfig {
+    std::size_t shard_count = 4;
+    std::size_t vnodes = 64;       ///< ring points per shard
+    std::size_t replicas = 2;      ///< failover chain length per key
+    std::uint64_t seed = 1;        ///< ring placement seed
+    MembershipConfig membership;
+    ServiceConfig service;         ///< per-shard service posture
+    /// No monitor thread; the owner drives tick(now) with explicit
+    /// seconds. Chaos events replay against that clock.
+    bool manual_clock = false;
+
+    /// Defaults overridden by WAVEHPC_SHARD_COUNT / WAVEHPC_SHARD_VNODES /
+    /// WAVEHPC_SHARD_REPLICAS / WAVEHPC_SHARD_SEED (falling back to
+    /// WAVEHPC_SCHED_SEED) / WAVEHPC_SHARD_HB_MS / WAVEHPC_SHARD_SUSPECT_MS
+    /// / WAVEHPC_SHARD_DEAD_MS / WAVEHPC_SHARD_READMIT_OKS, plus
+    /// ServiceConfig::from_env() for the per-shard service.
+    [[nodiscard]] static ShardClusterConfig from_env();
+};
+
+/// Why the cluster (not a shard's admission) refused a delivery attempt.
+enum class RouteRefusal : std::uint8_t {
+    None,        ///< delivered to the shard's submit()
+    RosterDead,  ///< skipped: the roster marks the shard Dead
+    Transport,   ///< refused: killed or partitioned at the transport
+    StaleEpoch,  ///< refused: shard incarnation != the router's belief
+};
+
+/// Synchronous answer of ShardCluster::submit.
+struct ClusterSubmitResult {
+    /// The shard that accepted (or the last one that answered), or
+    /// `no_shard` when every replica was refused before any submit().
+    static constexpr ShardId no_shard = static_cast<ShardId>(-1);
+    ShardId shard = no_shard;
+    std::size_t hops = 0;  ///< replicas tried (1 = primary answered)
+    /// Served from another live shard's cache after the replica chain
+    /// failed (allow_degraded only). result.future is ready.
+    bool cross_shard_degraded = false;
+    SubmitResult result;
+};
+
+/// Monotonic cluster-level counters (shard-internal counters live in each
+/// service's own ServiceCounters; fleet_metrics() merges those).
+struct ClusterCounters {
+    std::uint64_t routed = 0;             ///< submit() calls
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;           ///< replica chain exhausted, no degrade
+    std::uint64_t failovers = 0;          ///< deliveries past the primary
+    std::uint64_t roster_skips = 0;       ///< replicas skipped as Dead
+    std::uint64_t transport_refusals = 0; ///< killed/partitioned shard reached
+    std::uint64_t stale_epoch_refusals = 0;
+    std::uint64_t cross_shard_degraded = 0;
+    std::uint64_t kills = 0;
+    std::uint64_t revivals = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t heals = 0;              ///< partition/slow windows ended
+    std::uint64_t slowdowns = 0;
+    std::uint64_t deaths = 0;             ///< roster transitions into Dead
+    std::uint64_t suspicions = 0;         ///< roster transitions into Suspect
+    std::uint64_t readmissions = 0;       ///< Dead -> Alive re-admissions
+};
+
+class ShardCluster {
+public:
+    /// Builds `cfg.shard_count` services over `pool`. The pool must
+    /// outlive the cluster; the cluster drains every shard on destruction.
+    ShardCluster(runtime::ThreadPool& pool, ShardClusterConfig cfg = {});
+    ~ShardCluster();
+
+    ShardCluster(const ShardCluster&) = delete;
+    ShardCluster& operator=(const ShardCluster&) = delete;
+
+    /// Route and deliver: hash the scene, walk its replica chain, fail
+    /// over past dead/refusing shards, degrade cross-shard as a last
+    /// resort. Synchronous like PyramidService::submit; never blocks on
+    /// compute (a Slow shard's injected stall does block the caller — by
+    /// design, that is what a slow shard does to its clients).
+    [[nodiscard]] ClusterSubmitResult submit(TransformRequest request);
+
+    /// Drain every live shard and stop the monitor thread. Idempotent.
+    void shutdown();
+
+    // --- fault seams (the chaos replay uses exactly these) ---
+
+    /// Crash-stop `shard` now: transport refuses, service drains (waiters
+    /// get ServiceShutdownError), metrics fold into the retired
+    /// accumulator, cache state is lost. No-op if already killed.
+    void kill(ShardId shard);
+
+    /// Bring a killed shard back with a fresh service and a *new*
+    /// incarnation. The roster re-admits it only after readmit_oks
+    /// heartbeats of the new life. No-op if not killed.
+    void revive(ShardId shard);
+
+    void set_partitioned(ShardId shard, bool on);
+    void set_slow(ShardId shard, double stall_seconds);  ///< 0 clears
+
+    /// Install `plan` cluster-wide: its shard events replay against the
+    /// cluster clock, and its in-service faults (compute errors, stalls,
+    /// corruptions) are pushed to every live shard — and re-installed on
+    /// each revived life — so one spec string describes the whole run.
+    void set_chaos_plan(const ChaosPlan& plan);
+
+    /// Manual-clock step: advance to `now` seconds, replay due chaos
+    /// events, probe every transport, feed the detector, sweep. The
+    /// monitor thread calls this with wall-derived time; manual-clock
+    /// owners call it directly. `now` never moves backwards.
+    void tick(double now);
+
+    // --- introspection ---
+    [[nodiscard]] std::size_t shard_count() const noexcept;
+    [[nodiscard]] const HashRing& ring() const noexcept { return ring_; }
+    [[nodiscard]] ShardHealth health(ShardId shard) const;
+    [[nodiscard]] std::uint64_t incarnation(ShardId shard) const;
+    [[nodiscard]] std::uint64_t roster_epoch() const;
+    [[nodiscard]] std::uint64_t roster_hash() const;
+    [[nodiscard]] ClusterCounters counters() const;
+    [[nodiscard]] const ShardClusterConfig& config() const noexcept { return cfg_; }
+
+    /// Fleet view: live shards' snapshots merged with every killed life's
+    /// retired snapshot — counters never go backwards across a kill.
+    [[nodiscard]] MetricsSnapshot fleet_metrics() const;
+    [[nodiscard]] CacheStats fleet_cache_stats() const;
+
+    /// Replica chain the router would walk for this request's scene.
+    [[nodiscard]] std::vector<ShardId> placement(const TransformRequest& request) const;
+
+    // --- test hooks ---
+    /// Direct delivery to one shard, bypassing ring + roster (cache
+    /// warming in tests). Throws std::out_of_range on a bad shard id;
+    /// returns a Transport refusal shape if the shard is unreachable.
+    [[nodiscard]] SubmitResult submit_to_shard(ShardId shard, TransformRequest request);
+
+    /// The shard's live service, or nullptr while killed. The pointer is
+    /// only stable while the caller prevents kills (test seam).
+    [[nodiscard]] PyramidService* service(ShardId shard);
+
+private:
+    struct Node {
+        std::shared_ptr<PyramidService> service;  // null while killed
+        std::uint64_t incarnation = 0;
+        bool killed = false;
+        bool partitioned = false;
+        double stall_seconds = 0.0;  ///< injected per-delivery stall (Slow)
+    };
+
+    /// One side of a timed ShardEvent, flattened for ordered replay.
+    struct ChaosAction {
+        double at = 0.0;
+        ShardId shard = 0;
+        ShardEventKind kind = ShardEventKind::Kill;
+        bool begin = true;
+        double stall_seconds = 0.0;
+    };
+
+    /// Grab a delivery ticket for `shard` under mu_: the live service (ref
+    /// held), the stall to apply, or the refusal. `expected_incarnation`
+    /// is checked when `fenced`.
+    struct Ticket {
+        std::shared_ptr<PyramidService> service;
+        double stall_seconds = 0.0;
+        RouteRefusal refusal = RouteRefusal::None;
+    };
+    [[nodiscard]] Ticket grab_ticket(ShardId shard, bool fenced,
+                                     std::uint64_t expected_incarnation);
+
+    void kill_locked_phase1(ShardId shard, std::unique_lock<std::mutex>& lk,
+                            std::vector<std::shared_ptr<PyramidService>>& drains);
+    void revive_locked(ShardId shard);
+    void apply_due_actions(std::unique_lock<std::mutex>& lk, double now);
+    void drain_and_retire(std::vector<std::shared_ptr<PyramidService>>& drains);
+    void absorb_transitions_locked();
+    void monitor_loop();
+    [[nodiscard]] double now_seconds() const;
+
+    runtime::ThreadPool& pool_;
+    const ShardClusterConfig cfg_;
+    HashRing ring_;
+    const Clock::time_point epoch0_ = Clock::now();  ///< wall clock origin
+
+    mutable std::mutex mu_;
+    bool stopping_ = false;
+    double now_ = 0.0;  ///< cluster clock, monotonic (manual or wall-derived)
+    std::vector<Node> nodes_;
+    FailureDetector detector_;
+    std::vector<ChaosAction> actions_;  // sorted by at
+    std::size_t next_action_ = 0;
+    ChaosPlan service_plan_;            ///< pushed to every (re)born service
+    bool have_service_plan_ = false;
+    ClusterCounters counters_;
+    MetricsSnapshot retired_;      ///< merged snapshots of killed lives
+    CacheStats retired_cache_;
+    std::condition_variable cv_monitor_;
+    std::thread monitor_;  // last member: joins before the rest tears down
+};
+
+}  // namespace wavehpc::svc::shard

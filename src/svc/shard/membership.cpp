@@ -1,0 +1,123 @@
+#include "svc/shard/membership.hpp"
+
+#include <stdexcept>
+
+namespace wavehpc::svc::shard {
+
+namespace {
+
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* health_name(ShardHealth h) noexcept {
+    switch (h) {
+    case ShardHealth::Alive: return "alive";
+    case ShardHealth::Suspect: return "suspect";
+    case ShardHealth::Dead: return "dead";
+    }
+    return "?";
+}
+
+FailureDetector::FailureDetector(std::size_t n_shards, MembershipConfig cfg)
+    : cfg_(cfg), status_(n_shards) {
+    if (n_shards == 0) {
+        throw std::invalid_argument("FailureDetector: shard count must be > 0");
+    }
+    if (!(cfg.suspect_after > 0.0) || !(cfg.dead_after >= cfg.suspect_after)) {
+        throw std::invalid_argument(
+            "FailureDetector: need 0 < suspect_after <= dead_after");
+    }
+}
+
+void FailureDetector::transition(std::size_t shard, ShardHealth to, double now) {
+    ShardStatus& st = status_[shard];
+    transitions_.push_back({shard, st.health, to, st.incarnation, now});
+    st.health = to;
+    ++epoch_;
+}
+
+void FailureDetector::observe(std::size_t shard, bool ok, double now,
+                              std::uint64_t incarnation) {
+    ShardStatus& st = status_.at(shard);
+    if (!ok) return;  // misses are time-based; sweep() does the demotion
+    if (incarnation < st.incarnation) return;  // stale traffic, previous life
+    switch (st.health) {
+    case ShardHealth::Alive:
+    case ShardHealth::Suspect:
+        st.incarnation = incarnation;
+        st.last_ok = now;
+        if (st.health == ShardHealth::Suspect) {
+            transition(shard, ShardHealth::Alive, now);
+        }
+        break;
+    case ShardHealth::Dead:
+        // Epoch fence: only a *newer* incarnation may work toward
+        // re-admission; beats from the dead life are ignored above.
+        if (incarnation == st.incarnation && st.consecutive_oks == 0) return;
+        if (incarnation > st.incarnation) {
+            st.incarnation = incarnation;
+            st.consecutive_oks = 0;
+        }
+        ++st.consecutive_oks;
+        st.last_ok = now;
+        if (st.consecutive_oks >= cfg_.readmit_oks) {
+            st.consecutive_oks = 0;
+            transition(shard, ShardHealth::Alive, now);
+        }
+        break;
+    }
+}
+
+void FailureDetector::sweep(double now) {
+    for (std::size_t s = 0; s < status_.size(); ++s) {
+        ShardStatus& st = status_[s];
+        const double silent = now - st.last_ok;
+        if (st.health == ShardHealth::Alive && silent >= cfg_.suspect_after) {
+            transition(s, ShardHealth::Suspect, now);
+        }
+        if (st.health == ShardHealth::Suspect && silent >= cfg_.dead_after) {
+            st.consecutive_oks = 0;
+            transition(s, ShardHealth::Dead, now);
+        }
+    }
+}
+
+ShardHealth FailureDetector::health(std::size_t shard) const {
+    return status_.at(shard).health;
+}
+
+std::uint64_t FailureDetector::incarnation(std::size_t shard) const {
+    return status_.at(shard).incarnation;
+}
+
+std::size_t FailureDetector::alive_count() const {
+    std::size_t n = 0;
+    for (const auto& st : status_) {
+        if (st.health == ShardHealth::Alive) ++n;
+    }
+    return n;
+}
+
+std::uint64_t FailureDetector::roster_hash() const {
+    std::uint64_t h = mix64(status_.size());
+    for (std::size_t s = 0; s < status_.size(); ++s) {
+        const auto& st = status_[s];
+        h = mix64(h ^ mix64(s * 3 + static_cast<std::uint64_t>(st.health)) ^
+                  mix64(st.incarnation + 0x5bd1e995ULL));
+    }
+    return h;
+}
+
+std::vector<RosterTransition> FailureDetector::drain_transitions() {
+    std::vector<RosterTransition> out;
+    out.swap(transitions_);
+    return out;
+}
+
+}  // namespace wavehpc::svc::shard

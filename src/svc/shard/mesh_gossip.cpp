@@ -1,0 +1,96 @@
+#include "svc/shard/mesh_gossip.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+
+#include "mesh/machine.hpp"
+
+namespace wavehpc::svc::shard {
+
+namespace {
+
+constexpr int kBeatTag = 71;
+
+}  // namespace
+
+MeshGossipResult run_mesh_gossip(const MeshGossipParams& params) {
+    if (params.ranks == 0) {
+        throw std::invalid_argument("run_mesh_gossip: ranks must be > 0");
+    }
+    const int n = static_cast<int>(params.ranks);
+
+    mesh::MachineProfile profile =
+        mesh::MachineProfile::test_profile(params.ranks, 1);
+    for (const auto& [rank, at] : params.fail_at) {
+        profile.faults.failures.push_back({rank, at});
+    }
+    mesh::Machine machine(std::move(profile));
+    if (params.schedule_seed != 0) {
+        machine.set_schedule_seed(params.schedule_seed);
+    }
+
+    MeshGossipResult out;
+    out.views.assign(params.ranks, {});
+    auto* views = &out.views;  // ranks publish into distinct slots
+
+    const MembershipConfig cfg = params.membership;
+    const double end = params.run_seconds;
+    const auto result = machine.run(params.ranks, [&](mesh::NodeCtx& ctx) {
+        const int rank = ctx.rank();
+        FailureDetector det(static_cast<std::size_t>(n), cfg);
+        constexpr std::uint64_t kIncarnation = 1;  // one life per rank here
+        double next_beat = 0.0;
+        while (ctx.now() < end) {
+            if (ctx.now() >= next_beat) {
+                for (int peer = 0; peer < n; ++peer) {
+                    if (peer == rank) continue;
+                    ctx.send_value<std::uint64_t>(kBeatTag, peer, kIncarnation);
+                }
+                next_beat += cfg.heartbeat_interval;
+            }
+            det.observe(static_cast<std::size_t>(rank), true, ctx.now(),
+                        kIncarnation);
+            const double wait = std::min(next_beat, end) - ctx.now();
+            if (wait > 0.0) {
+                if (auto m = ctx.crecv_timeout(kBeatTag, mesh::kAnySource, wait)) {
+                    std::uint64_t inc = 0;
+                    if (m->data.size() == sizeof inc) {
+                        std::memcpy(&inc, m->data.data(), sizeof inc);
+                        det.observe(static_cast<std::size_t>(m->src), true,
+                                    ctx.now(), inc);
+                    }
+                }
+            }
+            det.sweep(ctx.now());
+            // Publish every pass: a fail-stop mid-loop leaves the last
+            // pre-death view behind instead of an empty one.
+            MeshGossipRankView& view = (*views)[static_cast<std::size_t>(rank)];
+            view.roster_hash = det.roster_hash();
+            view.epoch = det.epoch();
+            view.health.assign(det.shard_count(), ShardHealth::Alive);
+            for (std::size_t s = 0; s < det.shard_count(); ++s) {
+                view.health[s] = det.health(s);
+            }
+        }
+    });
+
+    out.makespan = result.makespan;
+    bool any_survivor = false;
+    bool agree = true;
+    for (std::size_t r = 0; r < params.ranks; ++r) {
+        out.views[r].fail_stopped = result.stats[r].fail_stopped;
+        if (out.views[r].fail_stopped) continue;
+        if (!any_survivor) {
+            any_survivor = true;
+            out.survivor_roster_hash = out.views[r].roster_hash;
+        } else if (out.views[r].roster_hash != out.survivor_roster_hash) {
+            agree = false;
+        }
+    }
+    out.converged = any_survivor && agree;
+    return out;
+}
+
+}  // namespace wavehpc::svc::shard

@@ -1,0 +1,57 @@
+#pragma once
+// The shard tier's failure detector run as a deterministic SPMD program on
+// the mesh machine (mesh/machine.hpp) — the "same state machine, third
+// clock" leg of membership.hpp's claim: the cluster drives FailureDetector
+// with wall time, the tests with explicit doubles, and this program with
+// *virtual* seconds over a simulated interconnect.
+//
+// Every rank beats every peer on the heartbeat interval and folds the
+// beats it hears into its own private FailureDetector; nobody exchanges
+// roster state — agreement must emerge from observing the same heartbeat
+// stream. Ranks fail-stopped by the machine's FaultPlan go silent
+// mid-run, and the claim under test is gossip-lite convergence: after the
+// dust settles (dead_after << remaining run time), every *survivor* holds
+// the same roster hash, with the dead ranks marked Dead — reproducibly,
+// under any schedule seed, because the discrete-event engine is
+// deterministic per seed.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "svc/shard/membership.hpp"
+
+namespace wavehpc::svc::shard {
+
+struct MeshGossipParams {
+    std::size_t ranks = 8;
+    double run_seconds = 1.0;  ///< virtual; keep >> fail_at + dead_after
+    MembershipConfig membership;
+    /// (rank, virtual fail-stop time): the rank executes nothing from then
+    /// on — no beats, no receives.
+    std::vector<std::pair<int, double>> fail_at;
+    /// Engine tie-break seed (Machine::set_schedule_seed); same seed ->
+    /// bit-identical run. 0 keeps the default deterministic order.
+    std::uint64_t schedule_seed = 0;
+};
+
+/// One rank's final (or last-before-death) membership view.
+struct MeshGossipRankView {
+    bool fail_stopped = false;
+    std::uint64_t roster_hash = 0;
+    std::uint64_t epoch = 0;
+    std::vector<ShardHealth> health;
+};
+
+struct MeshGossipResult {
+    std::vector<MeshGossipRankView> views;  ///< indexed by rank
+    double makespan = 0.0;                  ///< virtual seconds
+    /// All survivors ended on the same roster hash.
+    bool converged = false;
+    std::uint64_t survivor_roster_hash = 0;
+};
+
+/// Run the gossip program; throws std::invalid_argument on ranks == 0.
+[[nodiscard]] MeshGossipResult run_mesh_gossip(const MeshGossipParams& params);
+
+}  // namespace wavehpc::svc::shard

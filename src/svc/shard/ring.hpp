@@ -1,0 +1,76 @@
+#pragma once
+// Consistent-hash placement ring for the sharded pyramid service.
+//
+// Scenes — not requests — are the placement unit: a ring point is keyed by
+// the *content digest* of the image (hash.hpp) plus its dimensions, and
+// deliberately excludes taps/levels/boundary/kernel. Every transform
+// variant of one scene therefore lands on the same shard, which is what
+// makes the per-shard content-addressed cache (and its degraded
+// same-scene-variant fallback) effective.
+//
+// Each shard owns `vnodes` pseudo-random points on a 64-bit ring, all
+// derived from (seed, shard, vnode) with splitmix64 — the ring is a pure
+// function of (shard count, vnodes, seed), so two routers built with the
+// same parameters agree on every placement without exchanging a byte (the
+// multi-host "global deterministic SPMD view" idiom).
+//
+// Failure re-placement is walk-based, not rebuild-based: the ring never
+// changes shape when a shard dies. Routing walks the ring clockwise from
+// the key and takes the first `k` *distinct* shards (the replica chain);
+// the router simply skips dead shards during the walk. Keys whose primary
+// is alive are untouched by another shard's death — the classic
+// consistent-hashing minimal-disruption property, here by construction.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "svc/hash.hpp"
+
+namespace wavehpc::svc::shard {
+
+using ShardId = std::size_t;
+
+class HashRing {
+public:
+    HashRing() = default;
+
+    /// Build the ring for `n_shards` shards with `vnodes` points each.
+    /// Throws std::invalid_argument when either count is zero.
+    HashRing(std::size_t n_shards, std::size_t vnodes, std::uint64_t seed);
+
+    /// The first `k` distinct shards clockwise from the key's ring point —
+    /// primary first, then the failover chain. k is clamped to the shard
+    /// count; the result is deterministic for fixed (ring, key).
+    [[nodiscard]] std::vector<ShardId> replicas(const CacheKey& key,
+                                                std::size_t k) const;
+
+    [[nodiscard]] ShardId primary(const CacheKey& key) const {
+        return replicas(key, 1).front();
+    }
+
+    [[nodiscard]] std::size_t shard_count() const noexcept { return n_shards_; }
+    [[nodiscard]] std::size_t vnodes() const noexcept { return vnodes_; }
+    [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+    /// Fraction of the ring's arc length each shard owns — the load-balance
+    /// introspection hook the ring tests pin (sums to 1).
+    [[nodiscard]] std::vector<double> arc_fractions() const;
+
+private:
+    /// Where a scene lands on the ring: a mix of the content digest and the
+    /// frame dimensions only (placement is per scene, see header comment).
+    [[nodiscard]] static std::uint64_t ring_point(const CacheKey& key) noexcept;
+
+    struct Point {
+        std::uint64_t pos = 0;
+        ShardId shard = 0;
+    };
+
+    std::vector<Point> points_;  // sorted by pos
+    std::size_t n_shards_ = 0;
+    std::size_t vnodes_ = 0;
+    std::uint64_t seed_ = 0;
+};
+
+}  // namespace wavehpc::svc::shard

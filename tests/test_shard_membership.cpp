@@ -1,0 +1,197 @@
+// Heartbeat failure detector (shard tier): the Alive -> Suspect -> Dead
+// state machine under explicit time, the epoch fence on re-admission (a
+// stale beat from a previous life cannot resurrect a corpse), roster-hash
+// agreement between independent observers of one heartbeat stream, and
+// gossip-lite convergence of the same state machine run SPMD on the mesh
+// machine under virtual time.
+
+#include "svc/shard/membership.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "svc/shard/mesh_gossip.hpp"
+
+namespace {
+
+using wavehpc::svc::shard::FailureDetector;
+using wavehpc::svc::shard::MembershipConfig;
+using wavehpc::svc::shard::MeshGossipParams;
+using wavehpc::svc::shard::MeshGossipResult;
+using wavehpc::svc::shard::RosterTransition;
+using wavehpc::svc::shard::run_mesh_gossip;
+using wavehpc::svc::shard::ShardHealth;
+
+MembershipConfig fast_cfg() {
+    MembershipConfig cfg;
+    cfg.heartbeat_interval = 0.01;
+    cfg.suspect_after = 0.03;
+    cfg.dead_after = 0.09;
+    cfg.readmit_oks = 2;
+    return cfg;
+}
+
+TEST(FailureDetectorTest, RejectsInvalidConfigs) {
+    EXPECT_THROW(FailureDetector(0, fast_cfg()), std::invalid_argument);
+    MembershipConfig bad = fast_cfg();
+    bad.dead_after = bad.suspect_after / 2.0;  // dead before suspect
+    EXPECT_THROW(FailureDetector(2, bad), std::invalid_argument);
+}
+
+TEST(FailureDetectorTest, SilenceWalksAliveThroughSuspectToDead) {
+    FailureDetector fd(2, fast_cfg());
+    fd.observe(0, true, 0.0, 1);
+    fd.observe(1, true, 0.0, 1);
+    fd.sweep(0.02);  // inside suspect_after
+    EXPECT_EQ(fd.health(0), ShardHealth::Alive);
+
+    fd.observe(1, true, 0.04, 1);  // shard 1 keeps beating; shard 0 is silent
+    fd.sweep(0.04);
+    EXPECT_EQ(fd.health(0), ShardHealth::Suspect);
+    EXPECT_EQ(fd.health(1), ShardHealth::Alive);
+
+    fd.observe(1, true, 0.10, 1);
+    fd.sweep(0.10);
+    EXPECT_EQ(fd.health(0), ShardHealth::Dead);
+    EXPECT_EQ(fd.health(1), ShardHealth::Alive);
+    EXPECT_EQ(fd.alive_count(), 1U);
+}
+
+TEST(FailureDetectorTest, OkBeatRecoversASuspectWithoutEpochFence) {
+    FailureDetector fd(1, fast_cfg());
+    fd.observe(0, true, 0.0, 1);
+    fd.sweep(0.05);
+    ASSERT_EQ(fd.health(0), ShardHealth::Suspect);
+    fd.observe(0, true, 0.05, 1);  // same incarnation suffices pre-death
+    EXPECT_EQ(fd.health(0), ShardHealth::Alive);
+}
+
+TEST(FailureDetectorTest, StaleIncarnationCannotResurrectADeadShard) {
+    FailureDetector fd(1, fast_cfg());
+    fd.observe(0, true, 0.0, 3);
+    fd.sweep(0.10);
+    ASSERT_EQ(fd.health(0), ShardHealth::Dead);
+
+    // Beats from the dead life (same or older incarnation): ignored forever.
+    for (int i = 0; i < 10; ++i) {
+        fd.observe(0, true, 0.10 + 0.01 * i, 3);
+        fd.observe(0, true, 0.10 + 0.01 * i, 2);
+    }
+    EXPECT_EQ(fd.health(0), ShardHealth::Dead);
+
+    // A newer incarnation re-admits, but only after readmit_oks
+    // *consecutive* fresh beats.
+    fd.observe(0, true, 0.25, 4);
+    EXPECT_EQ(fd.health(0), ShardHealth::Dead);  // 1 of 2
+    fd.observe(0, true, 0.26, 4);
+    EXPECT_EQ(fd.health(0), ShardHealth::Alive);
+    EXPECT_EQ(fd.incarnation(0), 4U);
+}
+
+TEST(FailureDetectorTest, NewerIncarnationRestartsReadmissionProgress) {
+    MembershipConfig cfg = fast_cfg();
+    cfg.readmit_oks = 3;
+    FailureDetector fd(1, cfg);
+    fd.observe(0, true, 0.0, 1);
+    fd.sweep(0.10);
+    ASSERT_EQ(fd.health(0), ShardHealth::Dead);
+
+    fd.observe(0, true, 0.20, 2);
+    fd.observe(0, true, 0.21, 2);  // 2 of 3 toward incarnation 2
+    fd.observe(0, true, 0.22, 3);  // an even newer life appears: restart
+    EXPECT_EQ(fd.health(0), ShardHealth::Dead);
+    fd.observe(0, true, 0.23, 3);
+    fd.observe(0, true, 0.24, 3);
+    EXPECT_EQ(fd.health(0), ShardHealth::Alive);
+    EXPECT_EQ(fd.incarnation(0), 3U);
+}
+
+TEST(FailureDetectorTest, EpochIsMonotonicAndTransitionsDrainInOrder) {
+    FailureDetector fd(1, fast_cfg());
+    fd.observe(0, true, 0.0, 1);
+    EXPECT_EQ(fd.epoch(), 0U);
+    fd.sweep(0.04);   // -> Suspect
+    fd.sweep(0.10);   // -> Dead
+    fd.observe(0, true, 0.20, 2);
+    fd.observe(0, true, 0.21, 2);  // -> Alive
+    EXPECT_EQ(fd.epoch(), 3U);
+
+    const std::vector<RosterTransition> ts = fd.drain_transitions();
+    ASSERT_EQ(ts.size(), 3U);
+    EXPECT_EQ(ts[0].to, ShardHealth::Suspect);
+    EXPECT_EQ(ts[1].to, ShardHealth::Dead);
+    EXPECT_EQ(ts[2].to, ShardHealth::Alive);
+    EXPECT_TRUE(fd.drain_transitions().empty());  // drained
+}
+
+TEST(FailureDetectorTest, IndependentObserversOfOneStreamAgreeOnRosterHash) {
+    FailureDetector a(3, fast_cfg());
+    FailureDetector b(3, fast_cfg());
+    const auto feed = [](FailureDetector& fd) {
+        for (int step = 0; step < 20; ++step) {
+            const double now = 0.01 * step;
+            fd.observe(0, true, now, 1);
+            if (step < 5) fd.observe(1, true, now, 1);  // shard 1 dies early
+            fd.observe(2, true, now, 1);
+            fd.sweep(now);
+        }
+    };
+    feed(a);
+    feed(b);
+    EXPECT_EQ(a.roster_hash(), b.roster_hash());
+    EXPECT_EQ(a.health(1), ShardHealth::Dead);
+
+    // And the hash actually distinguishes different views.
+    b.observe(1, true, 0.30, 2);
+    b.observe(1, true, 0.31, 2);
+    EXPECT_NE(a.roster_hash(), b.roster_hash());
+}
+
+// The same detector as an SPMD gossip program over the mesh machine's
+// virtual clock: fail-stop two ranks mid-run; every survivor must end on
+// one roster hash with exactly the dead ranks marked Dead — under several
+// engine schedule seeds, since agreement may not depend on message order.
+TEST(MeshGossipTest, SurvivorsConvergeOnOneRosterUnderAnySchedule) {
+    for (const std::uint64_t schedule_seed : {0ULL, 1ULL, 1996ULL}) {
+        MeshGossipParams p;
+        p.ranks = 6;
+        p.run_seconds = 1.0;
+        p.membership = fast_cfg();
+        p.fail_at = {{1, 0.25}, {4, 0.40}};
+        p.schedule_seed = schedule_seed;
+
+        const MeshGossipResult r = run_mesh_gossip(p);
+        ASSERT_EQ(r.views.size(), 6U);
+        EXPECT_TRUE(r.converged) << "schedule seed " << schedule_seed;
+        EXPECT_TRUE(r.views[1].fail_stopped);
+        EXPECT_TRUE(r.views[4].fail_stopped);
+        for (std::size_t rank = 0; rank < r.views.size(); ++rank) {
+            if (r.views[rank].fail_stopped) continue;
+            EXPECT_EQ(r.views[rank].roster_hash, r.survivor_roster_hash);
+            ASSERT_EQ(r.views[rank].health.size(), 6U);
+            EXPECT_EQ(r.views[rank].health[1], ShardHealth::Dead);
+            EXPECT_EQ(r.views[rank].health[4], ShardHealth::Dead);
+            EXPECT_EQ(r.views[rank].health[rank], ShardHealth::Alive);
+        }
+    }
+}
+
+TEST(MeshGossipTest, SameSeedReplaysBitIdentically) {
+    MeshGossipParams p;
+    p.ranks = 5;
+    p.run_seconds = 0.8;
+    p.membership = fast_cfg();
+    p.fail_at = {{2, 0.2}};
+    p.schedule_seed = 42;
+    const MeshGossipResult a = run_mesh_gossip(p);
+    const MeshGossipResult b = run_mesh_gossip(p);
+    ASSERT_EQ(a.views.size(), b.views.size());
+    EXPECT_EQ(a.makespan, b.makespan);
+    for (std::size_t r = 0; r < a.views.size(); ++r) {
+        EXPECT_EQ(a.views[r].roster_hash, b.views[r].roster_hash);
+        EXPECT_EQ(a.views[r].epoch, b.views[r].epoch);
+    }
+}
+
+}  // namespace

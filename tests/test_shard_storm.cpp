@@ -1,0 +1,257 @@
+// Concurrent storm against the sharded pyramid service. This binary is a
+// sanitizer target (the shard chaos CI job builds and runs it under TSan
+// across several WAVEHPC_CHAOS_SEED values): client threads hammer the
+// cluster through the consistent-hash router while the real monitor
+// thread replays a seeded ChaosPlan of shard kills, partitions, and
+// slowdowns. The claims: every accepted future resolves (value or honest
+// error — nothing stranded), no CRC escape ever reaches a client,
+// non-degraded replies stay bit-identical to the sequential reference,
+// and the cluster's books balance.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/dwt.hpp"
+#include "core/synthetic.hpp"
+#include "svc/shard/cluster.hpp"
+#include "testing/seeds.hpp"
+
+namespace {
+
+using wavehpc::core::BoundaryMode;
+using wavehpc::core::FilterPair;
+using wavehpc::core::ImageF;
+using wavehpc::core::Pyramid;
+using wavehpc::runtime::ThreadPool;
+using wavehpc::svc::Backend;
+using wavehpc::svc::ChaosPlan;
+using wavehpc::svc::TransformRequest;
+using wavehpc::svc::shard::ShardCluster;
+using wavehpc::svc::shard::ShardClusterConfig;
+using wavehpc::testing::SplitMix64;
+
+struct SceneEntry {
+    std::shared_ptr<const ImageF> image;
+    Pyramid reference;  // sequential ground truth for bit-identity checks
+};
+
+std::vector<SceneEntry> make_scenes(std::size_t count) {
+    std::vector<SceneEntry> scenes;
+    scenes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        SceneEntry e;
+        e.image = std::make_shared<const ImageF>(
+            wavehpc::core::landsat_tm_like(32, 32, 4000 + i));
+        e.reference = wavehpc::core::decompose(*e.image, FilterPair::daubechies(4),
+                                               1, BoundaryMode::Periodic);
+        scenes.push_back(std::move(e));
+    }
+    return scenes;
+}
+
+bool matches_reference(const Pyramid& got, const Pyramid& want) {
+    if (got.depth() != want.depth()) return false;
+    for (std::size_t k = 0; k < want.depth(); ++k) {
+        if (!(got.levels[k].lh == want.levels[k].lh) ||
+            !(got.levels[k].hl == want.levels[k].hl) ||
+            !(got.levels[k].hh == want.levels[k].hh)) {
+            return false;
+        }
+    }
+    return got.approx == want.approx;
+}
+
+// Clients race the monitor thread's chaos replay: shard 0 is killed and
+// revived twice, shard 1 takes a partition and a slowdown window. The
+// storm outlasts the last event so re-admission happens under load.
+TEST(ShardStorm, ClientsSurviveSeededKillPartitionSlowChaos) {
+    const std::uint64_t chaos_seed =
+        wavehpc::testing::env_seed("WAVEHPC_CHAOS_SEED", 5150);
+    const std::uint64_t base_seed =
+        wavehpc::testing::env_seed("WAVEHPC_FUZZ_SEED", 31);
+
+    ShardClusterConfig cfg;
+    cfg.shard_count = 3;
+    cfg.replicas = 2;
+    cfg.seed = chaos_seed;
+    cfg.membership.heartbeat_interval = 0.005;
+    cfg.membership.suspect_after = 0.015;
+    cfg.membership.dead_after = 0.030;
+    cfg.service.max_concurrency = 2;
+
+    ThreadPool pool(4);
+    ShardCluster cluster(pool, cfg);
+    cluster.set_chaos_plan(ChaosPlan::parse(
+        "shard_kill=0:60:120;0:300:120,"
+        "shard_partition=1:100:80,"
+        "shard_slow=1:250:100:5",
+        chaos_seed));
+
+    const auto scenes = make_scenes(8);
+    constexpr std::size_t kClients = 4;
+    constexpr std::size_t kPerClient = 60;
+
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> refused{0};
+    std::atomic<std::uint64_t> stranded{0};
+    std::atomic<std::uint64_t> crc_escapes{0};
+    std::atomic<std::uint64_t> mismatches{0};
+
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            SplitMix64 rng(wavehpc::testing::derive_seed(base_seed, c));
+            for (std::size_t i = 0; i < kPerClient; ++i) {
+                const std::size_t scene = rng.below(scenes.size());
+                TransformRequest req;
+                req.image = scenes[scene].image;
+                req.taps = 4;
+                req.levels = 1;
+                req.backend = Backend::Serial;
+                req.allow_degraded = rng.below(2) == 0;
+                auto sub = cluster.submit(req);
+                if (!sub.result.accepted) {
+                    ++refused;
+                    continue;
+                }
+                if (sub.result.future.wait_for(std::chrono::seconds(20)) !=
+                    std::future_status::ready) {
+                    ++stranded;
+                    continue;
+                }
+                try {
+                    const auto reply = sub.result.future.get();
+                    ++delivered;
+                    if (!wavehpc::svc::audit_result(*reply.result)) ++crc_escapes;
+                    if (!reply.degraded &&
+                        !matches_reference(reply.result->pyramid,
+                                           scenes[scene].reference)) {
+                        ++mismatches;
+                    }
+                } catch (const std::exception&) {
+                    ++failed;  // honest error (shard died under it, ...)
+                }
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    static_cast<int>(rng.below(4))));
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+
+    // Let the roster settle (final revival is at t=420 ms on the cluster
+    // clock), then read the books.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const auto cc = cluster.counters();
+    cluster.shutdown();
+
+    EXPECT_EQ(stranded.load(), 0U);
+    EXPECT_EQ(crc_escapes.load(), 0U);
+    EXPECT_EQ(mismatches.load(), 0U);
+    EXPECT_EQ(delivered.load() + failed.load() + refused.load(),
+              kClients * kPerClient);
+    EXPECT_EQ(cc.routed, kClients * kPerClient);
+    EXPECT_EQ(cc.accepted + cc.rejected, cc.routed);
+    // Most of the storm must get through: failovers and degraded replies
+    // exist precisely so one shard's chaos does not take the fleet down.
+    EXPECT_GE(delivered.load(), (kClients * kPerClient) * 7 / 10);
+    std::printf("shard storm: delivered=%llu failed=%llu refused=%llu "
+                "failovers=%llu roster_skips=%llu stale_epoch=%llu "
+                "kills=%llu revivals=%llu deaths=%llu readmissions=%llu\n",
+                static_cast<unsigned long long>(delivered.load()),
+                static_cast<unsigned long long>(failed.load()),
+                static_cast<unsigned long long>(refused.load()),
+                static_cast<unsigned long long>(cc.failovers),
+                static_cast<unsigned long long>(cc.roster_skips),
+                static_cast<unsigned long long>(cc.stale_epoch_refusals),
+                static_cast<unsigned long long>(cc.kills),
+                static_cast<unsigned long long>(cc.revivals),
+                static_cast<unsigned long long>(cc.deaths),
+                static_cast<unsigned long long>(cc.readmissions));
+}
+
+// Kill/revive churn from the test seam while clients stream: the
+// transport, the drain path, and the epoch fence all race real traffic.
+// TSan is the primary audience; the functional claim is only "books
+// balance, nothing stranded, no escape".
+TEST(ShardStorm, ManualKillReviveChurnUnderLoad) {
+    const std::uint64_t base_seed =
+        wavehpc::testing::env_seed("WAVEHPC_FUZZ_SEED", 77);
+
+    ShardClusterConfig cfg;
+    cfg.shard_count = 2;
+    cfg.replicas = 2;
+    cfg.membership.heartbeat_interval = 0.005;
+    cfg.membership.suspect_after = 0.015;
+    cfg.membership.dead_after = 0.030;
+
+    ThreadPool pool(4);
+    ShardCluster cluster(pool, cfg);
+    const auto scenes = make_scenes(4);
+
+    std::atomic<bool> stop{false};
+    std::thread churn([&] {
+        SplitMix64 rng(wavehpc::testing::derive_seed(base_seed, 99));
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t victim = rng.below(2);
+            cluster.kill(victim);
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<int>(5 + rng.below(20))));
+            cluster.revive(victim);
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<int>(10 + rng.below(20))));
+        }
+    });
+
+    std::atomic<std::uint64_t> resolved{0};
+    std::atomic<std::uint64_t> stranded{0};
+    std::atomic<std::uint64_t> escapes{0};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < 3; ++c) {
+        clients.emplace_back([&, c] {
+            SplitMix64 rng(wavehpc::testing::derive_seed(base_seed, c));
+            for (std::size_t i = 0; i < 50; ++i) {
+                TransformRequest req;
+                req.image = scenes[rng.below(scenes.size())].image;
+                req.taps = 4;
+                req.levels = 1;
+                req.backend = Backend::Serial;
+                req.allow_degraded = true;
+                auto sub = cluster.submit(req);
+                if (!sub.result.accepted) {
+                    ++resolved;
+                    continue;
+                }
+                if (sub.result.future.wait_for(std::chrono::seconds(20)) !=
+                    std::future_status::ready) {
+                    ++stranded;
+                    continue;
+                }
+                try {
+                    const auto reply = sub.result.future.get();
+                    if (!wavehpc::svc::audit_result(*reply.result)) ++escapes;
+                } catch (const std::exception&) {
+                }
+                ++resolved;
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    stop.store(true);
+    churn.join();
+    cluster.shutdown();
+
+    EXPECT_EQ(stranded.load(), 0U);
+    EXPECT_EQ(escapes.load(), 0U);
+    EXPECT_EQ(resolved.load(), 3U * 50U);
+}
+
+}  // namespace

@@ -288,4 +288,47 @@ TEST(ServiceCacheTest, SingleFlightSharesOneComputeAcrossWaiters) {
     service.shutdown();
 }
 
+// Fleet aggregation across shards: every field adds, including the
+// resident gauges (the merged totals are fleet totals).
+TEST(CacheStatsTest, MergeAddsEveryField) {
+    wavehpc::svc::CacheStats a;
+    a.hits = 1;
+    a.misses = 2;
+    a.insertions = 3;
+    a.rejected_oversize = 4;
+    a.evictions = 5;
+    a.evicted_bytes = 6;
+    a.audit_failures = 7;
+    a.variant_hits = 8;
+    a.bytes_in_use = 9;
+    a.entries = 10;
+    a.byte_budget = 11;
+    wavehpc::svc::CacheStats b;
+    b.hits = 100;
+    b.misses = 200;
+    b.insertions = 300;
+    b.rejected_oversize = 400;
+    b.evictions = 500;
+    b.evicted_bytes = 600;
+    b.audit_failures = 700;
+    b.variant_hits = 800;
+    b.bytes_in_use = 900;
+    b.entries = 1000;
+    b.byte_budget = 1100;
+
+    a.merge(b);
+    EXPECT_EQ(a.hits, 101U);
+    EXPECT_EQ(a.misses, 202U);
+    EXPECT_EQ(a.insertions, 303U);
+    EXPECT_EQ(a.rejected_oversize, 404U);
+    EXPECT_EQ(a.evictions, 505U);
+    EXPECT_EQ(a.evicted_bytes, 606U);
+    EXPECT_EQ(a.audit_failures, 707U);
+    EXPECT_EQ(a.variant_hits, 808U);
+    EXPECT_EQ(a.bytes_in_use, 909U);
+    EXPECT_EQ(a.entries, 1010U);
+    EXPECT_EQ(a.byte_budget, 1111U);
+    EXPECT_DOUBLE_EQ(a.hit_rate(), 101.0 / (101.0 + 202.0));
+}
+
 }  // namespace

@@ -118,6 +118,55 @@ TEST(ChaosPlan, MalformedSpecThrows) {
                  std::invalid_argument);
 }
 
+TEST(ChaosPlan, ParsesShardEventsSortedByStartTime) {
+    const auto plan = ChaosPlan::parse(
+        "stall=0.5,shard_kill=2:400:150;0:100:50,"
+        "shard_partition=1:200:80,shard_slow=3:50:500:25",
+        9);
+    ASSERT_EQ(plan.shard_events.size(), 4U);
+    // stable_sort by start: slow@50, kill@100, partition@200, kill@400.
+    EXPECT_EQ(plan.shard_events[0].kind, wavehpc::svc::ShardEventKind::Slow);
+    EXPECT_EQ(plan.shard_events[0].shard, 3U);
+    EXPECT_DOUBLE_EQ(plan.shard_events[0].start_seconds, 0.050);
+    EXPECT_DOUBLE_EQ(plan.shard_events[0].duration_seconds, 0.500);
+    EXPECT_DOUBLE_EQ(plan.shard_events[0].stall_seconds, 0.025);
+
+    EXPECT_EQ(plan.shard_events[1].kind, wavehpc::svc::ShardEventKind::Kill);
+    EXPECT_EQ(plan.shard_events[1].shard, 0U);
+    EXPECT_DOUBLE_EQ(plan.shard_events[1].start_seconds, 0.100);
+
+    EXPECT_EQ(plan.shard_events[2].kind,
+              wavehpc::svc::ShardEventKind::Partition);
+    EXPECT_EQ(plan.shard_events[2].shard, 1U);
+
+    EXPECT_EQ(plan.shard_events[3].kind, wavehpc::svc::ShardEventKind::Kill);
+    EXPECT_EQ(plan.shard_events[3].shard, 2U);
+    EXPECT_DOUBLE_EQ(plan.shard_events[3].start_seconds, 0.400);
+    EXPECT_DOUBLE_EQ(plan.shard_events[3].duration_seconds, 0.150);
+}
+
+TEST(ChaosPlan, ShardEventsAloneEnableThePlanAndDefaultSlowStall) {
+    const auto plan = ChaosPlan::parse("shard_slow=0:0:100", 1);
+    EXPECT_TRUE(plan.enabled());
+    ASSERT_EQ(plan.shard_events.size(), 1U);
+    EXPECT_DOUBLE_EQ(plan.shard_events[0].stall_seconds, 0.010);  // default
+    // The in-service engine draws nothing from shard events.
+    EXPECT_DOUBLE_EQ(plan.compute_error_probability, 0.0);
+}
+
+TEST(ChaosPlan, MalformedShardEventsThrow) {
+    EXPECT_THROW((void)ChaosPlan::parse("shard_kill=1:100", 1),
+                 std::invalid_argument);  // missing duration
+    EXPECT_THROW((void)ChaosPlan::parse("shard_kill=1:100:50:9", 1),
+                 std::invalid_argument);  // stall field is slow-only
+    EXPECT_THROW((void)ChaosPlan::parse("shard_kill=x:100:50", 1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)ChaosPlan::parse("shard_kill=", 1),
+                 std::invalid_argument);
+    EXPECT_THROW((void)ChaosPlan::parse("shard_slow=0:0:100:nope", 1),
+                 std::invalid_argument);
+}
+
 TEST(ChaosPlan, DecisionsAreDeterministicPerSeedAndIndex) {
     const auto plan = ChaosPlan::parse("compute=0.3,corrupt=0.3,stall=0.3", 7);
     const auto replay = ChaosPlan::parse("compute=0.3,corrupt=0.3,stall=0.3", 7);

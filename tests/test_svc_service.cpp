@@ -235,4 +235,106 @@ TEST(ServiceLifetime, DestructorDrains) {
     EXPECT_NE(future.get().result, nullptr);
 }
 
+// Fleet aggregation: ServiceCounters::merge adds every one of the 17
+// counters — a field silently dropped here would vanish from every fleet
+// dashboard, so each gets a distinct prime-ish value and an exact check.
+TEST(ServiceMetricsMerge, CountersMergeAddsEveryField) {
+    wavehpc::svc::ServiceCounters a;
+    a.submitted = 1;
+    a.accepted = 2;
+    a.rejected = 3;
+    a.cache_hits = 4;
+    a.dedup_joins = 5;
+    a.computes = 6;
+    a.completed = 7;
+    a.deadline_failures = 8;
+    a.shutdown_failures = 9;
+    a.compute_failures = 10;
+    a.retries = 11;
+    a.watchdog_timeouts = 12;
+    a.quarantined = 13;
+    a.quarantine_rejects = 14;
+    a.breaker_rejects = 15;
+    a.degraded_replies = 16;
+    a.crc_audit_failures = 17;
+    wavehpc::svc::ServiceCounters b;
+    b.submitted = 100;
+    b.accepted = 200;
+    b.rejected = 300;
+    b.cache_hits = 400;
+    b.dedup_joins = 500;
+    b.computes = 600;
+    b.completed = 700;
+    b.deadline_failures = 800;
+    b.shutdown_failures = 900;
+    b.compute_failures = 1000;
+    b.retries = 1100;
+    b.watchdog_timeouts = 1200;
+    b.quarantined = 1300;
+    b.quarantine_rejects = 1400;
+    b.breaker_rejects = 1500;
+    b.degraded_replies = 1600;
+    b.crc_audit_failures = 1700;
+
+    a.merge(b);
+    EXPECT_EQ(a.submitted, 101U);
+    EXPECT_EQ(a.accepted, 202U);
+    EXPECT_EQ(a.rejected, 303U);
+    EXPECT_EQ(a.cache_hits, 404U);
+    EXPECT_EQ(a.dedup_joins, 505U);
+    EXPECT_EQ(a.computes, 606U);
+    EXPECT_EQ(a.completed, 707U);
+    EXPECT_EQ(a.deadline_failures, 808U);
+    EXPECT_EQ(a.shutdown_failures, 909U);
+    EXPECT_EQ(a.compute_failures, 1010U);
+    EXPECT_EQ(a.retries, 1111U);
+    EXPECT_EQ(a.watchdog_timeouts, 1212U);
+    EXPECT_EQ(a.quarantined, 1313U);
+    EXPECT_EQ(a.quarantine_rejects, 1414U);
+    EXPECT_EQ(a.breaker_rejects, 1515U);
+    EXPECT_EQ(a.degraded_replies, 1616U);
+    EXPECT_EQ(a.crc_audit_failures, 1717U);
+}
+
+// MetricsSnapshot::merge must behave as if one service had seen both
+// streams: counters and gauges add, and the merged histograms report the
+// same count and quantiles as a reference histogram fed both sets.
+TEST(ServiceMetricsMerge, SnapshotMergeMatchesSingleObserver) {
+    wavehpc::svc::MetricsSnapshot a;
+    wavehpc::svc::MetricsSnapshot b;
+    wavehpc::perf::LatencyHistogram reference;
+    for (int i = 1; i <= 50; ++i) {
+        const double fast = 0.001 * i;   // 1..50 ms into shard a
+        const double slow = 0.010 * i;   // 10..500 ms into shard b
+        a.total.record(fast);
+        b.total.record(slow);
+        reference.record(fast);
+        reference.record(slow);
+    }
+    a.counters.completed = 50;
+    b.counters.completed = 50;
+    a.queue_depth = 3;
+    b.queue_depth = 4;
+    a.backoff_depth = 1;
+    b.backoff_depth = 2;
+    a.running = 2;
+    b.running = 5;
+    a.queued_bytes = 1024;
+    b.queued_bytes = 4096;
+    a.outcome[0].record(0.002);
+    b.outcome[0].record(0.020);
+
+    a.merge(b);
+    EXPECT_EQ(a.counters.completed, 100U);
+    EXPECT_EQ(a.queue_depth, 7U);
+    EXPECT_EQ(a.backoff_depth, 3U);
+    EXPECT_EQ(a.running, 7U);
+    EXPECT_EQ(a.queued_bytes, 5120U);
+    EXPECT_EQ(a.outcome[0].count(), 2U);
+    ASSERT_EQ(a.total.count(), reference.count());
+    for (const double q : {0.10, 0.50, 0.90, 0.99}) {
+        EXPECT_DOUBLE_EQ(a.total.quantile(q), reference.quantile(q));
+    }
+}
+
 }  // namespace
