@@ -90,6 +90,43 @@ Pyramid decompose(const ImageF& img, const FilterPair& fp, int levels, BoundaryM
     return pyr;
 }
 
+Pyramid decompose(const ImageF& img, const FilterPair& fp, int levels,
+                  BoundaryMode mode, DwtKernel kernel, FloatBufferSource& buffers) {
+    validate_decomposition_request(img.rows(), img.cols(), levels);
+    kernel = resolve_dwt_kernel(kernel, fp);  // resolve once for all levels
+    // Only the convolve column pass accumulates into its outputs; the
+    // lifting/haar column planes and every row pass write each element, so
+    // their buffers can be handed out dirty.
+    const bool zero_cols = kernel == DwtKernel::Convolve;
+    Pyramid pyr;
+    pyr.levels.reserve(static_cast<std::size_t>(levels));
+    ImageF current;  // empty at level 0: the input is read in place
+    for (int k = 0; k < levels; ++k) {
+        const ImageF& in = k == 0 ? img : current;
+        const std::size_t rows = in.rows();
+        const std::size_t half_r = rows / 2;
+        const std::size_t half_c = in.cols() / 2;
+        ImageF low_rows = obtain_image(buffers, rows, half_c, false);
+        ImageF high_rows = obtain_image(buffers, rows, half_c, false);
+        analyze_rows_range(in, fp, low_rows, high_rows, mode, kernel, 0, rows);
+        if (k > 0) buffers.recycle(current.release_data());
+
+        ImageF ll = obtain_image(buffers, half_r, half_c, zero_cols);
+        DetailBands d;
+        d.lh = obtain_image(buffers, half_r, half_c, zero_cols);
+        d.hl = obtain_image(buffers, half_r, half_c, zero_cols);
+        d.hh = obtain_image(buffers, half_r, half_c, zero_cols);
+        analyze_cols_range(low_rows, high_rows, fp, ll, d.lh, d.hl, d.hh, mode,
+                           kernel, 0, half_r);
+        buffers.recycle(low_rows.release_data());
+        buffers.recycle(high_rows.release_data());
+        pyr.levels.push_back(std::move(d));
+        current = std::move(ll);
+    }
+    pyr.approx = std::move(current);
+    return pyr;
+}
+
 ImageF reconstruct(const Pyramid& pyr, const FilterPair& fp, BoundaryMode mode) {
     if (pyr.depth() == 0) {
         throw std::invalid_argument("reconstruct: empty pyramid");

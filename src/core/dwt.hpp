@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/boundary.hpp"
+#include "core/buffers.hpp"
 #include "core/convolve.hpp"
 #include "core/filters.hpp"
 #include "core/image.hpp"
@@ -53,6 +54,16 @@ struct Pyramid {
 [[nodiscard]] Pyramid decompose(const ImageF& img, const FilterPair& fp, int levels,
                                 BoundaryMode mode = BoundaryMode::Periodic,
                                 DwtKernel kernel = DwtKernel::Auto);
+
+/// Buffer-source variant: every scratch and subband buffer comes from
+/// `buffers` (core/buffers.hpp) and transient intermediates are recycled
+/// back into it, so a pooling source (svc::BufferArena) makes the warm
+/// path allocation-free. Reads `img` in place at level 0 (no working
+/// copy). Bit-identical to decompose(): same kernel-layer calls over the
+/// same full ranges.
+[[nodiscard]] Pyramid decompose(const ImageF& img, const FilterPair& fp, int levels,
+                                BoundaryMode mode, DwtKernel kernel,
+                                FloatBufferSource& buffers);
 
 /// Full reconstruction (figure 2). Pass the mode used for analysis; the
 /// inverse is exact (up to float rounding) for Periodic, and edge-consistent

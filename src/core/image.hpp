@@ -92,6 +92,16 @@ public:
         return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
     }
 
+    /// Move the pixel storage out (capacity preserved), leaving an empty
+    /// 0x0 image. This is the buffer-recycling hand-off: a pooling
+    /// FloatBufferSource classifies the returned vector by capacity, so
+    /// pyramids built from pooled slabs give their slabs back intact.
+    [[nodiscard]] std::vector<T> release_data() noexcept {
+        rows_ = 0;
+        cols_ = 0;
+        return std::move(data_);
+    }
+
 private:
     void bounds_check(std::size_t r, std::size_t c) const {
         if (r >= rows_ || c >= cols_) {

@@ -129,6 +129,24 @@ void ThreadPool::enqueue(Task task, TaskPriority priority) {
     cv_task_.notify_one();
 }
 
+void ThreadPool::enqueue_bulk(std::vector<Task>& tasks, TaskPriority priority) {
+    if (tasks.empty()) return;
+    {
+        std::lock_guard lk(mu_);
+        assert(!stopping_ && "ThreadPool: submit after stop");
+        if (stopping_) {
+            throw std::logic_error(
+                "ThreadPool: submit on a stopping pool (task would be dropped)");
+        }
+        std::deque<Task>& q = priority == TaskPriority::High ? high_queue_ : queue_;
+        for (Task& t : tasks) q.push_back(std::move(t));
+        queue_high_water_ = std::max<std::uint64_t>(
+            queue_high_water_, queue_.size() + high_queue_.size());
+    }
+    tasks.clear();
+    cv_task_.notify_all();
+}
+
 void ThreadPool::submit(std::function<void()> task, TaskPriority priority) {
     enqueue(Task{std::move(task), nullptr}, priority);
 }
@@ -203,23 +221,23 @@ void ThreadPool::parallel_for(std::size_t first, std::size_t last,
 
     TaskGroup& group = acquire_group();
     group.add(parts);
-    std::size_t enqueued = 0;
+    // Stage every chunk, then queue them all under one lock + one notify
+    // (enqueue_bulk) — per-chunk round-trips dominated dispatch cost for
+    // short sweeps, and batched flights multiply the chunk count.
+    std::vector<Task> chunks;
+    chunks.reserve(parts);
+    for (std::size_t p = 0; p < parts; ++p) {
+        const std::size_t chunk_first = first + n * p / parts;
+        const std::size_t chunk_last = first + n * (p + 1) / parts;
+        chunks.push_back(Task{
+            [&fn, chunk_first, chunk_last] { fn(chunk_first, chunk_last); }, &group});
+    }
     try {
-        for (std::size_t p = 0; p < parts; ++p) {
-            const std::size_t chunk_first = first + n * p / parts;
-            const std::size_t chunk_last = first + n * (p + 1) / parts;
-            enqueue(Task{[&fn, chunk_first, chunk_last] { fn(chunk_first, chunk_last); },
-                         &group});
-            ++enqueued;
-        }
+        enqueue_bulk(chunks);
     } catch (...) {
-        // enqueue refused (pool stopping): balance the latch for the chunks
-        // that never made it in, join what did, and hand the group back.
-        for (std::size_t p = enqueued; p < parts; ++p) group.complete(nullptr);
-        try {
-            wait(group);
-        } catch (...) {  // NOLINT(bugprone-empty-catch)
-        }
+        // Refused (pool stopping): nothing was enqueued — balance the whole
+        // latch and hand the group back.
+        for (std::size_t p = 0; p < parts; ++p) group.complete(nullptr);
         release_group(group);
         throw;
     }
@@ -251,25 +269,24 @@ void ThreadPool::parallel_for_2d(
 
     TaskGroup& group = acquire_group();
     group.add(row_parts * col_parts);
-    std::size_t enqueued = 0;
+    std::vector<Task> tiles;
+    tiles.reserve(row_parts * col_parts);
+    for (std::size_t i = 0; i < row_parts; ++i) {
+        const std::size_t rb = row_first + nr * i / row_parts;
+        const std::size_t re = row_first + nr * (i + 1) / row_parts;
+        for (std::size_t j = 0; j < col_parts; ++j) {
+            const std::size_t cb = col_first + nc * j / col_parts;
+            const std::size_t ce = col_first + nc * (j + 1) / col_parts;
+            tiles.push_back(Task{[&fn, rb, re, cb, ce] { fn(rb, re, cb, ce); }, &group});
+        }
+    }
     try {
-        for (std::size_t i = 0; i < row_parts; ++i) {
-            const std::size_t rb = row_first + nr * i / row_parts;
-            const std::size_t re = row_first + nr * (i + 1) / row_parts;
-            for (std::size_t j = 0; j < col_parts; ++j) {
-                const std::size_t cb = col_first + nc * j / col_parts;
-                const std::size_t ce = col_first + nc * (j + 1) / col_parts;
-                enqueue(Task{[&fn, rb, re, cb, ce] { fn(rb, re, cb, ce); }, &group});
-                ++enqueued;
-            }
-        }
+        enqueue_bulk(tiles);
     } catch (...) {
-        for (std::size_t p = enqueued; p < row_parts * col_parts; ++p) {
+        // Refused (pool stopping): nothing was enqueued — balance the whole
+        // latch and hand the group back.
+        for (std::size_t p = 0; p < row_parts * col_parts; ++p) {
             group.complete(nullptr);
-        }
-        try {
-            wait(group);
-        } catch (...) {  // NOLINT(bugprone-empty-catch)
         }
         release_group(group);
         throw;

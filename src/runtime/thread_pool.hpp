@@ -133,6 +133,12 @@ private:
     void run_task(Task& task);
     bool try_help_one();  ///< steal one queued task; false if queues empty
     void enqueue(Task task, TaskPriority priority = TaskPriority::Normal);
+    /// Queue every task under ONE lock acquisition and one notify_all —
+    /// the parallel_for dispatch path (ISSUE 8): a W-chunk sweep used to
+    /// pay W lock/notify round-trips per level. All-or-nothing: throws
+    /// (pool stopping) with no task enqueued. `tasks` is consumed.
+    void enqueue_bulk(std::vector<Task>& tasks,
+                      TaskPriority priority = TaskPriority::Normal);
     bool queues_empty() const { return queue_.empty() && high_queue_.empty(); }
     Task pop_task();  ///< callers must hold mu_ and ensure !queues_empty()
 

@@ -21,6 +21,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "core/boundary.hpp"
 #include "core/image.hpp"
@@ -56,6 +59,13 @@ struct CacheKeyHash {
 /// 128-bit content digest of the raw pixel bytes.
 void content_digest(const core::ImageF& img, std::uint64_t& lo, std::uint64_t& hi);
 
+/// Assemble a key from an already-computed digest (no pixel pass).
+[[nodiscard]] CacheKey assemble_cache_key(std::uint64_t digest_lo,
+                                          std::uint64_t digest_hi,
+                                          const core::ImageF& img, int taps,
+                                          int levels, core::BoundaryMode boundary,
+                                          core::DwtKernel kernel);
+
 /// Assemble the full key for a transform request. Cost is one linear pass
 /// over the pixels; callers hash outside any service lock. `kernel` must
 /// be resolved (Convolve or Lifting, not Auto); the default matches the
@@ -63,5 +73,43 @@ void content_digest(const core::ImageF& img, std::uint64_t& lo, std::uint64_t& h
 [[nodiscard]] CacheKey make_cache_key(const core::ImageF& img, int taps, int levels,
                                       core::BoundaryMode boundary,
                                       core::DwtKernel kernel = core::DwtKernel::Convolve);
+
+/// Memoized content digests for resubmitted scenes (ISSUE 8).
+///
+/// A browse workload re-sends the same shared_ptr'd image over and over,
+/// and at service rates the linear digest pass is the dominant fixed cost
+/// on the warm hot path (a 256x256 scene is a ~130 us hash against a
+/// sub-microsecond cache lookup). The memo keys entries by object
+/// address but is ABA-safe: each entry co-stores a weak_ptr, and a lookup
+/// only trusts the stored digest if locking that weak_ptr yields the very
+/// pointer being queried. An address recycled after free shows an expired
+/// (or different) control block and falls through to an honest recompute,
+/// so a stale digest can never alias a new image. Thread-safe; the pixel
+/// pass itself always runs outside the lock.
+class DigestMemo {
+public:
+    explicit DigestMemo(std::size_t capacity = 256);
+
+    /// Digest of *img, served from the memo when the same live object was
+    /// hashed before.
+    void digest(const std::shared_ptr<const core::ImageF>& img,
+                std::uint64_t& lo, std::uint64_t& hi);
+
+    [[nodiscard]] std::uint64_t hits() const;
+    [[nodiscard]] std::uint64_t misses() const;
+
+private:
+    struct Entry {
+        std::weak_ptr<const core::ImageF> ref;
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+    };
+
+    mutable std::mutex mu_;
+    std::unordered_map<const core::ImageF*, Entry> map_;
+    std::size_t capacity_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
 
 }  // namespace wavehpc::svc

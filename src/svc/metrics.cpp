@@ -24,6 +24,11 @@ void ServiceCounters::merge(const ServiceCounters& o) noexcept {
     breaker_rejects += o.breaker_rejects;
     degraded_replies += o.degraded_replies;
     crc_audit_failures += o.crc_audit_failures;
+    batches += o.batches;
+    batched_requests += o.batched_requests;
+    arena_hits += o.arena_hits;
+    arena_misses += o.arena_misses;
+    heap_fallbacks += o.heap_fallbacks;
 }
 
 void MetricsSnapshot::merge(const MetricsSnapshot& o) {
@@ -61,6 +66,17 @@ void print_service_metrics(std::ostream& os, const std::string& label,
        << c.watchdog_timeouts << " queue_depth=" << m.queue_depth
        << " backoff_depth=" << m.backoff_depth << " running=" << m.running
        << " queued_bytes=" << m.queued_bytes << "\n";
+    if (c.batches > 0) {
+        const double avg = c.batches == 0
+                               ? 0.0
+                               : static_cast<double>(c.computes) /
+                                     static_cast<double>(c.batches);
+        os << label << " batching: batches=" << c.batches
+           << " batched_requests=" << c.batched_requests
+           << " avg_batch=" << avg << " arena(hits/misses/heap_fallbacks)="
+           << c.arena_hits << "/" << c.arena_misses << "/" << c.heap_fallbacks
+           << "\n";
+    }
     if (c.retries + c.quarantined + c.quarantine_rejects + c.breaker_rejects +
             c.degraded_replies + c.crc_audit_failures >
         0) {

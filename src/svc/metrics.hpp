@@ -39,6 +39,12 @@ struct ServiceCounters {
     std::uint64_t breaker_rejects = 0;    ///< fast-rejected while a breaker was open
     std::uint64_t degraded_replies = 0;   ///< served a cached same-scene variant
     std::uint64_t crc_audit_failures = 0; ///< corrupted result buffers caught
+    // --- batching + arena (ISSUE 8) ---
+    std::uint64_t batches = 0;            ///< fused sweeps dispatched (size >= 1)
+    std::uint64_t batched_requests = 0;   ///< flights that shared a sweep (batch > 1)
+    std::uint64_t arena_hits = 0;         ///< slab checkouts served from the pool
+    std::uint64_t arena_misses = 0;       ///< slab checkouts that allocated
+    std::uint64_t heap_fallbacks = 0;     ///< oversize checkouts bypassing the pool
 
     /// Fold another service's counters into this one; the accounting
     /// identities above hold for the sum iff they hold per shard.

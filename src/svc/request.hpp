@@ -84,6 +84,10 @@ struct TransformReply {
     /// only possible when the request set `allow_degraded`.
     bool degraded = false;
     std::uint32_t attempts = 1;   ///< compute attempts the flight needed (1 = no retry)
+    /// Flights fused into the sweep that computed this reply (1 = solo or
+    /// no compute happened — cache hit / degraded / joined flight shares
+    /// its lead's value).
+    std::uint32_t batch_size = 1;
     double queue_seconds = 0.0;   ///< submit -> compute start (0 for cache hit)
     double compute_seconds = 0.0; ///< transform time (0 unless this flight computed)
     double total_seconds = 0.0;   ///< submit -> reply

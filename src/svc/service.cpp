@@ -20,6 +20,16 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
     return std::max<std::uint64_t>(1, v);
 }
 
+/// Like env_u64 but zero is a meaningful value (batch window off).
+std::uint64_t env_u64_allow_zero(const char* name, std::uint64_t fallback) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0') return fallback;
+    return v;
+}
+
 double seconds_between(Clock::time_point a, Clock::time_point b) {
     return std::chrono::duration<double>(b - a).count();
 }
@@ -39,12 +49,18 @@ ServiceConfig ServiceConfig::from_env() {
         static_cast<std::size_t>(env_u64("WAVEHPC_SVC_CONCURRENCY", cfg.max_concurrency));
     cfg.cache_bytes = env_u64("WAVEHPC_SVC_CACHE_BYTES", cfg.cache_bytes);
     cfg.resilience = ResilienceConfig::from_env();
+    cfg.batch_max =
+        static_cast<std::size_t>(env_u64("WAVEHPC_SVC_BATCH_MAX", cfg.batch_max));
+    cfg.batch_window_us =
+        env_u64_allow_zero("WAVEHPC_SVC_BATCH_WINDOW_US", cfg.batch_window_us);
+    cfg.arena = ArenaConfig::from_env();
     return cfg;
 }
 
 PyramidService::PyramidService(runtime::ThreadPool& pool, ServiceConfig cfg)
     : pool_(pool),
       cfg_(cfg),
+      arena_(cfg.arena),
       cache_(cfg.cache_bytes),
       chaos_(ChaosPlan::from_env()),
       breakers_{CircuitBreaker(cfg.resilience.breaker),
@@ -80,10 +96,14 @@ SubmitResult PyramidService::submit(TransformRequest request) {
     request.kernel = core::resolve_dwt_kernel(request.kernel, fp);
 
     const auto submitted_at = Clock::now();
-    // Hash outside the lock: one linear pass over the pixels.
-    const CacheKey key = make_cache_key(*request.image, request.taps,
-                                        request.levels, request.boundary,
-                                        request.kernel);
+    // Digest outside the lock; the memo turns the linear pixel pass into
+    // a pointer lookup for scenes the service has seen alive before.
+    std::uint64_t digest_lo = 0;
+    std::uint64_t digest_hi = 0;
+    digest_memo_.digest(request.image, digest_lo, digest_hi);
+    const CacheKey key =
+        assemble_cache_key(digest_lo, digest_hi, *request.image, request.taps,
+                           request.levels, request.boundary, request.kernel);
     const auto image_bytes =
         static_cast<std::uint64_t>(request.image->size()) * sizeof(float);
 
@@ -274,46 +294,142 @@ void PyramidService::fail_flight_locked(Flight& flight,
     failures.push_back({std::move(flight.waiters), std::move(error), outcome, true});
 }
 
+bool PyramidService::batch_compatible(const Flight& a, const Flight& b) noexcept {
+    return a.priority == b.priority && a.deadline == b.deadline &&
+           a.request.backend == b.request.backend &&
+           a.request.taps == b.request.taps &&
+           a.request.levels == b.request.levels &&
+           a.request.boundary == b.request.boundary &&
+           a.request.kernel == b.request.kernel &&
+           a.request.image->rows() == b.request.image->rows() &&
+           a.request.image->cols() == b.request.image->cols();
+}
+
+void PyramidService::release_slot_locked(BatchSlot& slot) {
+    if (!slot.released) {
+        slot.released = true;
+        --running_;
+    }
+}
+
 void PyramidService::dispatch_ready(std::unique_lock<std::mutex>& lk,
                                     std::vector<FailureBatch>& failures) {
     (void)lk;  // documents the precondition: mu_ is held
     const auto now = Clock::now();
     while (running_ < cfg_.max_concurrency && !pending_.empty()) {
-        Flight* flight = *pending_.begin();
-        pending_.erase(pending_.begin());
-        if (flight->deadline < now) {
+        Flight* lead = *pending_.begin();
+        if (lead->deadline < now) {
             // Expired while queued: fail, never compute.
-            counters_.deadline_failures += flight->waiters.size();
+            pending_.erase(pending_.begin());
+            counters_.deadline_failures += lead->waiters.size();
             failures.push_back(
-                {std::move(flight->waiters),
+                {std::move(lead->waiters),
                  std::make_exception_ptr(DeadlineExpiredError{})});
-            remove_flight_locked(*flight);
+            remove_flight_locked(*lead);
             continue;
         }
-        flight->state = FlightState::Running;
+
+        // Batch planner: collect schedule-equivalent followers in pending
+        // order. Because batch_compatible requires identical (priority,
+        // deadline), members are contiguous seq-tiebreak equals — the
+        // planner never lifts work over anything the order would have run
+        // first.
+        std::vector<Flight*> members{lead};
+        if (cfg_.batch_max > 1) {
+            for (auto it = std::next(pending_.begin());
+                 it != pending_.end() && members.size() < cfg_.batch_max; ++it) {
+                if (batch_compatible(*lead, **it)) members.push_back(*it);
+            }
+        }
+
+        // Optional hold: an underfull non-interactive batch may wait for
+        // company within the window, never past the lead's deadline.
+        if (cfg_.batch_window_us > 0 && members.size() < cfg_.batch_max &&
+            lead->priority != Priority::Interactive) {
+            const auto hold_until =
+                lead->admitted_at + std::chrono::microseconds(cfg_.batch_window_us);
+            if (now < hold_until && hold_until < lead->deadline) {
+                hold_wake_ = std::min(hold_wake_, hold_until);
+                cv_timer_.notify_one();
+                break;  // keep order: nothing behind the held lead dispatches
+            }
+        }
+
+        auto slot = std::make_shared<BatchSlot>();
+        slot->armed = members.size();
+        std::vector<std::shared_ptr<Flight>> batch;
+        batch.reserve(members.size());
+        for (Flight* f : members) {
+            pending_.erase(f);
+            f->state = FlightState::Running;
+            f->slot = slot;
+            batch.push_back(flights_.at(f->key));
+        }
         ++running_;
         ++inflight_computes_;
-        auto sp = flights_.at(flight->key);
-        const auto prio = flight->priority == Priority::Interactive
+        ++counters_.batches;
+        if (members.size() > 1) counters_.batched_requests += members.size();
+        const auto prio = lead->priority == Priority::Interactive
                               ? runtime::TaskPriority::High
                               : runtime::TaskPriority::Normal;
-        pool_.submit([this, sp = std::move(sp)] { run_flight(sp); }, prio);
+        pool_.submit([this, batch = std::move(batch)] { run_batch(batch); }, prio);
     }
 }
 
-void PyramidService::run_flight(const std::shared_ptr<Flight>& flight) {
+void PyramidService::run_batch(const std::vector<std::shared_ptr<Flight>>& batch) {
     const auto start = Clock::now();
+    const std::shared_ptr<BatchSlot> slot = batch.front()->slot;
     std::vector<FailureBatch> failures;
+
+    /// Per-member compute state carried across the phases.
+    struct Cell {
+        std::shared_ptr<Flight> flight;
+        ChaosDecision decision{};
+        std::shared_ptr<const TransformResult> result;
+        std::exception_ptr error;
+        bool crc_failed = false;
+    };
+    std::vector<Cell> live;
+    live.reserve(batch.size());
+
     {
+        // Phase 1 (locked): per-member deadline recheck + watchdog arming.
         std::unique_lock lk(mu_);
-        if (flight->deadline < start) {
-            // Expired between dispatch and a pool slot freeing up.
-            counters_.deadline_failures += flight->waiters.size();
-            failures.push_back(
-                {std::move(flight->waiters),
-                 std::make_exception_ptr(DeadlineExpiredError{})});
-            remove_flight_locked(*flight);
-            --running_;
+        for (const auto& flight : batch) {
+            if (flight->deadline < start) {
+                // Expired between dispatch and a pool slot freeing up.
+                counters_.deadline_failures += flight->waiters.size();
+                failures.push_back(
+                    {std::move(flight->waiters),
+                     std::make_exception_ptr(DeadlineExpiredError{})});
+                remove_flight_locked(*flight);
+                --slot->armed;
+                continue;
+            }
+            ++counters_.computes;
+            // Arm the watchdog for this attempt: the budget is the
+            // configured limit, tightened by whatever time the request
+            // deadline leaves.
+            double budget = cfg_.resilience.watchdog_seconds;
+            if (flight->deadline != Clock::time_point::max()) {
+                budget = budget > 0.0
+                             ? std::min(budget,
+                                        seconds_between(start, flight->deadline))
+                             : seconds_between(start, flight->deadline);
+            }
+            if (budget > 0.0) {
+                flight->watch_deadline =
+                    start + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(budget));
+                watch_.emplace(flight->watch_deadline, flight.get());
+                cv_timer_.notify_one();
+            } else {
+                flight->watch_deadline = Clock::time_point::max();
+            }
+            live.push_back(Cell{flight, {}, nullptr, nullptr, false});
+        }
+        if (live.empty()) {
+            release_slot_locked(*slot);
             --inflight_computes_;
             dispatch_ready(lk, failures);
             if (stopping_ && inflight_computes_ == 0) cv_drained_.notify_all();
@@ -321,155 +437,191 @@ void PyramidService::run_flight(const std::shared_ptr<Flight>& flight) {
             deliver_failures(failures);
             return;
         }
-        ++counters_.computes;
-        // Arm the watchdog for this attempt: the budget is the configured
-        // limit, tightened by whatever time the request deadline leaves.
-        double budget = cfg_.resilience.watchdog_seconds;
-        if (flight->deadline != Clock::time_point::max()) {
-            budget = budget > 0.0
-                         ? std::min(budget, seconds_between(start, flight->deadline))
-                         : seconds_between(start, flight->deadline);
-        }
-        if (budget > 0.0) {
-            flight->watch_deadline =
-                start + std::chrono::duration_cast<Clock::duration>(
-                            std::chrono::duration<double>(budget));
-            watch_.emplace(flight->watch_deadline, flight.get());
-            cv_timer_.notify_one();
-        } else {
-            flight->watch_deadline = Clock::time_point::max();
+    }
+
+    // Chaos decisions per member, drawn in batch (= admission) order
+    // outside the lock, so a fused batch consumes the deterministic
+    // decision stream exactly as per-flight dispatch would have.
+    for (Cell& cell : live) {
+        cell.decision = chaos_.next_compute_decision();
+        try {
+            chaos_.inject_before_compute(cell.decision);
+        } catch (...) {
+            // This member's injected pre-compute fault: it takes the
+            // retry path; the rest of the batch still computes.
+            cell.error = std::current_exception();
         }
     }
 
-    // Chaos decision for this attempt (no-op, all-zero decision when no
-    // plan is active); drawn outside the service lock.
-    const ChaosDecision chaos_decision = chaos_.next_compute_decision();
-
-    const TransformRequest& req = flight->request;
-    std::shared_ptr<TransformResult> result;
-    std::exception_ptr compute_error;
-    bool crc_failed = false;
-    try {
-        chaos_.inject_before_compute(chaos_decision);
-        const auto fp = core::FilterPair::daubechies(req.taps);
-        core::Pyramid pyr =
-            req.backend == Backend::Serial
-                ? core::decompose(*req.image, fp, req.levels, req.boundary,
-                                  req.kernel)
-                : wavelet::decompose_parallel(*req.image, fp, req.levels,
-                                              req.boundary, pool_, req.kernel);
-        auto owned = std::make_shared<TransformResult>();
-        owned->pyramid = std::move(pyr);
-        owned->key = flight->key;
-        owned->result_bytes = pyramid_bytes(owned->pyramid);
-        owned->compute_seconds = seconds_between(start, Clock::now());
-        // CRC point of truth, then the chaos corruption hook: an injected
-        // bit flip lands *after* the checksum, so the audit must catch it.
-        owned->crc32 = pyramid_crc32(owned->pyramid);
-        chaos_.corrupt_result(chaos_decision, owned->pyramid);
-        if (!audit_result(*owned)) {
-            crc_failed = true;
-            throw CrcAuditError{};
+    // Phase 2 (unlocked): ONE fused sweep for every member that survived
+    // injection. Per-member results are bit-identical to solo computes
+    // (decompose_batch contract); every buffer comes from the arena.
+    const TransformRequest& req0 = live.front().flight->request;
+    std::vector<const core::ImageF*> images;
+    std::vector<Cell*> computing;
+    for (Cell& cell : live) {
+        if (!cell.error) {
+            images.push_back(cell.flight->request.image.get());
+            computing.push_back(&cell);
         }
-        result = std::move(owned);
-    } catch (...) {
-        compute_error = std::current_exception();
+    }
+    if (!images.empty()) {
+        std::vector<core::Pyramid> pyrs;
+        std::exception_ptr sweep_error;
+        try {
+            const auto fp = core::FilterPair::daubechies(req0.taps);
+            pyrs = wavelet::decompose_batch(
+                images, fp, req0.levels, req0.boundary,
+                req0.backend == Backend::Serial ? nullptr : &pool_, req0.kernel,
+                &arena_);
+        } catch (...) {
+            sweep_error = std::current_exception();
+        }
+        const auto sweep_end = Clock::now();
+        const double sweep_seconds = seconds_between(start, sweep_end);
+        for (std::size_t i = 0; i < computing.size(); ++i) {
+            Cell& cell = *computing[i];
+            if (sweep_error) {
+                cell.error = sweep_error;
+                continue;
+            }
+            auto owned = std::make_unique<TransformResult>();
+            owned->pyramid = std::move(pyrs[i]);
+            owned->key = cell.flight->key;
+            owned->result_bytes = pyramid_bytes(owned->pyramid);
+            owned->compute_seconds = sweep_seconds;
+            // CRC point of truth, then the chaos corruption hook: an
+            // injected bit flip lands *after* the checksum, so the audit
+            // must catch it.
+            owned->crc32 = pyramid_crc32(owned->pyramid);
+            chaos_.corrupt_result(cell.decision, owned->pyramid);
+            if (!audit_result(*owned)) {
+                cell.crc_failed = true;
+                cell.error = std::make_exception_ptr(CrcAuditError{});
+                // The corrupted buffers still return to the pool: the
+                // retry obtains fresh slabs and overwrites every element.
+                arena_.recycle_pyramid(std::move(owned->pyramid));
+                continue;
+            }
+            // The lease: cache + waiters share it; the last release
+            // (typically cache eviction) recycles the slabs.
+            cell.result = arena_.adopt(std::move(owned));
+        }
     }
     const auto finish = Clock::now();
 
-    std::vector<Waiter> waiters;
-    std::uint32_t delivered_attempts = 1;
+    /// Successful members to fulfil once the lock is dropped.
+    struct Delivery {
+        std::vector<Waiter> waiters;
+        std::shared_ptr<const TransformResult> result;
+        std::uint32_t attempts = 1;
+    };
+    std::vector<Delivery> deliveries;
     {
+        // Phase 3 (locked): settle every member — the historical
+        // per-flight success/retry/quarantine logic, minus the slot
+        // bookkeeping, which happens once for the whole batch at the end.
         std::unique_lock lk(mu_);
-        erase_watch_locked(*flight);
-        if (crc_failed) ++counters_.crc_audit_failures;
+        bool ewma_updated = false;
+        for (Cell& cell : live) {
+            Flight& flight = *cell.flight;
+            erase_watch_locked(flight);
+            if (cell.crc_failed) ++counters_.crc_audit_failures;
 
-        if (flight->abandoned) {
-            // The watchdog already failed the waiters and released the
-            // slot; all that is left is salvage (cache a clean result so
-            // the work is not wasted) and the drain accounting.
-            if (result) cache_.insert(flight->key, result);
-            --inflight_computes_;
-            if (stopping_ && inflight_computes_ == 0) cv_drained_.notify_all();
-            return;
-        }
-
-        ++flight->attempts;
-        delivered_attempts = flight->attempts;
-        CircuitBreaker& breaker = breakers_[backend_index(req.backend)];
-
-        if (result) {
-            breaker.record_success(finish);
-            waiters = std::move(flight->waiters);  // includes joins during compute
-            remove_flight_locked(*flight);
-            --running_;
-            --inflight_computes_;
-            cache_.insert(flight->key, result);
-            const double compute_seconds = result->compute_seconds;
-            queue_wait_hist_.record(seconds_between(flight->admitted_at, start));
-            compute_hist_.record(compute_seconds);
-            ewma_compute_seconds_ = ewma_compute_seconds_ == 0.0
-                                        ? compute_seconds
-                                        : 0.8 * ewma_compute_seconds_ +
-                                              0.2 * compute_seconds;
-            counters_.completed += waiters.size();
-            const Outcome o =
-                delivered_attempts > 1 ? Outcome::Retried : Outcome::Ok;
-            for (const Waiter& w : waiters) {
-                const double total = seconds_between(w.submitted_at, finish);
-                total_hist_.record(total);
-                record_outcome_locked(o, total);
+            if (flight.abandoned) {
+                // The watchdog already failed the waiters (and the slot,
+                // once every member was abandoned); all that is left is
+                // salvage — cache a clean result so the work is not
+                // wasted.
+                if (cell.result) cache_.insert(flight.key, cell.result);
+                continue;
             }
-        } else {
-            breaker.record_failure(finish);
-            if (stopping_) {
-                // Draining: no retries; propagate the error so the drain
-                // finishes promptly.
-                counters_.compute_failures += flight->waiters.size();
-                failures.push_back({std::move(flight->waiters), compute_error});
-                remove_flight_locked(*flight);
-                --running_;
-                --inflight_computes_;
-            } else if (flight->attempts >= cfg_.resilience.retry.max_attempts) {
-                // Poison request: quarantine the fingerprint and fail
-                // permanently with the last attempt's error.
-                quarantine_.insert(flight->key);
-                counters_.compute_failures += flight->waiters.size();
-                counters_.quarantined += flight->waiters.size();
-                fail_flight_locked(*flight, failures, compute_error,
-                                   Outcome::Quarantined);
-                remove_flight_locked(*flight);
-                --running_;
-                --inflight_computes_;
+
+            ++flight.attempts;
+            CircuitBreaker& breaker =
+                breakers_[backend_index(flight.request.backend)];
+
+            if (cell.result) {
+                breaker.record_success(finish);
+                Delivery d;
+                d.waiters = std::move(flight.waiters);  // includes joins during compute
+                d.result = cell.result;
+                d.attempts = flight.attempts;
+                remove_flight_locked(flight);
+                cache_.insert(flight.key, cell.result);
+                const double compute_seconds = cell.result->compute_seconds;
+                queue_wait_hist_.record(seconds_between(flight.admitted_at, start));
+                compute_hist_.record(compute_seconds);
+                if (!ewma_updated) {
+                    // One smoothing step per sweep with the *per-request*
+                    // effective service time — the retry-after estimator
+                    // models throughput, which batching multiplies.
+                    const double per_request =
+                        compute_seconds / static_cast<double>(live.size());
+                    ewma_compute_seconds_ =
+                        ewma_compute_seconds_ == 0.0
+                            ? per_request
+                            : 0.8 * ewma_compute_seconds_ + 0.2 * per_request;
+                    ewma_updated = true;
+                }
+                counters_.completed += d.waiters.size();
+                const Outcome o =
+                    flight.attempts > 1 ? Outcome::Retried : Outcome::Ok;
+                for (const Waiter& w : d.waiters) {
+                    const double total = seconds_between(w.submitted_at, finish);
+                    total_hist_.record(total);
+                    record_outcome_locked(o, total);
+                }
+                deliveries.push_back(std::move(d));
             } else {
-                // Transient failure: release the slot and park the flight
-                // until its jittered backoff elapses (timer thread).
-                ++counters_.retries;
-                const double delay = cfg_.resilience.retry.backoff_seconds(
-                    flight->attempts,
-                    (flight->seq << 16) ^ flight->attempts);
-                flight->retry_at =
-                    finish + std::chrono::duration_cast<Clock::duration>(
-                                 std::chrono::duration<double>(delay));
-                flight->state = FlightState::Backoff;
-                backoff_.emplace(flight->retry_at, flight.get());
-                --running_;
-                --inflight_computes_;
-                cv_timer_.notify_one();
+                breaker.record_failure(finish);
+                if (stopping_) {
+                    // Draining: no retries; propagate the error so the
+                    // drain finishes promptly.
+                    counters_.compute_failures += flight.waiters.size();
+                    failures.push_back({std::move(flight.waiters), cell.error});
+                    remove_flight_locked(flight);
+                } else if (flight.attempts >= cfg_.resilience.retry.max_attempts) {
+                    // Poison request: quarantine the fingerprint and fail
+                    // permanently with the last attempt's error.
+                    quarantine_.insert(flight.key);
+                    counters_.compute_failures += flight.waiters.size();
+                    counters_.quarantined += flight.waiters.size();
+                    fail_flight_locked(flight, failures, cell.error,
+                                       Outcome::Quarantined);
+                    remove_flight_locked(flight);
+                } else {
+                    // Transient failure: park the flight until its jittered
+                    // backoff elapses (timer thread).
+                    ++counters_.retries;
+                    const double delay = cfg_.resilience.retry.backoff_seconds(
+                        flight.attempts, (flight.seq << 16) ^ flight.attempts);
+                    flight.retry_at =
+                        finish + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(delay));
+                    flight.state = FlightState::Backoff;
+                    backoff_.emplace(flight.retry_at, &flight);
+                    flight.slot.reset();
+                    cv_timer_.notify_one();
+                }
             }
         }
+        release_slot_locked(*slot);
+        --inflight_computes_;
         dispatch_ready(lk, failures);
         if (stopping_ && inflight_computes_ == 0) cv_drained_.notify_all();
     }
 
-    if (result) {
-        for (Waiter& w : waiters) {
+    const auto batch_size = static_cast<std::uint32_t>(live.size());
+    for (Delivery& d : deliveries) {
+        for (Waiter& w : d.waiters) {
             TransformReply reply;
-            reply.result = result;
+            reply.result = d.result;
             reply.shared_flight = w.joined;
-            reply.attempts = delivered_attempts;
+            reply.attempts = d.attempts;
+            reply.batch_size = batch_size;
             reply.queue_seconds = seconds_between(w.submitted_at, start);
-            reply.compute_seconds = result->compute_seconds;
+            reply.compute_seconds = d.result->compute_seconds;
             reply.total_seconds = seconds_between(w.submitted_at, finish);
             w.promise.set_value(std::move(reply));
         }
@@ -494,7 +646,8 @@ void PyramidService::timer_loop() {
         }
 
         // Watchdog deadlines that passed: fail the waiters, release the
-        // slot, and leave the still-running compute to salvage-finish.
+        // batch's slot once no armed member remains, and leave the
+        // still-running sweep to salvage-finish.
         while (!watch_.empty() && watch_.begin()->first <= now) {
             Flight* flight = watch_.begin()->second;
             watch_.erase(watch_.begin());
@@ -505,7 +658,15 @@ void PyramidService::timer_loop() {
                 {std::move(flight->waiters),
                  std::make_exception_ptr(WatchdogTimeoutError{})});
             remove_flight_locked(*flight);
-            --running_;
+            if (flight->slot && --flight->slot->armed == 0) {
+                release_slot_locked(*flight->slot);
+            }
+            changed = true;
+        }
+
+        // A batch-window hold elapsed: let dispatch_ready re-plan.
+        if (hold_wake_ <= now) {
+            hold_wake_ = Clock::time_point::max();
             changed = true;
         }
 
@@ -520,6 +681,7 @@ void PyramidService::timer_loop() {
         auto next = Clock::time_point::max();
         if (!backoff_.empty()) next = std::min(next, backoff_.begin()->first);
         if (!watch_.empty()) next = std::min(next, watch_.begin()->first);
+        next = std::min(next, hold_wake_);
         if (next == Clock::time_point::max()) {
             cv_timer_.wait(lk);
         } else {
@@ -582,6 +744,12 @@ MetricsSnapshot PyramidService::metrics() const {
     m.backoff_depth = backoff_.size();
     m.running = running_;
     m.queued_bytes = queued_bytes_;
+    // Arena counters live behind the arena's own mutex (mu_ -> arena.mu is
+    // the only order ever taken, so this nesting cannot deadlock).
+    const ArenaStats a = arena_.stats();
+    m.counters.arena_hits = a.hits;
+    m.counters.arena_misses = a.misses;
+    m.counters.heap_fallbacks = a.heap_fallbacks;
     return m;
 }
 

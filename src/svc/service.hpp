@@ -19,9 +19,14 @@
 //        │   over budget ──────────────────────────► degraded or reject
 //        │
 //        └── admit ► pending set ordered by (priority, deadline, seq)
-//                       │ dispatched when a concurrency slot frees,
-//                       ▼ onto the shared runtime pool
-//                    run_flight ── watchdog armed for the attempt
+//                       │ dispatched when a concurrency slot frees; the
+//                       │ batch planner (ISSUE 8) coalesces up to
+//                       │ batch_max schedule-equivalent pending flights
+//                       ▼ into ONE fused sweep on the shared runtime pool
+//                    run_batch ── per-flight watchdog armed for the attempt;
+//                       │ every buffer (scratch + pyramid) checked out of
+//                       │ the BufferArena; results are slab leases that
+//                       │ return on last release (cache eviction included)
 //                       │ chaos hooks: injected stall / bad_alloc /
 //                       │ compute error / result-bit corruption
 //                       ▼
@@ -58,6 +63,7 @@
 #include <vector>
 
 #include "runtime/thread_pool.hpp"
+#include "svc/arena.hpp"
 #include "svc/cache.hpp"
 #include "svc/chaos.hpp"
 #include "svc/metrics.hpp"
@@ -72,11 +78,24 @@ struct ServiceConfig {
     std::size_t max_concurrency = 2;            ///< flights computing at once
     std::uint64_t cache_bytes = 64u << 20;      ///< result cache budget
     ResilienceConfig resilience;                ///< retry/breaker/watchdog posture
+    /// Batch planner (ISSUE 8): up to this many *schedule-equivalent*
+    /// pending flights — same dims/taps/levels/boundary/kernel/backend AND
+    /// same priority + deadline, so coalescing can never reorder work the
+    /// scheduler promised to serialize — fuse into one sweep per dispatch.
+    /// 1 = strict per-flight dispatch (the pre-ISSUE-8 behaviour).
+    std::size_t batch_max = 8;
+    /// > 0: a non-Interactive lead whose batch is underfull may be held up
+    /// to this long after admission (never past its deadline) so compatible
+    /// traffic can coalesce. 0 = dispatch immediately (default).
+    std::uint64_t batch_window_us = 0;
+    ArenaConfig arena;                          ///< slab pool posture
 
     /// Defaults overridden by WAVEHPC_SVC_QUEUE_DEPTH / WAVEHPC_SVC_QUEUE_BYTES /
     /// WAVEHPC_SVC_CONCURRENCY / WAVEHPC_SVC_CACHE_BYTES (unset or
     /// unparsable variables keep the default; zeroes are clamped to 1)
-    /// plus the ResilienceConfig::from_env knobs.
+    /// plus WAVEHPC_SVC_BATCH_MAX / WAVEHPC_SVC_BATCH_WINDOW_US (zero
+    /// meaningful for the window), the WAVEHPC_SVC_ARENA_* knobs
+    /// (ArenaConfig::from_env), and the ResilienceConfig::from_env knobs.
     [[nodiscard]] static ServiceConfig from_env();
 };
 
@@ -106,6 +125,9 @@ public:
 
     [[nodiscard]] MetricsSnapshot metrics() const;
     [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+    [[nodiscard]] ArenaStats arena_stats() const { return arena_.stats(); }
+    /// The slab pool backing this service's computes (test/bench seam).
+    [[nodiscard]] BufferArena& arena() noexcept { return arena_; }
 
     /// Cross-shard degraded scan (shard/cluster.hpp): the cached result for
     /// `key` exactly, else the freshest cached same-scene variant, else
@@ -137,6 +159,15 @@ private:
     /// neither pending_ nor backoff_; the maps below are disjoint.
     enum class FlightState : std::uint8_t { Pending, Backoff, Running };
 
+    /// One concurrency slot shared by every flight of a fused batch. The
+    /// slot is released exactly once: by run_batch when the sweep settles,
+    /// or early by the watchdog when EVERY armed member was abandoned
+    /// (nothing useful is still attached to the running sweep).
+    struct BatchSlot {
+        std::size_t armed = 0;  ///< members not yet expired/abandoned
+        bool released = false;  ///< the --running_ already happened
+    };
+
     struct Flight {
         CacheKey key;
         TransformRequest request;  ///< first requester's params + image ref
@@ -150,9 +181,11 @@ private:
         std::uint32_t attempts = 0;      ///< compute attempts finished so far
         Clock::time_point retry_at;      ///< valid while state == Backoff
         Clock::time_point watch_deadline;  ///< valid while state == Running
-        /// The watchdog fired: waiters are already failed and the slot
-        /// released; the still-running compute must only salvage-cache.
+        /// The watchdog fired: waiters are already failed (and the batch
+        /// slot released once no armed member remains); the still-running
+        /// compute must only salvage-cache this member.
         bool abandoned = false;
+        std::shared_ptr<BatchSlot> slot;  ///< set while Running
     };
 
     struct PendingOrder {
@@ -174,9 +207,17 @@ private:
 
     void dispatch_ready(std::unique_lock<std::mutex>& lk,
                         std::vector<FailureBatch>& failures);
-    void run_flight(const std::shared_ptr<Flight>& flight);
+    void run_batch(const std::vector<std::shared_ptr<Flight>>& batch);
     void deliver_failures(std::vector<FailureBatch>& failures);
     void timer_loop();
+    /// May `b` join a batch led by `a`? Same transform shape AND the same
+    /// scheduling attributes (priority, deadline, backend) — coalescing is
+    /// restricted to flights the pending order treats as seq-tiebreak
+    /// equals, so batching never reorders prioritized or deadlined work.
+    [[nodiscard]] static bool batch_compatible(const Flight& a,
+                                               const Flight& b) noexcept;
+    /// Release the batch's concurrency slot if not already released.
+    void release_slot_locked(BatchSlot& slot);
     /// Fail `flight`'s waiters under mu_ with outcome bookkeeping; caller
     /// delivers the batch after unlocking.
     void fail_flight_locked(Flight& flight, std::vector<FailureBatch>& failures,
@@ -191,8 +232,10 @@ private:
 
     runtime::ThreadPool& pool_;
     const ServiceConfig cfg_;
+    BufferArena arena_;  ///< before cache_: evicted leases recycle into it
     ResultCache cache_;
     ChaosEngine chaos_;
+    DigestMemo digest_memo_;  ///< resubmitted scenes skip the pixel hash
 
     mutable std::mutex mu_;
     std::condition_variable cv_drained_;
@@ -210,6 +253,9 @@ private:
     std::multimap<Clock::time_point, Flight*> watch_;    // keyed by watch_deadline
     std::unordered_set<CacheKey, CacheKeyHash> quarantine_;
     std::array<CircuitBreaker, 2> breakers_;  // indexed by Backend
+    /// Earliest batch-window hold expiry; the timer thread re-runs
+    /// dispatch_ready at this point. max() = nothing held.
+    Clock::time_point hold_wake_ = Clock::time_point::max();
 
     ServiceCounters counters_;
     perf::LatencyHistogram queue_wait_hist_;

@@ -212,9 +212,15 @@ void ShardCluster::drain_and_retire(
         svc->shutdown();  // waiters resolve (ServiceShutdownError); nothing strands
         MetricsSnapshot m = svc->metrics();
         CacheStats c = svc->cache_stats();
+        ArenaStats a = svc->arena_stats();
+        // The dying life's pool is about to be freed with the service;
+        // the fleet view keeps only its history, not its residency.
+        a.bytes_pooled = 0;
+        a.bytes_outstanding = 0;
         std::lock_guard lk(mu_);
         retired_.merge(m);
         retired_cache_.merge(c);
+        retired_arena_.merge(a);
     }
     drains.clear();
 }
@@ -307,9 +313,12 @@ ClusterSubmitResult ShardCluster::submit(TransformRequest request) {
     // differently).
     const auto fp = core::FilterPair::daubechies(request.taps);
     request.kernel = core::resolve_dwt_kernel(request.kernel, fp);
-    const CacheKey key = make_cache_key(*request.image, request.taps,
-                                        request.levels, request.boundary,
-                                        request.kernel);
+    std::uint64_t digest_lo = 0;
+    std::uint64_t digest_hi = 0;
+    digest_memo_.digest(request.image, digest_lo, digest_hi);
+    const CacheKey key =
+        assemble_cache_key(digest_lo, digest_hi, *request.image, request.taps,
+                           request.levels, request.boundary, request.kernel);
     const std::vector<ShardId> chain = ring_.replicas(key, cfg_.replicas);
 
     ClusterSubmitResult out;
@@ -462,6 +471,20 @@ CacheStats ShardCluster::fleet_cache_stats() const {
         }
     }
     for (const auto& svc : live) fleet.merge(svc->cache_stats());
+    return fleet;
+}
+
+ArenaStats ShardCluster::fleet_arena_stats() const {
+    std::vector<std::shared_ptr<PyramidService>> live;
+    ArenaStats fleet;
+    {
+        std::lock_guard lk(mu_);
+        fleet = retired_arena_;
+        for (const Node& node : nodes_) {
+            if (node.service) live.push_back(node.service);
+        }
+    }
+    for (const auto& svc : live) fleet.merge(svc->arena_stats());
     return fleet;
 }
 

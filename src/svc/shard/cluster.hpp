@@ -172,6 +172,10 @@ public:
     /// retired snapshot — counters never go backwards across a kill.
     [[nodiscard]] MetricsSnapshot fleet_metrics() const;
     [[nodiscard]] CacheStats fleet_cache_stats() const;
+    /// Fleet slab-pool view (ISSUE 8): live shards' arena stats merged
+    /// with every killed life's — a kill returns its pooled slabs to the
+    /// allocator, but the hit/miss/fallback history still counts.
+    [[nodiscard]] ArenaStats fleet_arena_stats() const;
 
     /// Replica chain the router would walk for this request's scene.
     [[nodiscard]] std::vector<ShardId> placement(const TransformRequest& request) const;
@@ -227,6 +231,7 @@ private:
     runtime::ThreadPool& pool_;
     const ShardClusterConfig cfg_;
     HashRing ring_;
+    DigestMemo digest_memo_;  ///< routing skips the pixel hash on reseen scenes
     const Clock::time_point epoch0_ = Clock::now();  ///< wall clock origin
 
     mutable std::mutex mu_;
@@ -241,6 +246,7 @@ private:
     ClusterCounters counters_;
     MetricsSnapshot retired_;      ///< merged snapshots of killed lives
     CacheStats retired_cache_;
+    ArenaStats retired_arena_;
     std::condition_variable cv_monitor_;
     std::thread monitor_;  // last member: joins before the rest tears down
 };

@@ -20,6 +20,26 @@ namespace wavehpc::wavelet {
     core::BoundaryMode mode, runtime::ThreadPool& pool,
     core::DwtKernel kernel = core::DwtKernel::Auto);
 
+/// Fused batched decomposition (ISSUE 8): N same-shaped images share ONE
+/// row sweep and ONE column sweep per level, parallelized over the global
+/// index space [0, N*rows) — one pool dispatch amortizes the fork/join and
+/// chunk-enqueue overhead across the whole batch instead of paying it per
+/// request. Result i is bit-identical to decompose_parallel(*images[i], ...)
+/// and therefore to core::decompose: the fused sweep calls the identical
+/// kernel ranges per (image, row-range) cell, and every output coefficient
+/// is a fixed function of its own image's rows, so neither the fusion nor
+/// the chunking changes any accumulation order.
+///
+/// All images must be non-null with identical dimensions (throws
+/// std::invalid_argument otherwise). `pool` may be null for a serial batch.
+/// `buffers` (may be null = heap) supplies every scratch and subband
+/// buffer; transient intermediates are recycled back into it.
+[[nodiscard]] std::vector<core::Pyramid> decompose_batch(
+    const std::vector<const core::ImageF*>& images, const core::FilterPair& fp,
+    int levels, core::BoundaryMode mode, runtime::ThreadPool* pool,
+    core::DwtKernel kernel = core::DwtKernel::Auto,
+    core::FloatBufferSource* buffers = nullptr);
+
 /// Bit-identical to core::reconstruct_gather(pyr, fp, mode): the gather-form
 /// synthesis computes each output independently, so the row loops
 /// parallelize without changing any accumulation order. Pass the boundary

@@ -341,4 +341,29 @@ TEST(ShardCluster, FleetMetricsSurviveAKillViaTheRetiredAccumulator) {
     EXPECT_EQ(cluster.fleet_cache_stats().insertions, 2U);
 }
 
+TEST(ShardCluster, FleetArenaStatsSurviveAKillViaTheRetiredAccumulator) {
+    ThreadPool pool(2);
+    ShardCluster cluster(pool, manual_cfg(2));
+    (void)cluster.submit_to_shard(0, request_for(scene(31))).future.get();
+    (void)cluster.submit_to_shard(1, request_for(scene(32))).future.get();
+
+    const auto before = cluster.fleet_arena_stats();
+    EXPECT_GT(before.misses, 0U);   // cold shards had to allocate slabs
+    EXPECT_GT(before.returns, 0U);  // row scratch flowed back mid-compute
+    // Each shard's cache holds its donated result, so slabs are resident.
+    EXPECT_GT(before.bytes_outstanding, 0U);
+
+    cluster.kill(0);  // shard 0's arena history folds into the retired snapshot
+    const auto after = cluster.fleet_arena_stats();
+    EXPECT_EQ(after.hits, before.hits);      // counter history is retained...
+    EXPECT_EQ(after.misses, before.misses);
+    EXPECT_GE(after.returns, before.returns);
+    EXPECT_EQ(after.high_water_bytes, before.high_water_bytes);
+    // ...but the dead life's residency gauges are zeroed on retirement:
+    // only live shards still contribute pooled/outstanding bytes.
+    EXPECT_LT(after.bytes_outstanding, before.bytes_outstanding);
+    EXPECT_LE(after.bytes_pooled, before.bytes_pooled);
+    EXPECT_EQ(after.heap_fallbacks, 0U);  // 32x32 scenes fit the slab classes
+}
+
 }  // namespace

@@ -331,4 +331,101 @@ TEST(CacheStatsTest, MergeAddsEveryField) {
     EXPECT_DOUBLE_EQ(a.hit_rate(), 101.0 / (101.0 + 202.0));
 }
 
+TEST(DigestMemoTest, SecondLookupOfTheSameObjectIsAHitWithTheDirectDigest) {
+    wavehpc::svc::DigestMemo memo;
+    const auto img = scene(32, 7);
+
+    std::uint64_t direct_lo = 0;
+    std::uint64_t direct_hi = 0;
+    wavehpc::svc::content_digest(*img, direct_lo, direct_hi);
+
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    memo.digest(img, lo, hi);
+    EXPECT_EQ(memo.misses(), 1U);
+    EXPECT_EQ(lo, direct_lo);
+    EXPECT_EQ(hi, direct_hi);
+
+    lo = hi = 0;
+    memo.digest(img, lo, hi);
+    EXPECT_EQ(memo.hits(), 1U);
+    EXPECT_EQ(lo, direct_lo);
+    EXPECT_EQ(hi, direct_hi);
+}
+
+TEST(DigestMemoTest, RecycledAddressesNeverServeAStaleDigest) {
+    // Alloc/free churn recycles heap addresses; the memo keys on the raw
+    // pointer, so a stale entry at a reused address is the ABA hazard. The
+    // weak_ptr identity check must force a recompute every time the object
+    // at an address changes — digest through the memo always equals the
+    // direct pass over the current pixels.
+    wavehpc::svc::DigestMemo memo;
+    for (std::uint64_t round = 0; round < 100; ++round) {
+        const auto img = scene(16, 1000 + round);  // distinct content
+        std::uint64_t direct_lo = 0;
+        std::uint64_t direct_hi = 0;
+        wavehpc::svc::content_digest(*img, direct_lo, direct_hi);
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+        memo.digest(img, lo, hi);
+        EXPECT_EQ(lo, direct_lo) << "stale digest at round " << round;
+        EXPECT_EQ(hi, direct_hi) << "stale digest at round " << round;
+        // img dies here; the next round's allocation may land on the same
+        // address with different pixels.
+    }
+    EXPECT_EQ(memo.hits(), 0U);
+    EXPECT_EQ(memo.misses(), 100U);
+}
+
+TEST(DigestMemoTest, CapacityBoundEvictsButStaysCorrect) {
+    wavehpc::svc::DigestMemo memo(2);
+    std::vector<std::shared_ptr<const ImageF>> live;
+    for (std::uint64_t i = 0; i < 8; ++i) live.push_back(scene(16, 2000 + i));
+    // All eight held live through a capacity-2 memo: evictions churn, but
+    // every answer still matches the direct digest.
+    for (int pass = 0; pass < 3; ++pass) {
+        for (const auto& img : live) {
+            std::uint64_t direct_lo = 0;
+            std::uint64_t direct_hi = 0;
+            wavehpc::svc::content_digest(*img, direct_lo, direct_hi);
+            std::uint64_t lo = 0;
+            std::uint64_t hi = 0;
+            memo.digest(img, lo, hi);
+            EXPECT_EQ(lo, direct_lo);
+            EXPECT_EQ(hi, direct_hi);
+        }
+    }
+    EXPECT_GE(memo.misses(), 8U);  // capacity 2 cannot hold the set
+}
+
+TEST(DigestMemoTest, ConcurrentMixedLookupsAgreeWithTheDirectDigest) {
+    wavehpc::svc::DigestMemo memo;
+    const auto hot = scene(32, 9);
+    std::uint64_t hot_lo = 0;
+    std::uint64_t hot_hi = 0;
+    wavehpc::svc::content_digest(*hot, hot_lo, hot_hi);
+
+    std::vector<std::future<bool>> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.push_back(std::async(std::launch::async, [&, t] {
+            bool ok = true;
+            for (std::uint64_t i = 0; i < 50; ++i) {
+                std::uint64_t lo = 0;
+                std::uint64_t hi = 0;
+                memo.digest(hot, lo, hi);
+                ok = ok && lo == hot_lo && hi == hot_hi;
+                const auto cold = scene(16, 5000 + 100 * t + i);
+                std::uint64_t direct_lo = 0;
+                std::uint64_t direct_hi = 0;
+                wavehpc::svc::content_digest(*cold, direct_lo, direct_hi);
+                memo.digest(cold, lo, hi);
+                ok = ok && lo == direct_lo && hi == direct_hi;
+            }
+            return ok;
+        }));
+    }
+    for (auto& w : workers) EXPECT_TRUE(w.get());
+    EXPECT_GE(memo.hits(), 4U * 50U - 4U);  // hot scene memoized after first sight
+}
+
 }  // namespace

@@ -235,7 +235,7 @@ TEST(ServiceLifetime, DestructorDrains) {
     EXPECT_NE(future.get().result, nullptr);
 }
 
-// Fleet aggregation: ServiceCounters::merge adds every one of the 17
+// Fleet aggregation: ServiceCounters::merge adds every one of the 22
 // counters — a field silently dropped here would vanish from every fleet
 // dashboard, so each gets a distinct prime-ish value and an exact check.
 TEST(ServiceMetricsMerge, CountersMergeAddsEveryField) {
@@ -257,6 +257,11 @@ TEST(ServiceMetricsMerge, CountersMergeAddsEveryField) {
     a.breaker_rejects = 15;
     a.degraded_replies = 16;
     a.crc_audit_failures = 17;
+    a.batches = 18;
+    a.batched_requests = 19;
+    a.arena_hits = 20;
+    a.arena_misses = 21;
+    a.heap_fallbacks = 22;
     wavehpc::svc::ServiceCounters b;
     b.submitted = 100;
     b.accepted = 200;
@@ -275,6 +280,11 @@ TEST(ServiceMetricsMerge, CountersMergeAddsEveryField) {
     b.breaker_rejects = 1500;
     b.degraded_replies = 1600;
     b.crc_audit_failures = 1700;
+    b.batches = 1800;
+    b.batched_requests = 1900;
+    b.arena_hits = 2000;
+    b.arena_misses = 2100;
+    b.heap_fallbacks = 2200;
 
     a.merge(b);
     EXPECT_EQ(a.submitted, 101U);
@@ -294,6 +304,11 @@ TEST(ServiceMetricsMerge, CountersMergeAddsEveryField) {
     EXPECT_EQ(a.breaker_rejects, 1515U);
     EXPECT_EQ(a.degraded_replies, 1616U);
     EXPECT_EQ(a.crc_audit_failures, 1717U);
+    EXPECT_EQ(a.batches, 1818U);
+    EXPECT_EQ(a.batched_requests, 1919U);
+    EXPECT_EQ(a.arena_hits, 2020U);
+    EXPECT_EQ(a.arena_misses, 2121U);
+    EXPECT_EQ(a.heap_fallbacks, 2222U);
 }
 
 // MetricsSnapshot::merge must behave as if one service had seen both

@@ -273,4 +273,81 @@ TEST(ServiceStorm, ChaosStormDeliversOnlyAuditedBitIdenticalResults) {
     EXPECT_EQ(after.backoff_depth, 0U);
 }
 
+// Batch + arena storm (ISSUE 8, a TSan target): clients flood a batching
+// service with a wide *unique-scene* mix so fused sweeps actually form,
+// while a small cache budget keeps evictions recycling lease slabs back
+// into the arena mid-flight. Every reply must stay bit-identical, and the
+// arena's books must balance when the dust settles.
+TEST(ServiceStorm, BatchArenaStormStaysBitIdenticalAndBalanced) {
+    const std::uint64_t base_seed =
+        wavehpc::testing::env_seed("WAVEHPC_FUZZ_SEED", 4242);
+    const auto scenes = make_scenes(24);
+
+    ThreadPool pool(4);
+    ServiceConfig cfg;
+    cfg.max_queue_depth = 64;
+    cfg.max_concurrency = 2;
+    cfg.batch_max = 8;
+    cfg.cache_bytes = 6 * 32 * 32 * sizeof(float);  // forces eviction returns
+    PyramidService service(pool, cfg);
+
+    constexpr int kClients = 8;
+    constexpr int kRequestsPerClient = 250;
+    std::atomic<std::uint64_t> mismatches{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> fused{0};
+
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            SplitMix64 rng(wavehpc::testing::derive_seed(
+                base_seed, static_cast<std::uint64_t>(c)));
+            for (int i = 0; i < kRequestsPerClient; ++i) {
+                const std::size_t idx = rng.below(scenes.size());
+                TransformRequest req;
+                req.image = scenes[idx].image;
+                req.taps = 4;
+                req.levels = 1;
+                req.backend = rng.below(2) == 0 ? Backend::Serial : Backend::Threads;
+                auto sub = service.submit(req);
+                if (!sub.accepted) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                const auto reply = sub.future.get();
+                delivered.fetch_add(1, std::memory_order_relaxed);
+                if (reply.batch_size > 1) fused.fetch_add(1, std::memory_order_relaxed);
+                if (!matches_reference(reply.result->pyramid,
+                                       scenes[idx].reference)) {
+                    mismatches.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+
+    EXPECT_EQ(mismatches.load(), 0U);
+    EXPECT_GT(delivered.load(), 0U);
+    EXPECT_GT(fused.load(), 0U) << "the storm never formed a batch";
+
+    const auto m = service.metrics();
+    EXPECT_GT(m.counters.batches, 0U);
+    EXPECT_GT(m.counters.batched_requests, 0U);
+    const auto a = service.arena_stats();
+    EXPECT_GT(a.hits, 0U);           // the pool actually cycled slabs
+    EXPECT_EQ(a.heap_fallbacks, 0U); // 32x32 bands all fit the classes
+    EXPECT_LE(a.bytes_pooled, service.config().arena.arena_bytes);
+    // Conservation: every checkout is either already returned or still
+    // held by a resident lease (cache entries + in-hand replies). All
+    // buffers in this storm are one size class, so counts and bytes agree.
+    const std::uint64_t slab_bytes =
+        service.arena().class_floats(0) * sizeof(float);
+    EXPECT_EQ((a.hits + a.misses - a.returns) * slab_bytes, a.bytes_outstanding);
+    service.shutdown();
+    const auto after = service.metrics();
+    EXPECT_EQ(after.running, 0U);
+    EXPECT_EQ(after.queue_depth, 0U);
+}
+
 }  // namespace
