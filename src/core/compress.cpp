@@ -74,6 +74,21 @@ void quantize_details(Pyramid& pyr, float step) {
     });
 }
 
+namespace {
+
+double histogram_entropy_bits(const std::map<long, std::size_t>& histogram,
+                              std::size_t total) {
+    if (total == 0) return 0.0;
+    double bits = 0.0;
+    for (const auto& [symbol, count] : histogram) {
+        const double p = static_cast<double>(count) / static_cast<double>(total);
+        bits -= p * std::log2(p);
+    }
+    return bits;
+}
+
+}  // namespace
+
 double detail_entropy_bits(const Pyramid& pyr, float step) {
     if (step <= 0.0F) {
         throw std::invalid_argument("detail_entropy_bits: step must be > 0");
@@ -86,13 +101,16 @@ double detail_entropy_bits(const Pyramid& pyr, float step) {
             ++total;
         }
     });
-    if (total == 0) return 0.0;
-    double bits = 0.0;
-    for (const auto& [symbol, count] : histogram) {
-        const double p = static_cast<double>(count) / static_cast<double>(total);
-        bits -= p * std::log2(p);
+    return histogram_entropy_bits(histogram, total);
+}
+
+double band_entropy_bits(const ImageF& band, float step) {
+    if (step <= 0.0F) {
+        throw std::invalid_argument("band_entropy_bits: step must be > 0");
     }
-    return bits;
+    std::map<long, std::size_t> histogram;
+    for (float v : band.flat()) ++histogram[std::lround(v / step)];
+    return histogram_entropy_bits(histogram, band.size());
 }
 
 CompressionReport compress_report(const ImageF& img, const FilterPair& fp, int levels,

@@ -29,6 +29,11 @@ void quantize_details(Pyramid& pyr, float step);
 /// spend. Returns 0 for an all-zero detail set.
 [[nodiscard]] double detail_entropy_bits(const Pyramid& pyr, float step);
 
+/// Same estimate for ONE band (its own histogram): the progressive
+/// delivery planner (src/tile) prices each subband individually to place
+/// it on the rate-limited preview link. Returns 0 for an empty band.
+[[nodiscard]] double band_entropy_bits(const ImageF& band, float step);
+
 struct CompressionReport {
     std::size_t total_coefficients = 0;
     std::size_t stored_coefficients = 0;

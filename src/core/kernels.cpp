@@ -515,6 +515,160 @@ void lifting_cols_plane(const ImageF& src, const LiftingPlan& plan, ImageF& out_
     }
 }
 
+// ---------------------------------------------------------------------------
+// Range/tile variants (ISSUE 9). Each reuses the exact loop bodies above
+// (accumulate_tap, haar_row/haar_col, lift_stage, lift_final, the rolling
+// column kernels), so the per-coefficient float expression trees — and
+// therefore the bits — match the full-plane sweeps.
+// ---------------------------------------------------------------------------
+
+void convolve_row_range(std::span<const float> src, const FilterPair& fp,
+                        std::span<float> dlo, std::span<float> dhi, BoundaryMode mode,
+                        std::size_t k0, std::size_t k1) {
+    const std::size_t cols = src.size();
+    const auto fl = fp.low();
+    const auto fh = fp.high();
+    const std::size_t taps = fl.size();
+    for (std::size_t k = k0; k < k1; ++k) {
+        float acc_lo = 0.0F;
+        float acc_hi = 0.0F;
+        if (2 * k + taps <= cols) {
+            const float* base = src.data() + 2 * k;
+            for (std::size_t n = 0; n < taps; ++n) {
+                acc_lo += fl[n] * base[n];
+                acc_hi += fh[n] * base[n];
+            }
+        } else {
+            for (std::size_t n = 0; n < taps; ++n) {
+                const std::size_t idx =
+                    extend_index(static_cast<std::ptrdiff_t>(2 * k + n), cols, mode);
+                if (idx >= cols) continue;  // ZeroPad outside
+                acc_lo += fl[n] * src[idx];
+                acc_hi += fh[n] * src[idx];
+            }
+        }
+        dlo[k - k0] = acc_lo;
+        dhi[k - k0] = acc_hi;
+    }
+}
+
+// Lifting ladder over the pair window [k0, k1+ext): stage-0 values are
+// seeded from the global signal (direct loads while the pair is in range,
+// ext_sample past the edge — exactly lifting_row's split at i == half),
+// then the shrinking middle stages and the fused final stage run on the
+// segment. Output k reads only pairs k..k+ext, all inside the window, so
+// every intermediate equals its monolithic counterpart bit for bit.
+void lifting_row_range(std::span<const float> x, const LiftingPlan& plan,
+                       std::span<float> lo, std::span<float> hi, BoundaryMode mode,
+                       std::size_t k0, std::size_t k1) {
+    const std::size_t half = x.size() / 2;
+    const std::size_t m = plan.stages();
+    const std::size_t ext = m - 1;
+    const std::size_t seg = k1 - k0;
+    const float t0 = plan.shear[0];
+    thread_local std::vector<float> scratch;
+    if (scratch.size() < 2 * (seg + ext)) scratch.resize(2 * (seg + ext));
+    float* const u = scratch.data();
+    float* const v = u + (seg + ext);
+    const float* __restrict xs = x.data();
+    const std::size_t direct = std::min(seg + ext, half - std::min(half, k0));
+    for (std::size_t j = 0; j < direct; ++j) {
+        const std::size_t i = k0 + j;
+        const float a = xs[2 * i];
+        const float b = xs[2 * i + 1];
+        u[j] = a + t0 * b;
+        v[j] = b - t0 * a;
+    }
+    for (std::size_t j = direct; j < seg + ext; ++j) {
+        const std::size_t i = k0 + j;
+        const float a = ext_sample(x, static_cast<std::ptrdiff_t>(2 * i), mode);
+        const float b = ext_sample(x, static_cast<std::ptrdiff_t>(2 * i + 1), mode);
+        u[j] = a + t0 * b;
+        v[j] = b - t0 * a;
+    }
+    for (std::size_t t = 1; t + 1 < m; ++t) {
+        lift_stage(u, v, seg + ext - t, plan.shear[t]);
+    }
+    lift_final(u, v, seg, plan.shear[m - 1], plan.scale_lo, plan.scale_hi, lo.data(),
+               hi.data());
+}
+
+void convolve_cols_tile(const RowAccessor& low_row, const RowAccessor& high_row,
+                        std::size_t plane_rows, std::size_t width,
+                        const FilterPair& fp, ImageF& ll, ImageF& lh, ImageF& hl,
+                        ImageF& hh, BoundaryMode mode, std::size_t k0,
+                        std::size_t k1) {
+    const auto fl = fp.low();
+    const auto fh = fp.high();
+    const std::size_t taps = fl.size();
+    for (std::size_t k = k0; k < k1; ++k) {
+        float* dll = ll.row(k - k0).data();
+        float* dlh = lh.row(k - k0).data();
+        float* dhl = hl.row(k - k0).data();
+        float* dhh = hh.row(k - k0).data();
+        for (std::size_t c0 = 0; c0 < width; c0 += kColTile) {
+            const std::size_t c1 = std::min(width, c0 + kColTile);
+            for (std::size_t n = 0; n < taps; ++n) {
+                const std::size_t idx = extend_index(
+                    static_cast<std::ptrdiff_t>(2 * k + n), plane_rows, mode);
+                if (idx >= plane_rows) continue;  // ZeroPad sentinel
+                accumulate_tap(dll, dlh, dhl, dhh, low_row(idx), high_row(idx), fl[n],
+                               fh[n], c0, c1);
+            }
+        }
+    }
+}
+
+/// Accessor-backed polyphase row (the tile twin of polyphase_row).
+[[nodiscard]] const float* tile_polyphase_row(const RowAccessor& row,
+                                              std::size_t plane_rows, std::size_t i,
+                                              int parity, BoundaryMode mode) {
+    const std::size_t idx =
+        extend_index(static_cast<std::ptrdiff_t>(2 * i) + parity, plane_rows, mode);
+    return idx < plane_rows ? row(idx) : nullptr;
+}
+
+// Accessor-backed twin of lifting_cols_plane: the same descending rolling
+// sweep over polyphase strips, restricted to a `width`-column segment and
+// writing outputs at local row li - k0. Every column is independent, so
+// restricting the width changes nothing per element.
+void lifting_cols_tile(const RowAccessor& src_row, std::size_t plane_rows,
+                       std::size_t width, const LiftingPlan& plan, ImageF& out_lo,
+                       ImageF& out_hi, BoundaryMode mode, std::size_t k0,
+                       std::size_t k1) {
+    const std::size_t m = plan.stages();
+    const std::size_t ext = m - 1;
+    const std::size_t strips_end = k1 + ext;  // strip rows k0 .. strips_end-1
+    thread_local std::vector<float> scratch;
+    if (scratch.size() < (m + 1) * width) scratch.resize((m + 1) * width);
+    float* const uwork = scratch.data() + ext * width;
+    float* const vwork = uwork + width;
+    const auto vprev = [&](std::size_t t) { return scratch.data() + t * width; };
+    std::vector<float> zeros;  // lazily sized; ZeroPad rows only
+    for (std::size_t li = strips_end; li-- > k0;) {
+        const float* e = tile_polyphase_row(src_row, plane_rows, li, 0, mode);
+        const float* o = tile_polyphase_row(src_row, plane_rows, li, 1, mode);
+        if (e == nullptr || o == nullptr) {
+            if (zeros.size() != width) zeros.assign(width, 0.0F);
+            if (e == nullptr) e = zeros.data();
+            if (o == nullptr) o = zeros.data();
+        }
+        lift_col_stage0(e, o, width, plan.shear[0], uwork, vwork);
+        std::size_t t = 1;
+        for (; t + 1 < m && li + t < strips_end; ++t) {
+            lift_col_roll(uwork, vwork, vprev(t - 1), width, plan.shear[t]);
+        }
+        if (li < k1) {
+            lift_col_final_roll(uwork, vwork, vprev(m - 2), width, plan.shear[m - 1],
+                                plan.scale_lo, plan.scale_hi,
+                                out_lo.row(li - k0).data(), out_hi.row(li - k0).data());
+        } else {
+            float* const dst = vprev(t - 1);
+            for (std::size_t c = 0; c < width; ++c) dst[c] = vwork[c];
+        }
+    }
+}
+
 }  // namespace
 
 void analyze_1d(std::span<const float> x, const FilterPair& fp, std::span<float> lo,
@@ -642,6 +796,78 @@ void analyze_cols_ext_range(const ImageF& low_ext, const ImageF& high_ext,
             }
         }
     }
+}
+
+void analyze_1d_range(std::span<const float> x, const FilterPair& fp,
+                      std::span<float> lo, std::span<float> hi, BoundaryMode mode,
+                      DwtKernel kernel, std::size_t k0, std::size_t k1) {
+    require_even(x.size(), "signal length");
+    const std::size_t half = x.size() / 2;
+    if (k0 > k1 || k1 > half) {
+        throw std::invalid_argument("analyze_1d_range: bad output range");
+    }
+    if (lo.size() != k1 - k0 || hi.size() != k1 - k0) {
+        throw std::invalid_argument("analyze_1d_range: band size must be k1-k0");
+    }
+    if (k0 == k1) return;
+    if (kernel == DwtKernel::Auto) kernel = default_dwt_kernel();
+    if (kernel == DwtKernel::Lifting) {
+        const auto fl = fp.low();
+        const auto fh = fp.high();
+        if (fl.size() == 2) {
+            // Haar windows never reach the boundary: x + 2*k0 re-bases the
+            // same in-range loads.
+            haar_row(x.data() + 2 * k0, k1 - k0, fl[0], fl[1], fh[0], fh[1], lo.data(),
+                     hi.data());
+            return;
+        }
+        const LiftingPlan plan = build_lifting_plan(fp);
+        if (plan.valid) {
+            lifting_row_range(x, plan, lo, hi, mode, k0, k1);
+            return;
+        }
+    }
+    convolve_row_range(x, fp, lo, hi, mode, k0, k1);
+}
+
+void analyze_cols_tile(const RowAccessor& low_row, const RowAccessor& high_row,
+                       std::size_t plane_rows, std::size_t width,
+                       const FilterPair& fp, ImageF& ll, ImageF& lh, ImageF& hl,
+                       ImageF& hh, BoundaryMode mode, DwtKernel kernel,
+                       std::size_t k0, std::size_t k1) {
+    require_even(plane_rows, "row count");
+    const std::size_t half = plane_rows / 2;
+    if (k0 > k1 || k1 > half) {
+        throw std::invalid_argument("analyze_cols_tile: bad output range");
+    }
+    for (const ImageF* out : {&ll, &lh, &hl, &hh}) {
+        if (out->rows() != k1 - k0 || out->cols() != width) {
+            throw std::invalid_argument("analyze_cols_tile: bad output shape");
+        }
+    }
+    if (k0 == k1) return;
+    if (kernel == DwtKernel::Auto) kernel = default_dwt_kernel();
+    if (kernel == DwtKernel::Lifting) {
+        const auto fl = fp.low();
+        const auto fh = fp.high();
+        if (fl.size() == 2) {
+            for (std::size_t k = k0; k < k1; ++k) {
+                haar_col(low_row(2 * k), low_row(2 * k + 1), width, fl[0], fl[1],
+                         fh[0], fh[1], ll.row(k - k0).data(), lh.row(k - k0).data());
+                haar_col(high_row(2 * k), high_row(2 * k + 1), width, fl[0], fl[1],
+                         fh[0], fh[1], hl.row(k - k0).data(), hh.row(k - k0).data());
+            }
+            return;
+        }
+        const LiftingPlan plan = build_lifting_plan(fp);
+        if (plan.valid) {
+            lifting_cols_tile(low_row, plane_rows, width, plan, ll, lh, mode, k0, k1);
+            lifting_cols_tile(high_row, plane_rows, width, plan, hl, hh, mode, k0, k1);
+            return;
+        }
+    }
+    convolve_cols_tile(low_row, high_row, plane_rows, width, fp, ll, lh, hl, hh, mode,
+                       k0, k1);
 }
 
 void analyze_level(const ImageF& in, const FilterPair& fp, ImageF& ll, ImageF& lh,

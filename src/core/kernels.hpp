@@ -33,6 +33,7 @@
 // Daubechies banks; pinned by test_kernels).
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -137,6 +138,43 @@ void analyze_cols_range(const ImageF& low_rows, const ImageF& high_rows,
 void analyze_cols_ext_range(const ImageF& low_ext, const ImageF& high_ext,
                             const FilterPair& fp, ImageF& ll, ImageF& lh, ImageF& hl,
                             ImageF& hh, std::size_t k0, std::size_t k1);
+
+// ---------------------------------------------------------------------------
+// Tile-local analysis (the streaming tile driver, src/tile). The driver
+// keeps only a sliding window of each level resident, so these entry
+// points address the *global* signal/plane geometry while reading and
+// writing tile-local storage. Both are bit-identical per coefficient to
+// the full-plane sweeps above for every kernel: convolve computes each
+// output independently, and the lifting ladder only ever reads pair
+// indices to the RIGHT of an output (output k depends on polyphase pairs
+// k .. k+stages-1), so a segment primed with stage-0 values for that
+// window reproduces the monolithic expression tree exactly.
+// ---------------------------------------------------------------------------
+
+/// Fused 1-D analysis restricted to output range [k0, k1) of the FULL
+/// signal `x`. lo/hi receive k1-k0 values (output k lands at lo[k-k0]);
+/// boundary extension is applied at the true signal edges, never at k0/k1.
+void analyze_1d_range(std::span<const float> x, const FilterPair& fp,
+                      std::span<float> lo, std::span<float> hi, BoundaryMode mode,
+                      DwtKernel kernel, std::size_t k0, std::size_t k1);
+
+/// Maps an in-range global row-band row index (boundary mapping has
+/// already been applied, so the argument is always < plane_rows) to the
+/// storage of that row's column segment. The tile driver backs this with
+/// its ring buffer; tests back it with a plain ImageF.
+using RowAccessor = std::function<const float*(std::size_t)>;
+
+/// Fused column analysis of one tile: output rows [k0, k1) of a plane
+/// with `plane_rows` global row-band rows, over a `width`-column segment.
+/// Outputs are (k1-k0, width) and written at LOCAL row k-k0 (the Convolve
+/// path accumulates, so they must start zeroed). Row k touches global
+/// rows 2k .. 2k+taps-1 mapped through `mode`, so the accessors are only
+/// asked for rows the boundary maps into [0, plane_rows).
+void analyze_cols_tile(const RowAccessor& low_row, const RowAccessor& high_row,
+                       std::size_t plane_rows, std::size_t width,
+                       const FilterPair& fp, ImageF& ll, ImageF& lh, ImageF& hl,
+                       ImageF& hh, BoundaryMode mode, DwtKernel kernel,
+                       std::size_t k0, std::size_t k1);
 
 /// Whole-level fused analysis (serial convenience): rows then columns.
 /// Allocates/reshapes the outputs as needed.

@@ -1,7 +1,9 @@
 #include "core/pgm_io.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
@@ -42,27 +44,71 @@ std::size_t read_header_value(std::istream& in, const char* what) {
     return static_cast<std::size_t>(v);
 }
 
-}  // namespace
+struct PgmHeader {
+    bool binary = false;  // P5 (vs P2 ASCII)
+    std::size_t cols = 0;
+    std::size_t rows = 0;
+    std::size_t maxval = 0;
+};
 
-ImageF read_pgm(const std::string& path) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
-
+// Parse magic, dims, and maxval; on return the stream sits at the first
+// raster byte (P5: the single post-maxval separator consumed and
+// verified) or the first sample token (P2). Per-dimension caps apply
+// here; total-pixel caps are the caller's, because the windowed reader
+// only bounds the window it materializes.
+PgmHeader parse_pgm_header(std::istream& in, const std::string& path) {
     std::string magic;
     in >> magic;
     if (magic != "P5" && magic != "P2") {
         throw std::runtime_error("read_pgm: not a PGM file: " + path);
     }
-    const std::size_t cols = read_header_value(in, "width");
-    const std::size_t rows = read_header_value(in, "height");
-    if (cols > kMaxDim || rows > kMaxDim || cols * rows > kMaxPixels) {
+    PgmHeader h;
+    h.binary = magic == "P5";
+    h.cols = read_header_value(in, "width");
+    h.rows = read_header_value(in, "height");
+    if (h.cols > kMaxDim || h.rows > kMaxDim) {
         throw std::runtime_error("read_pgm: implausible image dimensions in " + path);
     }
-    const std::size_t maxval = read_header_value(in, "maxval");
-    if (maxval > 65535) throw std::runtime_error("read_pgm: maxval out of range");
+    h.maxval = read_header_value(in, "maxval");
+    if (h.maxval > 65535) throw std::runtime_error("read_pgm: maxval out of range");
+    if (h.binary) {
+        // Exactly one whitespace byte separates maxval from the raster.
+        // Anything else (junk after maxval) would silently shift every
+        // pixel by a byte.
+        const int sep = in.get();
+        if (sep == std::char_traits<char>::eof() ||
+            std::isspace(static_cast<unsigned char>(sep)) == 0) {
+            throw std::runtime_error("read_pgm: junk after maxval in " + path);
+        }
+    }
+    return h;
+}
 
-    ImageF img(rows, cols);
-    if (magic == "P2") {
+// Decode `count` raster samples that are already in `raw` into `dst`.
+void decode_samples(const std::vector<unsigned char>& raw, bool two_bytes,
+                    std::span<float> dst) {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+        dst[i] = two_bytes
+                     ? static_cast<float>((raw[2 * i] << 8) | raw[2 * i + 1])  // big-endian
+                     : static_cast<float>(raw[i]);
+    }
+}
+
+}  // namespace
+
+ImageF read_pgm(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+    const PgmHeader h = parse_pgm_header(in, path);
+    // Widened to 64-bit before multiplying: on a 32-bit size_t the
+    // in-cap 65536 x 65536 header would wrap cols*rows to 0 and dodge
+    // the guard entirely.
+    if (static_cast<std::uint64_t>(h.cols) * h.rows > kMaxPixels) {
+        throw std::runtime_error("read_pgm: implausible image dimensions in " + path);
+    }
+
+    ImageF img(h.rows, h.cols);
+    if (!h.binary) {
         for (float& px : img.flat()) {
             long long v = 0;
             in >> v;
@@ -72,25 +118,65 @@ ImageF read_pgm(const std::string& path) {
         return img;
     }
 
-    // Exactly one whitespace byte separates maxval from the raster. Anything
-    // else (junk after maxval) would silently shift every pixel by a byte.
-    const int sep = in.get();
-    if (sep == std::char_traits<char>::eof() ||
-        std::isspace(static_cast<unsigned char>(sep)) == 0) {
-        throw std::runtime_error("read_pgm: junk after maxval in " + path);
-    }
-    const bool two_bytes = maxval > 255;
-    std::vector<unsigned char> raw(rows * cols * (two_bytes ? 2 : 1));
+    const bool two_bytes = h.maxval > 255;
+    std::vector<unsigned char> raw(h.rows * h.cols * (two_bytes ? 2 : 1));
     in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
     if (static_cast<std::size_t>(in.gcount()) != raw.size()) {
         throw std::runtime_error("read_pgm: truncated binary data");
     }
-    auto flat = img.flat();
-    for (std::size_t i = 0; i < flat.size(); ++i) {
-        flat[i] = two_bytes
-                      ? static_cast<float>((raw[2 * i] << 8) | raw[2 * i + 1])  // big-endian
-                      : static_cast<float>(raw[i]);
+    decode_samples(raw, two_bytes, img.flat());
+    return img;
+}
+
+PgmInfo read_pgm_header(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("read_pgm_header: cannot open " + path);
+    const PgmHeader h = parse_pgm_header(in, path);
+    return PgmInfo{h.rows, h.cols, h.maxval};
+}
+
+ImageF read_pgm_rows(const std::string& path, std::size_t y0, std::size_t rows) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("read_pgm_rows: cannot open " + path);
+    const PgmHeader h = parse_pgm_header(in, path);
+    if (rows == 0 || y0 > h.rows || rows > h.rows - y0) {
+        throw std::runtime_error("read_pgm_rows: window outside image in " + path);
     }
+    if (static_cast<std::uint64_t>(h.cols) * rows > kMaxPixels) {
+        throw std::runtime_error("read_pgm_rows: window too large in " + path);
+    }
+
+    ImageF img(rows, h.cols);
+    if (!h.binary) {
+        // P2: the samples before the window must be tokenized past.
+        const std::uint64_t skip = static_cast<std::uint64_t>(y0) * h.cols;
+        for (std::uint64_t i = 0; i < skip; ++i) {
+            long long v = 0;
+            in >> v;
+            if (!in) throw std::runtime_error("read_pgm_rows: truncated ASCII data");
+        }
+        for (float& px : img.flat()) {
+            long long v = 0;
+            in >> v;
+            if (!in) throw std::runtime_error("read_pgm_rows: truncated ASCII data");
+            px = static_cast<float>(v);
+        }
+        return img;
+    }
+
+    const bool two_bytes = h.maxval > 255;
+    const std::uint64_t bpp = two_bytes ? 2 : 1;
+    // P5: the raster is fixed-pitch, so the window start is one seek away
+    // and nothing before (or after) it is ever read.
+    in.seekg(static_cast<std::streamoff>(static_cast<std::uint64_t>(y0) * h.cols * bpp),
+             std::ios::cur);
+    if (!in) throw std::runtime_error("read_pgm_rows: seek failed in " + path);
+    std::vector<unsigned char> raw(rows * h.cols * bpp);
+    in.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
+    if (static_cast<std::size_t>(in.gcount()) != raw.size()) {
+        throw std::runtime_error("read_pgm_rows: truncated binary data");
+    }
+    decode_samples(raw, two_bytes, img.flat());
     return img;
 }
 

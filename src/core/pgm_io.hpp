@@ -2,6 +2,7 @@
 // Minimal PGM (P5 binary / P2 ASCII) reader and writer so real remotely
 // sensed scenes can be fed to the pipeline in place of the synthetic one.
 
+#include <cstddef>
 #include <string>
 
 #include "core/image.hpp"
@@ -11,6 +12,26 @@ namespace wavehpc::core {
 /// Read an 8- or 16-bit PGM into floats in [0, maxval]. Throws
 /// std::runtime_error on malformed input or I/O failure.
 [[nodiscard]] ImageF read_pgm(const std::string& path);
+
+/// Dimensions from a PGM header without touching the raster.
+struct PgmInfo {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t maxval = 0;
+};
+
+/// Parse just the header (magic, dims, maxval) of `path`.
+[[nodiscard]] PgmInfo read_pgm_header(const std::string& path);
+
+/// Windowed read: rows [y0, y0+rows) of the PGM at `path`, full width.
+/// The streaming tile driver calls this band by band, so only the
+/// *window* is bounded by the whole-file pixel cap — a 16k x 16k scene
+/// that read_pgm would refuse streams fine. P5 seeks straight to the
+/// window; P2 skips tokens. Same header caps and junk-after-maxval
+/// handling as read_pgm. Throws std::runtime_error on malformed input,
+/// I/O failure, or a window outside the image.
+[[nodiscard]] ImageF read_pgm_rows(const std::string& path, std::size_t y0,
+                                   std::size_t rows);
 
 /// Write an 8-bit binary (P5) PGM, clamping pixels to [0, 255] and rounding
 /// to nearest. Throws std::runtime_error on I/O failure.

@@ -38,6 +38,7 @@ void ArenaStats::merge(const ArenaStats& o) noexcept {
     returns += o.returns;
     dropped_over_budget += o.dropped_over_budget;
     freed_after_shutdown += o.freed_after_shutdown;
+    reserved_slabs += o.reserved_slabs;
     bytes_pooled += o.bytes_pooled;
     bytes_outstanding += o.bytes_outstanding;
     high_water_bytes += o.high_water_bytes;
@@ -198,6 +199,37 @@ void BufferArena::recycle_pyramid(core::Pyramid&& pyr) {
         give_back(s_, d.hh.release_data());
     }
     give_back(s_, local.approx.release_data());
+}
+
+void BufferArena::reserve(std::size_t floats, std::size_t count) {
+    Shared& s = *s_;
+    const std::size_t cls = s.class_for(floats);
+    if (cls >= s.cfg.slab_classes) return;  // oversize: always heap, nothing to pool
+    const std::size_t slab_floats = s.class_floats(cls);
+    const auto slab_bytes = static_cast<std::uint64_t>(slab_floats) * sizeof(float);
+    for (std::size_t i = 0; i < count; ++i) {
+        // Allocate outside the lock; capacity == class size is the pool key.
+        std::vector<float> slab;
+        slab.reserve(slab_floats);
+        std::lock_guard lk(s.mu);
+        if (s.shutdown) return;
+        if (s.stats.bytes_pooled + slab_bytes > s.cfg.arena_bytes) return;  // at budget
+        s.stats.bytes_pooled += slab_bytes;
+        ++s.stats.reserved_slabs;
+        s.stats.high_water_bytes = std::max(
+            s.stats.high_water_bytes, s.stats.bytes_pooled + s.stats.bytes_outstanding);
+        s.free_lists[cls].push_back(std::move(slab));
+    }
+}
+
+std::vector<std::size_t> BufferArena::pooled_per_class() const {
+    Shared& s = *s_;
+    std::lock_guard lk(s.mu);
+    std::vector<std::size_t> counts(s.cfg.slab_classes, 0);
+    for (std::size_t i = 0; i < s.cfg.slab_classes; ++i) {
+        counts[i] = s.free_lists[i].size();
+    }
+    return counts;
 }
 
 ArenaStats BufferArena::stats() const {

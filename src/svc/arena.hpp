@@ -69,6 +69,7 @@ struct ArenaStats {
     std::uint64_t returns = 0;         ///< slabs handed back (pooled or dropped)
     std::uint64_t dropped_over_budget = 0;  ///< returns freed: pool at budget
     std::uint64_t freed_after_shutdown = 0; ///< returns freed: arena gone
+    std::uint64_t reserved_slabs = 0;  ///< slabs pre-provisioned by reserve()
     std::uint64_t bytes_pooled = 0;         ///< idle bytes on free lists
     std::uint64_t bytes_outstanding = 0;    ///< checked-out slab bytes
     std::uint64_t high_water_bytes = 0;     ///< max(pooled + outstanding) seen
@@ -106,6 +107,23 @@ public:
     /// Hand back every band of a pyramid that will NOT become a lease
     /// (e.g. a result that failed its CRC audit). The pyramid is emptied.
     void recycle_pyramid(core::Pyramid&& pyr);
+
+    /// Pre-provision the pool: push `count` fresh idle slabs onto the
+    /// free list of the class that serves `floats`-float checkouts
+    /// (no-op for oversize requests). Additive on purpose: reservations
+    /// that round to the same class sum instead of aliasing, so a plan's
+    /// whole reservation list can be replayed verbatim. Provisioned slabs
+    /// count as
+    /// reserved_slabs and bytes_pooled — NOT as hits or misses — so a
+    /// caller that reserves its whole working set up front (the tile
+    /// stream driver, via TilePlan::reservations()) can assert a
+    /// zero-warm-allocation steady state: misses stays 0. Respects the
+    /// idle byte budget; provisioning stops silently at the cap.
+    void reserve(std::size_t floats, std::size_t count);
+
+    /// Idle slab count per class (index = class, size = slab_classes) —
+    /// the arena-stats line bench_tiled_stream prints for tile classes.
+    [[nodiscard]] std::vector<std::size_t> pooled_per_class() const;
 
     [[nodiscard]] ArenaStats stats() const;
     [[nodiscard]] const ArenaConfig& config() const noexcept;

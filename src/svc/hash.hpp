@@ -41,9 +41,22 @@ struct CacheKey {
     std::uint8_t levels = 0;
     std::uint8_t boundary = 0;
     std::uint8_t kernel = 0;  ///< resolved core::DwtKernel (never Auto)
+    /// Band selector: 0 = the full pyramid, 1 = approximation-only preview
+    /// (the progressive pipeline's first deliverable). Previews live in
+    /// the same cache under their own key so a degraded client can be
+    /// served the coarse scene while the full answer is still in flight —
+    /// without ever aliasing the full result.
+    std::uint8_t band = 0;
 
     friend bool operator==(const CacheKey&, const CacheKey&) = default;
 };
+
+/// The approximation-preview variant of `k` (band field set; everything
+/// else identical).
+[[nodiscard]] inline CacheKey preview_key(CacheKey k) noexcept {
+    k.band = 1;
+    return k;
+}
 
 struct CacheKeyHash {
     [[nodiscard]] std::size_t operator()(const CacheKey& k) const noexcept {
@@ -52,6 +65,7 @@ struct CacheKeyHash {
         h ^= (std::uint64_t{k.rows} << 32) | k.cols;
         h ^= (std::uint64_t{k.kernel} << 24) | (std::uint64_t{k.taps} << 16) |
              (std::uint64_t{k.levels} << 8) | k.boundary;
+        h ^= std::uint64_t{k.band} << 56;
         return static_cast<std::size_t>(h);
     }
 };

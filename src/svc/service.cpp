@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "tile/progressive.hpp"
 #include "wavelet/threads_dwt.hpp"
 
 namespace wavehpc::svc {
@@ -238,6 +239,13 @@ SubmitResult PyramidService::try_degraded_locked(const CacheKey& key,
                                                  bool& served) {
     SubmitResult out;
     auto variant = cache_.lookup_variant(key);
+    bool is_preview = false;
+    if (!variant) {
+        // No full-pyramid variant of the scene: fall back to the
+        // approximation-only preview a progressive flight may have cached.
+        variant = cache_.lookup(preview_key(key));
+        is_preview = variant != nullptr;
+    }
     if (!variant) {
         served = false;
         return out;
@@ -246,9 +254,11 @@ SubmitResult PyramidService::try_degraded_locked(const CacheKey& key,
     ++counters_.accepted;
     ++counters_.completed;
     ++counters_.degraded_replies;
+    if (is_preview) ++counters_.preview_hits;
     TransformReply reply;
     reply.result = std::move(variant);
     reply.degraded = true;
+    reply.preview = is_preview;
     reply.total_seconds = seconds_between(submitted_at, Clock::now());
     total_hist_.record(reply.total_seconds);
     record_outcome_locked(Outcome::Degraded, reply.total_seconds);
@@ -295,6 +305,10 @@ void PyramidService::fail_flight_locked(Flight& flight,
 }
 
 bool PyramidService::batch_compatible(const Flight& a, const Flight& b) noexcept {
+    // Progressive flights run the tile stream solo: fusing them into a
+    // sweep would serialize the stream behind the batch anyway, and the
+    // preview side-product is per-flight.
+    if (a.request.progressive || b.request.progressive) return false;
     return a.priority == b.priority && a.deadline == b.deadline &&
            a.request.backend == b.request.backend &&
            a.request.taps == b.request.taps &&
@@ -386,6 +400,7 @@ void PyramidService::run_batch(const std::vector<std::shared_ptr<Flight>>& batch
         std::shared_ptr<Flight> flight;
         ChaosDecision decision{};
         std::shared_ptr<const TransformResult> result;
+        std::shared_ptr<const TransformResult> preview;  ///< progressive only
         std::exception_ptr error;
         bool crc_failed = false;
     };
@@ -426,7 +441,7 @@ void PyramidService::run_batch(const std::vector<std::shared_ptr<Flight>>& batch
             } else {
                 flight->watch_deadline = Clock::time_point::max();
             }
-            live.push_back(Cell{flight, {}, nullptr, nullptr, false});
+            live.push_back(Cell{flight, {}, nullptr, nullptr, nullptr, false});
         }
         if (live.empty()) {
             release_slot_locked(*slot);
@@ -467,13 +482,25 @@ void PyramidService::run_batch(const std::vector<std::shared_ptr<Flight>>& batch
     }
     if (!images.empty()) {
         std::vector<core::Pyramid> pyrs;
+        double first_band_seconds = 0.0;
         std::exception_ptr sweep_error;
         try {
             const auto fp = core::FilterPair::daubechies(req0.taps);
-            pyrs = wavelet::decompose_batch(
-                images, fp, req0.levels, req0.boundary,
-                req0.backend == Backend::Serial ? nullptr : &pool_, req0.kernel,
-                &arena_);
+            if (req0.progressive) {
+                // batch_compatible never fuses progressive flights, so the
+                // tile stream computes exactly one member; its output is
+                // bit-identical to the fused sweep's.
+                tile::TileStreamStats tstats;
+                pyrs.push_back(tile::tiled_decompose(
+                    *images.front(), fp, req0.levels, req0.boundary, req0.kernel,
+                    tile::TileConfig::from_env(), &arena_, &tstats));
+                first_band_seconds = tstats.approx_seal_seconds;
+            } else {
+                pyrs = wavelet::decompose_batch(
+                    images, fp, req0.levels, req0.boundary,
+                    req0.backend == Backend::Serial ? nullptr : &pool_,
+                    req0.kernel, &arena_);
+            }
         } catch (...) {
             sweep_error = std::current_exception();
         }
@@ -490,6 +517,7 @@ void PyramidService::run_batch(const std::vector<std::shared_ptr<Flight>>& batch
             owned->key = cell.flight->key;
             owned->result_bytes = pyramid_bytes(owned->pyramid);
             owned->compute_seconds = sweep_seconds;
+            owned->first_band_seconds = first_band_seconds;
             // CRC point of truth, then the chaos corruption hook: an
             // injected bit flip lands *after* the checksum, so the audit
             // must catch it.
@@ -506,6 +534,20 @@ void PyramidService::run_batch(const std::vector<std::shared_ptr<Flight>>& batch
             // The lease: cache + waiters share it; the last release
             // (typically cache eviction) recycles the slabs.
             cell.result = arena_.adopt(std::move(owned));
+            if (req0.progressive) {
+                // Approximation-only preview for allow_degraded clients,
+                // cached under the flight's preview key in phase 3. Plain
+                // heap-owned result: its one band is a copy, not arena
+                // slabs, so no adopt lease.
+                auto pv = std::make_shared<TransformResult>();
+                pv->pyramid.approx = cell.result->pyramid.approx;
+                pv->key = preview_key(cell.flight->key);
+                pv->result_bytes = pyramid_bytes(pv->pyramid);
+                pv->compute_seconds = sweep_seconds;
+                pv->first_band_seconds = first_band_seconds;
+                pv->crc32 = pyramid_crc32(pv->pyramid);
+                cell.preview = std::move(pv);
+            }
         }
     }
     const auto finish = Clock::now();
@@ -533,7 +575,13 @@ void PyramidService::run_batch(const std::vector<std::shared_ptr<Flight>>& batch
                 // once every member was abandoned); all that is left is
                 // salvage — cache a clean result so the work is not
                 // wasted.
-                if (cell.result) cache_.insert(flight.key, cell.result);
+                if (cell.result) {
+                    cache_.insert(flight.key, cell.result);
+                    if (cell.preview) {
+                        cache_.insert(cell.preview->key, cell.preview);
+                        ++counters_.progressive;
+                    }
+                }
                 continue;
             }
 
@@ -549,6 +597,10 @@ void PyramidService::run_batch(const std::vector<std::shared_ptr<Flight>>& batch
                 d.attempts = flight.attempts;
                 remove_flight_locked(flight);
                 cache_.insert(flight.key, cell.result);
+                if (cell.preview) {
+                    cache_.insert(cell.preview->key, cell.preview);
+                    ++counters_.progressive;
+                }
                 const double compute_seconds = cell.result->compute_seconds;
                 queue_wait_hist_.record(seconds_between(flight.admitted_at, start));
                 compute_hist_.record(compute_seconds);
