@@ -20,10 +20,26 @@
 // non-degraded popular-scene replies stay bit-identical, goodput holds
 // >= 70%, and the roster actually saw the death and the re-admission.
 //
+// Phase 3 — split-brain partition drill (ISSUE 10): a fresh cluster under
+// the same skewed storm, with an *asymmetric* partition injected as
+// transport LinkFault windows — the busiest shard's outbound gossip is
+// muted to every node while it still hears the router's broadcasts, and
+// the router's requests to it are dropped. The router declares it Dead and
+// routes around it (goodput must hold >= 90% through the window via the
+// replica chain); the victim reads the gossiped accusation and refutes by
+// bumping its incarnation; after the window heals the roster re-admits the
+// new life and every node's gossiped view converges to the router's
+// roster_hash. Zero stale-incarnation replies, ever — the wire's epoch
+// fence makes that structural, and the drill asserts the counter stays 0.
+//
 // --smoke: fewer requests, smaller scenes, shard counts {1, 2} for phase 1;
-// asserts the same invariants so CI exercises scaling, kill, failover and
-// readmit on every run. Extra flags: --requests N (storm arrivals; default
-// 400, smoke 120).
+// asserts the same invariants so CI exercises scaling, kill, failover,
+// readmit, partition, refutation and roster convergence on every run.
+// Extra flags: --requests N (storm arrivals; default 400, smoke 120);
+// --json PATH (write the machine-readable summary; see BENCH_shard.json);
+// --drill-only (skip phases 1-2 — the partition-storm CI job runs the
+// drill under TSan, where the instrumented submit path can't sustain the
+// offered rates the scaling gate needs).
 
 #include <algorithm>
 #include <chrono>
@@ -36,9 +52,11 @@
 
 #include "common_args.hpp"
 #include "common_load.hpp"
+#include "mesh/faults.hpp"
 #include "perf/report.hpp"
 #include "svc/cache.hpp"
 #include "svc/shard/cluster.hpp"
+#include "svc/shard/wire.hpp"
 #include "testing/seeds.hpp"
 
 namespace {
@@ -190,11 +208,26 @@ void print_storm(const StormResult& r, const char* label) {
 int main(int argc, char** argv) {
     CommonArgs args;
     std::uint64_t requests_flag = 0;
-    const auto extra = [&requests_flag](std::string_view flag,
-                                        std::string_view value) {
+    std::string json_path;
+    bool drill_only = false;
+    const auto extra = [&requests_flag, &json_path,
+                        &drill_only](std::string_view flag,
+                                     std::string_view value) {
         if (flag == "--requests" &&
             wavehpc::bench::detail::parse_u64(value, requests_flag)) {
             return Consume::kFlagAndValue;
+        }
+        if (flag == "--json") {
+            if (value.empty() || value.starts_with("--")) {
+                json_path = "BENCH_shard.json";
+                return Consume::kFlag;
+            }
+            json_path = std::string(value);
+            return Consume::kFlagAndValue;
+        }
+        if (flag == "--drill-only") {
+            drill_only = true;
+            return Consume::kFlag;
         }
         return Consume::kNo;
     };
@@ -259,80 +292,160 @@ int main(int argc, char** argv) {
     // largest fleet at ~70%: the 1-shard cluster sees several times its
     // capacity and queues deep, and each doubling of shards drains the
     // *identical* seeded arrival stream roughly twice as fast.
-    const double scaling_rps = per_shard_capacity * 1.4 *
-                               static_cast<double>(shard_counts.back());
     std::vector<StormResult> scaling;
-    for (std::size_t k = 0; k < shard_counts.size(); ++k) {
-        ShardClusterConfig cfg = base;
-        cfg.shard_count = shard_counts[k];
-        ShardCluster cluster(pool, cfg);
-        cluster.set_chaos_plan(ChaosPlan::parse(kStallSpec, seed));
-        scaling.push_back(run_storm(cluster, scenes, scene0_refs, scaling_rps,
-                                    n_requests,
-                                    wavehpc::testing::derive_seed(seed, 7),
-                                    /*scene0_share=*/0.0));
-        print_storm(scaling.back(), "scaling");
-        cluster.shutdown();
-    }
+    if (!drill_only) {
+        const double scaling_rps = per_shard_capacity * 1.4 *
+                                   static_cast<double>(shard_counts.back());
+        for (std::size_t k = 0; k < shard_counts.size(); ++k) {
+            ShardClusterConfig cfg = base;
+            cfg.shard_count = shard_counts[k];
+            ShardCluster cluster(pool, cfg);
+            cluster.set_chaos_plan(ChaosPlan::parse(kStallSpec, seed));
+            scaling.push_back(run_storm(cluster, scenes, scene0_refs,
+                                        scaling_rps, n_requests,
+                                        wavehpc::testing::derive_seed(seed, 7),
+                                        /*scene0_share=*/0.0));
+            print_storm(scaling.back(), "scaling");
+            cluster.shutdown();
+        }
 
-    TableWriter scale_tab({"shards", "offered rps", "goodput", "goodput rps",
-                           "hit rate", "p99"});
-    for (const auto& r : scaling) {
-        scale_tab.add_row(
-            {std::to_string(r.shards), TableWriter::num(r.offered_rps, 1),
-             TableWriter::pct(r.goodput()),
-             TableWriter::num(r.goodput_rps(), 1),
-             TableWriter::pct(r.fleet_cache.hit_rate()),
-             wavehpc::perf::format_latency(r.fleet.total.quantile(0.99))});
+        TableWriter scale_tab({"shards", "offered rps", "goodput",
+                               "goodput rps", "hit rate", "p99"});
+        for (const auto& r : scaling) {
+            scale_tab.add_row(
+                {std::to_string(r.shards), TableWriter::num(r.offered_rps, 1),
+                 TableWriter::pct(r.goodput()),
+                 TableWriter::num(r.goodput_rps(), 1),
+                 TableWriter::pct(r.fleet_cache.hit_rate()),
+                 wavehpc::perf::format_latency(r.fleet.total.quantile(0.99))});
+        }
+        scale_tab.print(std::cout);
+        std::cout << '\n';
     }
-    scale_tab.print(std::cout);
-    std::cout << '\n';
 
     // --- Phase 2: kill the busiest shard mid-storm, revive before the end ---
     ShardClusterConfig cfg = base;
     cfg.shard_count = args.smoke ? 3 : 4;
-    ShardCluster cluster(pool, cfg);
 
     // Scene 0 carries half the traffic; its primary is the busiest shard.
     TransformRequest probe;
     probe.image = scenes[0];
     probe.taps = load::kTable1Mix[0].taps;
     probe.levels = load::kTable1Mix[0].levels;
-    const auto chain = cluster.placement(probe);
-    const std::size_t victim = chain.front();
 
-    // Pace the storm to real time: the failure-detector windows (and the
-    // kill itself) need a storm lasting seconds, not a burst the queues
-    // swallow in milliseconds.
-    const double min_wall = args.smoke ? 1.2 : 2.0;
-    const double storm_rps =
-        std::min(per_shard_capacity * 1.5 * static_cast<double>(cfg.shard_count),
-                 static_cast<double>(n_requests) / min_wall);
-    const double expect_wall =
-        static_cast<double>(n_requests) / storm_rps;
-    const double kill_at = 0.30 * expect_wall;
-    const double kill_for =
-        std::max(0.40 * expect_wall, cfg.membership.dead_after * 3.0);
-    {
-        char spec[128];
-        std::snprintf(spec, sizeof spec, "%s,shard_kill=%zu:%.1f:%.1f",
-                      kStallSpec, victim, kill_at * 1e3, kill_for * 1e3);
-        cluster.set_chaos_plan(ChaosPlan::parse(spec, seed));
-        std::cout << "storm: killing shard " << victim << " (scene-0 primary) at "
-                  << TableWriter::num(kill_at, 2) << " s for "
-                  << TableWriter::num(kill_for, 2) << " s (plan \"" << spec
-                  << "\")\n";
+    std::size_t victim = 0;
+    StormResult storm;
+    if (!drill_only) {
+        ShardCluster cluster(pool, cfg);
+        victim = cluster.placement(probe).front();
+
+        // Pace the storm to real time: the failure-detector windows (and
+        // the kill itself) need a storm lasting seconds, not a burst the
+        // queues swallow in milliseconds.
+        const double min_wall = args.smoke ? 1.2 : 2.0;
+        const double storm_rps = std::min(
+            per_shard_capacity * 1.5 * static_cast<double>(cfg.shard_count),
+            static_cast<double>(n_requests) / min_wall);
+        const double expect_wall = static_cast<double>(n_requests) / storm_rps;
+        const double kill_at = 0.30 * expect_wall;
+        const double kill_for =
+            std::max(0.40 * expect_wall, cfg.membership.dead_after * 3.0);
+        {
+            char spec[128];
+            std::snprintf(spec, sizeof spec, "%s,shard_kill=%zu:%.1f:%.1f",
+                          kStallSpec, victim, kill_at * 1e3, kill_for * 1e3);
+            cluster.set_chaos_plan(ChaosPlan::parse(spec, seed));
+            std::cout << "storm: killing shard " << victim
+                      << " (scene-0 primary) at " << TableWriter::num(kill_at, 2)
+                      << " s for " << TableWriter::num(kill_for, 2)
+                      << " s (plan \"" << spec << "\")\n";
+        }
+        storm = run_storm(cluster, scenes, scene0_refs, storm_rps, n_requests,
+                          wavehpc::testing::derive_seed(seed, 97),
+                          /*scene0_share=*/0.5);
+        // Give the roster time to re-admit the revived shard before reading it.
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            cfg.membership.heartbeat_interval * (cfg.membership.readmit_oks + 4)));
+        storm.cluster = cluster.counters();
+        print_storm(storm, "kill-storm");
+        cluster.shutdown();
     }
-    StormResult storm = run_storm(cluster, scenes, scene0_refs, storm_rps,
+
+    // --- Phase 3: asymmetric partition + split-brain drill ---
+    ShardClusterConfig pcfg = base;
+    pcfg.shard_count = args.smoke ? 3 : 4;
+    ShardCluster drill_cluster(pool, pcfg);
+    const auto drill_t0 = Clock::now();  // ~the transport's time origin
+    drill_cluster.set_chaos_plan(ChaosPlan::parse(kStallSpec, seed));
+    const std::size_t drill_victim = drill_cluster.placement(probe).front();
+
+    // Moderate pressure: the drill measures routing around a partition,
+    // not queueing collapse, so offer ~1.2x aggregate capacity.
+    const double drill_wall = args.smoke ? 1.2 : 2.0;
+    const double drill_rps = std::min(
+        per_shard_capacity * 1.2 * static_cast<double>(pcfg.shard_count),
+        static_cast<double>(n_requests) / drill_wall);
+    const double drill_expect = static_cast<double>(n_requests) / drill_rps;
+    const double part_t0 = 0.25 * drill_expect;
+    const double part_t1 =
+        std::max(0.65 * drill_expect, part_t0 + pcfg.membership.dead_after * 6.0);
+    {
+        namespace wire = wavehpc::svc::shard::wire;
+        wavehpc::mesh::FaultPlan fp;
+        // Asymmetric: the victim's beats reach NO ONE (so no peer keeps it
+        // alive by relay), yet it still hears the router's broadcasts and
+        // can refute the Dead claim it reads about itself.
+        wavehpc::mesh::LinkFault mute_beats;
+        mute_beats.src = static_cast<int>(drill_victim);
+        mute_beats.dst = -1;
+        mute_beats.tag = wire::kGossipTag;
+        mute_beats.t_begin = part_t0;
+        mute_beats.t_end = part_t1;
+        mute_beats.drop_probability = 1.0;
+        wavehpc::mesh::LinkFault mute_requests = mute_beats;
+        mute_requests.src = static_cast<int>(pcfg.shard_count);  // router
+        mute_requests.dst = static_cast<int>(drill_victim);
+        mute_requests.tag = wire::kRequestTag;
+        fp.links = {mute_beats, mute_requests};
+        drill_cluster.set_transport_faults(fp);
+    }
+    std::cout << "drill: asymmetric partition of shard " << drill_victim
+              << " (scene-0 primary) over [" << TableWriter::num(part_t0, 2)
+              << ", " << TableWriter::num(part_t1, 2) << "] s\n";
+    StormResult drill = run_storm(drill_cluster, scenes, scene0_refs, drill_rps,
                                   n_requests,
-                                  wavehpc::testing::derive_seed(seed, 97),
+                                  wavehpc::testing::derive_seed(seed, 131),
                                   /*scene0_share=*/0.5);
-    // Give the roster time to re-admit the revived shard before reading it.
-    std::this_thread::sleep_for(std::chrono::duration<double>(
-        cfg.membership.heartbeat_interval * (cfg.membership.readmit_oks + 4)));
-    storm.cluster = cluster.counters();
-    print_storm(storm, "kill-storm");
-    cluster.shutdown();
+    // Wait out the heal plus a few readmission beats before the verdict
+    // reads the roster (the monitor thread keeps gossiping meanwhile).
+    const double heal_by =
+        part_t1 + pcfg.membership.heartbeat_interval *
+                      (pcfg.membership.readmit_oks + 8.0);
+    for (;;) {
+        const double el =
+            std::chrono::duration<double>(Clock::now() - drill_t0).count();
+        if (el >= heal_by) break;
+        std::this_thread::sleep_for(std::chrono::duration<double>(heal_by - el));
+    }
+    drill.cluster = drill_cluster.counters();
+    bool roster_converged = true;
+    for (std::size_t s = 0; s < drill_cluster.shard_count(); ++s) {
+        if (drill_cluster.node_roster_hash(s) != drill_cluster.roster_hash()) {
+            roster_converged = false;
+        }
+    }
+    const bool victim_alive =
+        drill_cluster.health(drill_victim) ==
+        wavehpc::svc::shard::ShardHealth::Alive;
+    const auto drill_wire = drill_cluster.wire_stats();
+    print_storm(drill, "partition-drill");
+    std::cout << "  drill: refutations=" << drill.cluster.refutations
+              << " stale_replies=" << drill.cluster.stale_replies_delivered
+              << " reply_fallbacks=" << drill.cluster.reply_wire_fallbacks
+              << " wire_drops=" << drill_wire.drops << " victim_alive="
+              << (victim_alive ? "yes" : "NO") << " roster_converged="
+              << (roster_converged ? "yes" : "NO") << "\n\n";
+    drill_cluster.shutdown();
 
     // --- Verdict ---
     // Near-linear: each doubling of shards must carry meaningfully more
@@ -346,33 +459,117 @@ int main(int argc, char** argv) {
             scaling_ok = false;
         }
     }
-    std::uint64_t escapes = storm.crc_escapes;
-    std::uint64_t mismatches = storm.mismatches;
+    std::uint64_t escapes = storm.crc_escapes + drill.crc_escapes;
+    std::uint64_t mismatches = storm.mismatches + drill.mismatches;
     for (const auto& r : scaling) {
         escapes += r.crc_escapes;
         mismatches += r.mismatches;
         if (r.stranded > 0) scaling_ok = false;
     }
     const auto& cc = storm.cluster;
-    const bool lifecycle_ok = cc.kills >= 1 && cc.revivals >= 1 &&
-                              cc.deaths >= 1 && cc.readmissions >= 1;
-    const bool survival_ok = storm.goodput() >= 0.70 && storm.stranded == 0;
+    const bool lifecycle_ok =
+        drill_only || (cc.kills >= 1 && cc.revivals >= 1 && cc.deaths >= 1 &&
+                       cc.readmissions >= 1);
+    const bool survival_ok =
+        drill_only || (storm.goodput() >= 0.70 && storm.stranded == 0);
+    const auto& dc = drill.cluster;
+    const bool drill_ok = drill.goodput() >= 0.90 && drill.stranded == 0 &&
+                          dc.refutations >= 1 &&
+                          dc.stale_replies_delivered == 0 && dc.deaths >= 1 &&
+                          dc.readmissions >= 1 && roster_converged &&
+                          victim_alive;
 
     std::cout << "integrity: " << escapes << " CRC escapes, " << mismatches
-              << " mismatches; kill-storm goodput "
-              << TableWriter::pct(storm.goodput()) << "; lifecycle "
-              << (lifecycle_ok ? "complete" : "INCOMPLETE")
-              << " (kill/revive/death/readmit = " << cc.kills << "/"
-              << cc.revivals << "/" << cc.deaths << "/" << cc.readmissions
-              << ")\n";
+              << " mismatches; ";
+    if (drill_only) {
+        std::cout << "kill-storm skipped (--drill-only)";
+    } else {
+        std::cout << "kill-storm goodput " << TableWriter::pct(storm.goodput())
+                  << "; lifecycle " << (lifecycle_ok ? "complete" : "INCOMPLETE")
+                  << " (kill/revive/death/readmit = " << cc.kills << "/"
+                  << cc.revivals << "/" << cc.deaths << "/" << cc.readmissions
+                  << ")";
+    }
+    std::cout << "; partition-drill goodput " << TableWriter::pct(drill.goodput())
+              << ", " << (drill_ok ? "resolved" : "UNRESOLVED") << "\n";
 
-    const bool ok = scaling_ok && survival_ok && lifecycle_ok && escapes == 0 &&
-                    mismatches == 0;
+    const bool ok = scaling_ok && survival_ok && lifecycle_ok && drill_ok &&
+                    escapes == 0 && mismatches == 0;
     if (args.smoke) {
         std::cout << "smoke: " << (ok ? "OK" : "FAILED")
                   << " (expects scaling gain per doubling, kill-storm goodput "
-                     ">= 70%, zero CRC escapes, zero stranded, full "
-                     "kill/revive/death/readmit lifecycle)\n";
+                     ">= 70%, partition-drill goodput >= 90% with refutation, "
+                     "re-admission and roster convergence, zero stale "
+                     "replies, zero CRC escapes, zero stranded)\n";
+    }
+
+    if (!json_path.empty()) {
+        std::FILE* jf = std::fopen(json_path.c_str(), "w");
+        if (!jf) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 1;
+        }
+        std::fprintf(jf, "{\n");
+        std::fprintf(jf,
+                     "  \"bench\": \"shard_sweep\",\n  \"seed\": %llu,\n"
+                     "  \"edge\": %zu,\n  \"requests\": %zu,\n"
+                     "  \"smoke\": %s,\n",
+                     static_cast<unsigned long long>(seed), edge, n_requests,
+                     args.smoke ? "true" : "false");
+        std::fprintf(jf, "  \"scaling\": [\n");
+        for (std::size_t k = 0; k < scaling.size(); ++k) {
+            const auto& r = scaling[k];
+            std::fprintf(jf,
+                         "    {\"shards\": %zu, \"offered_rps\": %.1f, "
+                         "\"goodput\": %.4f, \"goodput_rps\": %.1f, "
+                         "\"hit_rate\": %.4f, \"p99_seconds\": %.6f}%s\n",
+                         r.shards, r.offered_rps, r.goodput(), r.goodput_rps(),
+                         r.fleet_cache.hit_rate(), r.fleet.total.quantile(0.99),
+                         k + 1 < scaling.size() ? "," : "");
+        }
+        std::fprintf(jf, "  ],\n");
+        if (drill_only) {
+            std::fprintf(jf, "  \"kill_storm\": null,\n");
+        } else {
+            std::fprintf(jf,
+                         "  \"kill_storm\": {\"shards\": %zu, \"victim\": %zu, "
+                         "\"goodput\": %.4f, \"stranded\": %llu, "
+                         "\"kills\": %llu, \"revivals\": %llu, "
+                         "\"deaths\": %llu, \"readmissions\": %llu},\n",
+                         static_cast<std::size_t>(cfg.shard_count), victim,
+                         storm.goodput(),
+                         static_cast<unsigned long long>(storm.stranded),
+                         static_cast<unsigned long long>(cc.kills),
+                         static_cast<unsigned long long>(cc.revivals),
+                         static_cast<unsigned long long>(cc.deaths),
+                         static_cast<unsigned long long>(cc.readmissions));
+        }
+        std::fprintf(jf,
+                     "  \"partition_drill\": {\"shards\": %zu, \"victim\": %zu, "
+                     "\"goodput\": %.4f, \"stranded\": %llu, "
+                     "\"refutations\": %llu, \"stale_replies_delivered\": %llu, "
+                     "\"reply_wire_fallbacks\": %llu, \"deaths\": %llu, "
+                     "\"readmissions\": %llu, \"wire_drops\": %llu, "
+                     "\"victim_alive\": %s, \"roster_converged\": %s},\n",
+                     static_cast<std::size_t>(pcfg.shard_count), drill_victim,
+                     drill.goodput(),
+                     static_cast<unsigned long long>(drill.stranded),
+                     static_cast<unsigned long long>(dc.refutations),
+                     static_cast<unsigned long long>(dc.stale_replies_delivered),
+                     static_cast<unsigned long long>(dc.reply_wire_fallbacks),
+                     static_cast<unsigned long long>(dc.deaths),
+                     static_cast<unsigned long long>(dc.readmissions),
+                     static_cast<unsigned long long>(drill_wire.drops),
+                     victim_alive ? "true" : "false",
+                     roster_converged ? "true" : "false");
+        std::fprintf(jf,
+                     "  \"crc_escapes\": %llu,\n  \"mismatches\": %llu,\n"
+                     "  \"ok\": %s\n}\n",
+                     static_cast<unsigned long long>(escapes),
+                     static_cast<unsigned long long>(mismatches),
+                     ok ? "true" : "false");
+        std::fclose(jf);
+        std::cout << "wrote " << json_path << "\n";
     }
     return ok ? 0 : 1;
 }

@@ -217,13 +217,16 @@ void Machine::do_send(NodeCtx& ctx, int tag, int dst, std::span<const std::byte>
     const Coord3 src_at = rs.placement[static_cast<std::size_t>(ctx.rank())];
     const Coord3 dst_at = rs.placement[static_cast<std::size_t>(dst)];
     const auto path = profile_.topo.route(src_at, dst_at);
+    // The fault draw happens at network entry so a matching LinkFault delay
+    // can stretch this frame's wire time before the path is reserved.
+    const FaultDecision fd =
+        profile_.faults.decide_frame(rs.msg_counter++, ctx.rank(), dst, tag, ready);
     const double duration =
         static_cast<double>(profile_.topo.hops(src_at, dst_at)) * profile_.per_hop +
-        static_cast<double>(data.size()) * profile_.byte_time;
+        static_cast<double>(data.size()) * profile_.byte_time + fd.delay;
     const auto res = rs.ledger.reserve_path_ex(path, ready, duration);
     const double arrival = res.start + res.duration;
 
-    const FaultDecision fd = profile_.faults.decide(rs.msg_counter++);
     if (fd.drop) {
         ++rs.injected_drops;
     } else {
@@ -287,7 +290,10 @@ bool Machine::do_send_reliable(NodeCtx& ctx, int tag, int dst,
         advance_with_fail(ctx, profile_.send_overhead, &NodeStats::comm_seconds);
         const double ready = ctx.proc_->now();
 
-        const auto res = rs.ledger.reserve_path_ex(path, ready, data_wire);
+        const FaultDecision fd = profile_.faults.decide_frame(
+            rs.msg_counter++, ctx.rank(), dst, tag, ready);
+        const auto res =
+            rs.ledger.reserve_path_ex(path, ready, data_wire + fd.delay);
         const double arrival = res.start + res.duration;
         ++st.messages_sent;
         st.bytes_sent += frame.size();
@@ -302,7 +308,6 @@ bool Machine::do_send_reliable(NodeCtx& ctx, int tag, int dst,
         bool ack_ok = false;
         double ack_arrival = 0.0;
         const auto peer_fail = fail_time_of(dst);
-        const FaultDecision fd = profile_.faults.decide(rs.msg_counter++);
         if (fd.drop) {
             ++rs.injected_drops;
         } else if (peer_fail.has_value() && arrival >= *peer_fail) {
@@ -335,8 +340,10 @@ bool Machine::do_send_reliable(NodeCtx& ctx, int tag, int dst,
                 // Valid frames — fresh or duplicate — are acknowledged by
                 // the receiving NIC; the ack travels the reverse route and
                 // is itself subject to the fault plan.
-                const FaultDecision fa = profile_.faults.decide(rs.msg_counter++);
-                const auto ares = rs.ledger.reserve_path_ex(back_path, arrival, ack_wire);
+                const FaultDecision fa = profile_.faults.decide_frame(
+                    rs.msg_counter++, dst, ctx.rank(), tag, arrival);
+                const auto ares = rs.ledger.reserve_path_ex(
+                    back_path, arrival, ack_wire + fa.delay);
                 if (fa.drop) {
                     ++rs.injected_drops;
                 } else if (fa.corrupt) {

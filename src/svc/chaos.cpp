@@ -37,26 +37,34 @@ enum Lane : std::uint64_t {
     return mix64(seed ^ (index * 8 + lane));
 }
 
-[[nodiscard]] double parse_probability(std::string_view key, std::string_view text) {
+/// Parse errors name the offending token AND its byte offset in the spec
+/// string, mirroring mesh::FaultPlan::parse — a fat chaos spec in an env
+/// var is unreadable without a position to jump to.
+[[noreturn]] void parse_fail(std::string_view key, const std::string& what,
+                             std::string_view token, std::size_t offset) {
+    throw std::invalid_argument("ChaosPlan: '" + std::string(key) + "' " +
+                                what + ", got '" + std::string(token) +
+                                "' (byte " + std::to_string(offset) + ")");
+}
+
+[[nodiscard]] double parse_probability(std::string_view key, std::string_view text,
+                                       std::size_t off) {
     char* end = nullptr;
     const std::string owned(text);
     const double v = std::strtod(owned.c_str(), &end);
     if (end != owned.c_str() + owned.size() || !(v >= 0.0) || v > 1.0) {
-        throw std::invalid_argument("ChaosPlan: '" + std::string(key) +
-                                    "' needs a probability in [0, 1], got '" +
-                                    owned + "'");
+        parse_fail(key, "needs a probability in [0, 1]", text, off);
     }
     return v;
 }
 
-[[nodiscard]] double parse_millis(std::string_view key, std::string_view text) {
+[[nodiscard]] double parse_millis(std::string_view key, std::string_view text,
+                                  std::size_t off) {
     char* end = nullptr;
     const std::string owned(text);
     const double v = std::strtod(owned.c_str(), &end);
     if (end != owned.c_str() + owned.size() || !(v >= 0.0)) {
-        throw std::invalid_argument("ChaosPlan: '" + std::string(key) +
-                                    "' needs a non-negative millisecond value, got '" +
-                                    owned + "'");
+        parse_fail(key, "needs a non-negative millisecond value", text, off);
     }
     return v * 1e-3;
 }
@@ -66,17 +74,15 @@ void sleep_seconds(double seconds) {
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
-[[nodiscard]] std::uint64_t parse_uint(std::string_view key, std::string_view num) {
+[[nodiscard]] std::uint64_t parse_uint(std::string_view key, std::string_view num,
+                                       std::size_t off) {
     if (num.empty()) {
-        throw std::invalid_argument("ChaosPlan: '" + std::string(key) +
-                                    "' has an empty numeric field");
+        parse_fail(key, "has an empty numeric field", num, off);
     }
     std::uint64_t v = 0;
     for (const char c : num) {
         if (c < '0' || c > '9') {
-            throw std::invalid_argument("ChaosPlan: '" + std::string(key) +
-                                        "' needs unsigned integers, got '" +
-                                        std::string(num) + "'");
+            parse_fail(key, "needs unsigned integers", num, off);
         }
         v = v * 10 + static_cast<std::uint64_t>(c - '0');
     }
@@ -84,36 +90,39 @@ void sleep_seconds(double seconds) {
 }
 
 /// One SHARD:START_MS:DURATION_MS[:STALL_MS] entry of a shard-event list.
+/// `off` is the entry's byte offset in the full spec string.
 [[nodiscard]] ShardEvent parse_shard_event(std::string_view key,
-                                           std::string_view text,
+                                           std::string_view text, std::size_t off,
                                            ShardEventKind kind) {
     std::vector<std::string_view> fields;
+    std::vector<std::size_t> offsets;
     std::size_t p = 0;
     while (p <= text.size()) {
         std::size_t colon = text.find(':', p);
         if (colon == std::string_view::npos) colon = text.size();
         fields.push_back(text.substr(p, colon - p));
+        offsets.push_back(off + p);
         p = colon + 1;
     }
     const std::size_t want_max = kind == ShardEventKind::Slow ? 4 : 3;
     if (fields.size() < 3 || fields.size() > want_max) {
-        throw std::invalid_argument(
-            "ChaosPlan: '" + std::string(key) +
-            "' entries are SHARD:START_MS:DURATION_MS" +
-            (kind == ShardEventKind::Slow ? "[:STALL_MS]" : "") + ", got '" +
-            std::string(text) + "'");
+        parse_fail(key,
+                   std::string("entries are SHARD:START_MS:DURATION_MS") +
+                       (kind == ShardEventKind::Slow ? "[:STALL_MS]" : ""),
+                   text, off);
     }
     ShardEvent ev;
     ev.kind = kind;
-    ev.shard = static_cast<std::size_t>(parse_uint(key, fields[0]));
-    ev.start_seconds = parse_millis(key, fields[1]);
-    ev.duration_seconds = parse_millis(key, fields[2]);
-    if (fields.size() == 4) ev.stall_seconds = parse_millis(key, fields[3]);
+    ev.shard = static_cast<std::size_t>(parse_uint(key, fields[0], offsets[0]));
+    ev.start_seconds = parse_millis(key, fields[1], offsets[1]);
+    ev.duration_seconds = parse_millis(key, fields[2], offsets[2]);
+    if (fields.size() == 4) ev.stall_seconds = parse_millis(key, fields[3], offsets[3]);
     return ev;
 }
 
 void parse_shard_events(std::string_view key, std::string_view value,
-                        ShardEventKind kind, std::vector<ShardEvent>& out) {
+                        std::size_t off, ShardEventKind kind,
+                        std::vector<ShardEvent>& out) {
     bool any = false;
     std::size_t p = 0;
     while (p <= value.size()) {
@@ -121,16 +130,15 @@ void parse_shard_events(std::string_view key, std::string_view value,
         if (semi == std::string_view::npos) semi = value.size();
         const std::string_view item = value.substr(p, semi - p);
         if (!item.empty()) {
-            out.push_back(parse_shard_event(key, item, kind));
+            out.push_back(parse_shard_event(key, item, off + p, kind));
             any = true;
         }
         p = semi + 1;
     }
     if (!any) {
         // A key that injects nothing would silently test nothing.
-        throw std::invalid_argument("ChaosPlan: '" + std::string(key) +
-                                    "' needs at least one "
-                                    "SHARD:START_MS:DURATION_MS entry");
+        parse_fail(key, "needs at least one SHARD:START_MS:DURATION_MS entry",
+                   value, off);
     }
 }
 
@@ -192,36 +200,41 @@ ChaosPlan ChaosPlan::parse(std::string_view spec, std::uint64_t seed) {
         std::size_t comma = spec.find(',', pos);
         if (comma == std::string_view::npos) comma = spec.size();
         const std::string_view item = spec.substr(pos, comma - pos);
+        const std::size_t item_off = pos;
         pos = comma + 1;
         if (item.empty()) continue;
         const std::size_t eq = item.find('=');
         if (eq == std::string_view::npos) {
             throw std::invalid_argument("ChaosPlan: expected key=value, got '" +
-                                        std::string(item) + "'");
+                                        std::string(item) + "' (byte " +
+                                        std::to_string(item_off) + ")");
         }
         const std::string_view key = item.substr(0, eq);
         const std::string_view value = item.substr(eq + 1);
+        const std::size_t value_off = item_off + eq + 1;
         if (key == "compute") {
-            plan.compute_error_probability = parse_probability(key, value);
+            plan.compute_error_probability = parse_probability(key, value, value_off);
         } else if (key == "alloc") {
-            plan.alloc_failure_probability = parse_probability(key, value);
+            plan.alloc_failure_probability = parse_probability(key, value, value_off);
         } else if (key == "stall") {
-            plan.stall_probability = parse_probability(key, value);
+            plan.stall_probability = parse_probability(key, value, value_off);
         } else if (key == "stall_ms") {
-            plan.stall_seconds = parse_millis(key, value);
+            plan.stall_seconds = parse_millis(key, value, value_off);
         } else if (key == "corrupt") {
-            plan.corrupt_probability = parse_probability(key, value);
+            plan.corrupt_probability = parse_probability(key, value, value_off);
         } else if (key == "pool_stall") {
-            plan.pool_stall_probability = parse_probability(key, value);
+            plan.pool_stall_probability = parse_probability(key, value, value_off);
         } else if (key == "pool_stall_ms") {
-            plan.pool_stall_seconds = parse_millis(key, value);
+            plan.pool_stall_seconds = parse_millis(key, value, value_off);
         } else if (key == "shard_kill") {
-            parse_shard_events(key, value, ShardEventKind::Kill, plan.shard_events);
+            parse_shard_events(key, value, value_off, ShardEventKind::Kill,
+                               plan.shard_events);
         } else if (key == "shard_partition") {
-            parse_shard_events(key, value, ShardEventKind::Partition,
+            parse_shard_events(key, value, value_off, ShardEventKind::Partition,
                                plan.shard_events);
         } else if (key == "shard_slow") {
-            parse_shard_events(key, value, ShardEventKind::Slow, plan.shard_events);
+            parse_shard_events(key, value, value_off, ShardEventKind::Slow,
+                               plan.shard_events);
         } else if (key == "compute_exact") {
             std::size_t p = 0;
             while (p <= value.size()) {
@@ -232,9 +245,8 @@ ChaosPlan ChaosPlan::parse(std::string_view spec, std::uint64_t seed) {
                     std::uint64_t v = 0;
                     for (const char c : num) {
                         if (c < '0' || c > '9') {
-                            throw std::invalid_argument(
-                                "ChaosPlan: 'compute_exact' needs ':'-separated "
-                                "indices, got '" + std::string(num) + "'");
+                            parse_fail(key, "needs ':'-separated indices", num,
+                                       value_off + p);
                         }
                         v = v * 10 + static_cast<std::uint64_t>(c - '0');
                     }
@@ -244,7 +256,8 @@ ChaosPlan ChaosPlan::parse(std::string_view spec, std::uint64_t seed) {
             }
         } else {
             throw std::invalid_argument("ChaosPlan: unknown key '" +
-                                        std::string(key) + "'");
+                                        std::string(key) + "' (byte " +
+                                        std::to_string(item_off) + ")");
         }
     }
     std::stable_sort(plan.shard_events.begin(), plan.shard_events.end(),

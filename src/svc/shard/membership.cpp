@@ -1,5 +1,6 @@
 #include "svc/shard/membership.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace wavehpc::svc::shard {
@@ -51,7 +52,9 @@ void FailureDetector::observe(std::size_t shard, bool ok, double now,
     case ShardHealth::Alive:
     case ShardHealth::Suspect:
         st.incarnation = incarnation;
-        st.last_ok = now;
+        // max(): merged gossip entries may land out of order with direct
+        // probes; last_ok never regresses.
+        st.last_ok = std::max(st.last_ok, now);
         if (st.health == ShardHealth::Suspect) {
             transition(shard, ShardHealth::Alive, now);
         }
@@ -65,13 +68,28 @@ void FailureDetector::observe(std::size_t shard, bool ok, double now,
             st.consecutive_oks = 0;
         }
         ++st.consecutive_oks;
-        st.last_ok = now;
+        st.last_ok = std::max(st.last_ok, now);
         if (st.consecutive_oks >= cfg_.readmit_oks) {
             st.consecutive_oks = 0;
             transition(shard, ShardHealth::Alive, now);
         }
         break;
     }
+}
+
+bool FailureDetector::merge_entry(std::size_t shard, std::uint64_t incarnation,
+                                  double last_ok, double now) {
+    ShardStatus& st = status_.at(shard);
+    // Freshness fence: only strictly newer information counts as a beat.
+    // Stale incarnations are a previous life; an equal incarnation with an
+    // equal-or-older last_ok is a relayed duplicate of a beat this
+    // detector already merged.
+    if (incarnation < st.incarnation) return false;
+    if (incarnation == st.incarnation && !(last_ok > st.last_ok)) return false;
+    // Clamp against the local clock so a peer's timestamp can never push
+    // last_ok into this detector's future.
+    observe(shard, true, std::min(last_ok, now), incarnation);
+    return true;
 }
 
 void FailureDetector::sweep(double now) {

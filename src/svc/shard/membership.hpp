@@ -73,6 +73,19 @@ public:
     void observe(std::size_t shard, bool ok, double now,
                  std::uint64_t incarnation = 0);
 
+    /// Merge one gossiped roster entry about `shard`: the sender's record
+    /// of (incarnation, last_ok). Counts as a heartbeat only when the
+    /// entry is strictly fresher than what this detector already holds —
+    /// a newer incarnation, or the same incarnation with a newer last_ok.
+    /// Relayed duplicates of one beat (same incarnation, same last_ok)
+    /// are ignored, so no matter how many peers relay a tick's beat it
+    /// advances readmission progress at most once; the epoch fence and
+    /// readmit_oks pacing are identical to direct observe(). Returns
+    /// whether the entry was fresh (the dead-life epoch fence may still
+    /// discard a fresh-looking beat without counting it).
+    bool merge_entry(std::size_t shard, std::uint64_t incarnation,
+                     double last_ok, double now);
+
     /// Advance time-based transitions (Alive -> Suspect -> Dead) to `now`.
     void sweep(double now);
 

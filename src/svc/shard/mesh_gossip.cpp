@@ -1,17 +1,17 @@
 #include "svc/shard/mesh_gossip.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <optional>
 #include <stdexcept>
 
 #include "mesh/machine.hpp"
+#include "svc/shard/wire.hpp"
 
 namespace wavehpc::svc::shard {
 
 namespace {
 
-constexpr int kBeatTag = 71;
+constexpr int kBeatTag = wire::kGossipTag;
 
 }  // namespace
 
@@ -23,9 +23,11 @@ MeshGossipResult run_mesh_gossip(const MeshGossipParams& params) {
 
     mesh::MachineProfile profile =
         mesh::MachineProfile::test_profile(params.ranks, 1);
+    profile.faults.seed = params.fault_seed;
     for (const auto& [rank, at] : params.fail_at) {
         profile.faults.failures.push_back({rank, at});
     }
+    profile.faults.links = params.link_faults;
     mesh::Machine machine(std::move(profile));
     if (params.schedule_seed != 0) {
         machine.set_schedule_seed(params.schedule_seed);
@@ -39,36 +41,80 @@ MeshGossipResult run_mesh_gossip(const MeshGossipParams& params) {
     const double end = params.run_seconds;
     const auto result = machine.run(params.ranks, [&](mesh::NodeCtx& ctx) {
         const int rank = ctx.rank();
+        const auto self = static_cast<std::size_t>(rank);
         FailureDetector det(static_cast<std::size_t>(n), cfg);
-        constexpr std::uint64_t kIncarnation = 1;  // one life per rank here
+        std::uint64_t my_inc = 1;  // bumped by refutation (a "new life")
+        std::uint64_t refutations = 0;
         double next_beat = 0.0;
         while (ctx.now() < end) {
             if (ctx.now() >= next_beat) {
+                det.observe(self, true, ctx.now(), my_inc);
+                // The beat is the full roster vector, sealed in the shard
+                // wire format — identical bytes to the live transport leg.
+                std::vector<wire::RosterEntry> roster;
+                roster.reserve(det.shard_count());
+                for (const ShardStatus& st : det.snapshot()) {
+                    roster.push_back({st.incarnation, st.last_ok,
+                                      static_cast<std::uint8_t>(st.health)});
+                }
+                const auto payload = wire::encode_roster_payload(roster);
                 for (int peer = 0; peer < n; ++peer) {
                     if (peer == rank) continue;
-                    ctx.send_value<std::uint64_t>(kBeatTag, peer, kIncarnation);
+                    wire::Header h;
+                    h.kind = wire::MsgKind::Gossip;
+                    h.src = static_cast<std::uint32_t>(rank);
+                    h.dst = static_cast<std::uint32_t>(peer);
+                    h.incarnation = my_inc;
+                    h.epoch = det.epoch();
+                    const auto sealed = wire::seal(h, payload);
+                    ctx.csend(kBeatTag, peer, sealed);
                 }
                 next_beat += cfg.heartbeat_interval;
             }
-            det.observe(static_cast<std::size_t>(rank), true, ctx.now(),
-                        kIncarnation);
+            det.observe(self, true, ctx.now(), my_inc);
             const double wait = std::min(next_beat, end) - ctx.now();
             if (wait > 0.0) {
                 if (auto m = ctx.crecv_timeout(kBeatTag, mesh::kAnySource, wait)) {
-                    std::uint64_t inc = 0;
-                    if (m->data.size() == sizeof inc) {
-                        std::memcpy(&inc, m->data.data(), sizeof inc);
-                        det.observe(static_cast<std::size_t>(m->src), true,
-                                    ctx.now(), inc);
+                    // A machine-corrupted frame fails the wire CRC here and
+                    // the beat is simply lost — no partial merge.
+                    if (const auto un = wire::try_unseal(m->data)) {
+                        const auto entries =
+                            wire::decode_roster_payload(un->payload);
+                        for (std::size_t s = 0;
+                             s < entries.size() && s < det.shard_count(); ++s) {
+                            const wire::RosterEntry& e = entries[s];
+                            if (s == self) {
+                                // Split-brain refutation: the claimant says
+                                // this rank is Dead at (or past) its own
+                                // incarnation, and the claim's last_ok is
+                                // too stale for the claimant to have heard
+                                // recent beats. Bump: readmission then runs
+                                // through the ordinary epoch fence.
+                                const bool claims_dead =
+                                    e.health ==
+                                    static_cast<std::uint8_t>(ShardHealth::Dead);
+                                if (claims_dead && e.incarnation >= my_inc &&
+                                    e.last_ok + cfg.suspect_after <= ctx.now()) {
+                                    my_inc = e.incarnation + 1;
+                                    ++refutations;
+                                    det.observe(self, true, ctx.now(), my_inc);
+                                }
+                                continue;
+                            }
+                            det.merge_entry(s, e.incarnation, e.last_ok,
+                                            ctx.now());
+                        }
                     }
                 }
             }
             det.sweep(ctx.now());
             // Publish every pass: a fail-stop mid-loop leaves the last
             // pre-death view behind instead of an empty one.
-            MeshGossipRankView& view = (*views)[static_cast<std::size_t>(rank)];
+            MeshGossipRankView& view = (*views)[self];
             view.roster_hash = det.roster_hash();
             view.epoch = det.epoch();
+            view.incarnation = my_inc;
+            view.refutations = refutations;
             view.health.assign(det.shard_count(), ShardHealth::Alive);
             for (std::size_t s = 0; s < det.shard_count(); ++s) {
                 view.health[s] = det.health(s);

@@ -5,20 +5,37 @@
 // with wall time, the tests with explicit doubles, and this program with
 // *virtual* seconds over a simulated interconnect.
 //
-// Every rank beats every peer on the heartbeat interval and folds the
-// beats it hears into its own private FailureDetector; nobody exchanges
-// roster state — agreement must emerge from observing the same heartbeat
-// stream. Ranks fail-stopped by the machine's FaultPlan go silent
-// mid-run, and the claim under test is gossip-lite convergence: after the
-// dust settles (dead_after << remaining run time), every *survivor* holds
-// the same roster hash, with the dead ranks marked Dead — reproducibly,
-// under any schedule seed, because the discrete-event engine is
-// deterministic per seed.
+// Every rank beats every peer on the heartbeat interval. Since ISSUE 10 a
+// beat is no longer a bare incarnation: it is a sealed wire::Gossip frame
+// carrying the sender's full (incarnation, last_ok, health) roster vector
+// (wire.hpp — the same encoding the live cluster transport ships), and
+// every receiver folds the vector into its private FailureDetector through
+// merge_entry(), whose freshness fence makes relayed duplicates of one
+// beat count at most once. A machine-injected bit flip lands somewhere in
+// the sealed frame and is caught by the wire CRC at unseal — the beat is
+// simply lost.
+//
+// Split-brain resolution: a rank that reads a gossiped entry claiming
+// *itself* Dead at its own (or a later) incarnation — with a last_ok stale
+// enough to prove the claimant has not been hearing its recent beats —
+// refutes by bumping its incarnation, exactly like a revived shard. The
+// epoch fence then drives ordinary readmission: claimants re-admit it
+// after readmit_oks beats of the new life, and both sides of a healed
+// partition converge to one roster hash.
+//
+// Ranks fail-stopped by the machine's FaultPlan go silent mid-run, and
+// directed LinkFault windows (params.link_faults) drop/corrupt gossip on
+// individual links — true partition asymmetry: A hears B but not vice
+// versa. The claim under test is convergence: after the dust settles,
+// every *survivor* holds the same roster hash — reproducibly, under any
+// schedule seed, because the discrete-event engine is deterministic per
+// seed.
 
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "mesh/faults.hpp"
 #include "svc/shard/membership.hpp"
 
 namespace wavehpc::svc::shard {
@@ -30,6 +47,12 @@ struct MeshGossipParams {
     /// (rank, virtual fail-stop time): the rank executes nothing from then
     /// on — no beats, no receives.
     std::vector<std::pair<int, double>> fail_at;
+    /// Directed gossip-link fault windows (mesh::LinkFault), installed
+    /// into the machine's FaultPlan: drop or corrupt beats on individual
+    /// (src, dst) links for a time window — asymmetric partitions.
+    std::vector<mesh::LinkFault> link_faults;
+    /// Seed for the fault plan's probabilistic draws (link rules).
+    std::uint64_t fault_seed = 1;
     /// Engine tie-break seed (Machine::set_schedule_seed); same seed ->
     /// bit-identical run. 0 keeps the default deterministic order.
     std::uint64_t schedule_seed = 0;
@@ -40,6 +63,8 @@ struct MeshGossipRankView {
     bool fail_stopped = false;
     std::uint64_t roster_hash = 0;
     std::uint64_t epoch = 0;
+    std::uint64_t incarnation = 0;  ///< the rank's own, after refutations
+    std::uint64_t refutations = 0;  ///< Dead-claim refutations it performed
     std::vector<ShardHealth> health;
 };
 

@@ -1,0 +1,115 @@
+#pragma once
+// In-process shard transport with the mesh machine's reliable-frame
+// semantics (DESIGN.md §16).
+//
+// The live sharded cluster cannot run inside mesh::Machine — the machine
+// is a run-to-completion virtual-time simulator, while the cluster serves
+// real threads. ShardTransport closes that gap: it speaks the machine's
+// exact NIC protocol (WHRC frame = magic + seq + CRC over seq‖payload,
+// stop-and-wait ARQ with per-(src,dst,tag) sequence channels, duplicate
+// suppression, give-up resync) against the same link-aware FaultPlan, so
+// every byte the router exchanges with a shard takes the same losses,
+// corruptions, and asymmetric partitions a mesh program would — just on
+// the caller's clock instead of the simulator's.
+//
+// Nodes are small integers: shards 0..N-1, the router N. Two delivery
+// shapes:
+//   - send_datagram: one unacknowledged frame (gossip beats) — delivered
+//     to the destination's Sink or lost, exactly one fault draw.
+//   - rpc: request bytes travel under ARQ to the destination's Handler;
+//     the handler's response travels back under ARQ on the reverse
+//     channel. Either leg exhausting its retries yields nullopt (the
+//     at-most-once ambiguity a real RPC client faces).
+//
+// Every fault decision is a pure function of (plan seed, src, dst, tag,
+// the channel's own frame ordinal, transport time) — draws are counted
+// per channel, not globally, so concurrent request traffic can never
+// shift the gossip channels' deterministic draw stream. Concurrent
+// callers are serialized by one mutex (handlers run under it — keep them
+// admission-fast).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "mesh/faults.hpp"
+
+namespace wavehpc::svc::shard {
+
+struct WireStats {
+    std::uint64_t frames_sent = 0;        ///< every frame handed to the wire
+    std::uint64_t frames_delivered = 0;   ///< fresh payloads reaching the app
+    std::uint64_t drops = 0;              ///< plan- or reachability-dropped
+    std::uint64_t corrupt_rejections = 0; ///< NIC CRC rejections
+    std::uint64_t retransmits = 0;
+    std::uint64_t duplicates_suppressed = 0;
+    std::uint64_t gave_up = 0;            ///< ARQ transfers that exhausted retries
+};
+
+class ShardTransport {
+public:
+    /// RPC endpoint: (source node, request payload) -> response payload.
+    using Handler =
+        std::function<std::vector<std::byte>(int, std::span<const std::byte>)>;
+    /// Datagram endpoint: (source node, payload).
+    using Sink = std::function<void(int, std::span<const std::byte>)>;
+
+    ShardTransport(int nodes, std::uint64_t seed, int max_retries = 4);
+
+    /// Advance the transport clock (seconds); LinkFault windows in the
+    /// plan match against this time.
+    void set_time(double now);
+    /// An unreachable node's NIC is off: every frame to or from it is
+    /// lost (no draw consumed — the wire never saw it).
+    void set_reachable(int node, bool on);
+    void set_faults(mesh::FaultPlan plan);
+    void set_handler(int node, int tag, Handler h);
+    void set_sink(int node, int tag, Sink s);
+
+    /// One best-effort frame. Returns true if it was delivered.
+    bool send_datagram(int src, int dst, int tag,
+                       std::span<const std::byte> data);
+
+    /// Reliable request/response. nullopt when either leg gives up.
+    std::optional<std::vector<std::byte>> rpc(int src, int dst, int tag,
+                                              std::span<const std::byte> data);
+
+    [[nodiscard]] WireStats stats() const;
+
+private:
+    struct Channel {
+        std::uint32_t next_seq = 0;
+        std::uint32_t expected_seq = 0;
+        std::uint64_t draws = 0;  ///< fault draws consumed on this channel
+        std::vector<std::byte> last_response;  ///< rpc response cache
+    };
+
+    using ChannelKey = std::tuple<int, int, int>;  // (src, dst, tag)
+
+    /// One ARQ transfer src->dst. `on_fresh` runs when the payload is
+    /// accepted for the first time (duplicates only re-ack). Returns true
+    /// once an ack survives the reverse path.
+    bool arq_locked(int src, int dst, int tag, std::span<const std::byte> data,
+                    const std::function<void(std::span<const std::byte>)>& on_fresh);
+
+    [[nodiscard]] bool reachable_locked(int node) const;
+
+    mutable std::mutex mu_;
+    int nodes_;
+    int max_retries_;
+    double now_ = 0.0;
+    mesh::FaultPlan plan_;
+    std::vector<bool> reachable_;
+    std::map<ChannelKey, Channel> channels_;
+    std::map<std::pair<int, int>, Handler> handlers_;  // (node, tag)
+    std::map<std::pair<int, int>, Sink> sinks_;
+    WireStats stats_;
+};
+
+}  // namespace wavehpc::svc::shard

@@ -366,4 +366,80 @@ TEST(ShardCluster, FleetArenaStatsSurviveAKillViaTheRetiredAccumulator) {
     EXPECT_EQ(after.heap_fallbacks, 0U);  // 32x32 scenes fit the slab classes
 }
 
+// The ISSUE-10 split-brain drill, deterministic edition (bench_shard_sweep
+// runs the wall-clock twin). An asymmetric partition mutes the victim's
+// gossip *to the router* and the router's requests *to the victim*, while
+// the victim still hears the router's broadcasts and its peers still hear
+// the victim: the router declares it Dead, the victim reads that claim and
+// refutes by bumping its incarnation, and after the window heals the fleet
+// converges to one roster with the victim re-admitted under its new life.
+// Throughout, goodput stays >= 90% via replica-chain failover and no value
+// reply is ever delivered under a mismatched incarnation.
+TEST(ShardCluster, SplitBrainDrillRefutesHealsAndKeepsGoodput) {
+    ThreadPool pool(2);
+    ShardCluster cluster(pool, manual_cfg(4, 2));
+    const ShardId victim = 2;
+    const auto victim_scene = scene_with_primary(cluster, victim);
+
+    namespace wire = wavehpc::svc::shard::wire;
+    wavehpc::mesh::FaultPlan plan;
+    // The victim's outbound gossip is muted to *everyone* (so no peer can
+    // keep it alive by relay), but it still hears inbound broadcasts —
+    // the asymmetric half that makes refutation possible.
+    wavehpc::mesh::LinkFault mute_beats;
+    mute_beats.src = static_cast<int>(victim);
+    mute_beats.dst = -1;  // every destination, router and peers alike
+    mute_beats.tag = wire::kGossipTag;
+    mute_beats.t_begin = 0.02;
+    mute_beats.t_end = 0.30;
+    mute_beats.drop_probability = 1.0;
+    wavehpc::mesh::LinkFault mute_requests = mute_beats;  // router -> victim
+    mute_requests.src = static_cast<int>(cluster.shard_count());
+    mute_requests.dst = static_cast<int>(victim);
+    mute_requests.tag = wire::kRequestTag;
+    plan.links = {mute_beats, mute_requests};
+    cluster.set_transport_faults(plan);
+
+    std::size_t submitted = 0;
+    std::size_t accepted = 0;
+    std::vector<wavehpc::svc::TransformFuture> futures;
+    for (int i = 0; i <= 40; ++i) {
+        const double now = 0.01 * static_cast<double>(i);
+        cluster.tick(now);
+        if (now < 0.02 || now >= 0.30) continue;  // submit inside the window
+        for (auto img : {victim_scene, scene(1000 + static_cast<std::uint64_t>(i))}) {
+            auto out = cluster.submit(request_for(std::move(img)));
+            ++submitted;
+            if (out.result.accepted) {
+                ++accepted;
+                futures.push_back(out.result.future);
+            }
+        }
+    }
+    for (auto& f : futures) EXPECT_NO_THROW((void)f.get());
+
+    // Goodput through the partition: the victim's keys failed over.
+    ASSERT_GT(submitted, 0U);
+    EXPECT_GE(static_cast<double>(accepted),
+              0.9 * static_cast<double>(submitted));
+
+    const auto c = cluster.counters();
+    EXPECT_GT(c.failovers, 0U);       // victim-primary keys served by replica 2
+    EXPECT_GE(c.suspicions, 1U);      // the router walked Alive -> Suspect...
+    EXPECT_GE(c.deaths, 1U);          // ...-> Dead on the muted beats
+    EXPECT_EQ(c.refutations, 1U);     // exactly one self-defense, no livelock
+    EXPECT_GE(c.readmissions, 1U);    // the new life re-admitted post-heal
+    EXPECT_EQ(c.stale_replies_delivered, 0U);
+    EXPECT_GT(cluster.wire_stats().drops, 0U);  // the partition was real
+
+    // Post-heal convergence: the victim is Alive under a bumped
+    // incarnation and every node's gossiped view agrees with the router.
+    EXPECT_EQ(cluster.health(victim), ShardHealth::Alive);
+    EXPECT_GE(cluster.incarnation(victim), 1U);
+    for (ShardId s = 0; s < cluster.shard_count(); ++s) {
+        EXPECT_EQ(cluster.node_roster_hash(s), cluster.roster_hash())
+            << "shard " << s << " diverged after heal";
+    }
+}
+
 }  // namespace

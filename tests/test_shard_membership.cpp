@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "svc/shard/mesh_gossip.hpp"
+#include "svc/shard/wire.hpp"
 
 namespace {
 
@@ -107,6 +108,111 @@ TEST(FailureDetectorTest, NewerIncarnationRestartsReadmissionProgress) {
     EXPECT_EQ(fd.incarnation(0), 3U);
 }
 
+// Boundary: suspect_after == dead_after is a legal config (the ctor only
+// requires suspect <= dead). One sweep at exactly the shared threshold must
+// run BOTH demotions — Alive -> Suspect -> Dead in a single call — because
+// the Dead check reads the post-demotion health, not a snapshot.
+TEST(FailureDetectorTest, EqualSuspectAndDeadWindowsDemoteTwiceInOneSweep) {
+    MembershipConfig cfg = fast_cfg();
+    cfg.dead_after = cfg.suspect_after;  // 0.03 == 0.03
+    FailureDetector fd(1, cfg);
+    fd.observe(0, true, 0.0, 1);
+
+    fd.sweep(cfg.suspect_after - 1e-9);  // just inside: still Alive
+    EXPECT_EQ(fd.health(0), ShardHealth::Alive);
+
+    fd.sweep(cfg.suspect_after);  // exactly at the shared edge
+    EXPECT_EQ(fd.health(0), ShardHealth::Dead);
+    const auto ts = fd.drain_transitions();
+    ASSERT_EQ(ts.size(), 2U);
+    EXPECT_EQ(ts[0].to, ShardHealth::Suspect);
+    EXPECT_EQ(ts[1].to, ShardHealth::Dead);
+    EXPECT_EQ(ts[0].at, ts[1].at);  // same sweep instant
+    EXPECT_EQ(fd.epoch(), 2U);
+}
+
+// Boundary: an ok beat carrying the SAME timestamp as the Suspect -> Dead
+// edge. The outcome is decided by call order, and both orders must be
+// self-consistent: beat-then-sweep rescues the shard (silence resets to 0
+// before the sweep looks), sweep-then-beat kills it and the epoch fence
+// then ignores the same-incarnation beat — a beat that lost the race
+// cannot resurrect a corpse.
+TEST(FailureDetectorTest, OkBeatExactlyAtTheDeadEdgeIsDecidedByCallOrder) {
+    const MembershipConfig cfg = fast_cfg();
+
+    FailureDetector beat_first(1, cfg);
+    beat_first.observe(0, true, 0.0, 1);
+    beat_first.sweep(cfg.suspect_after);  // -> Suspect
+    ASSERT_EQ(beat_first.health(0), ShardHealth::Suspect);
+    beat_first.observe(0, true, cfg.dead_after, 1);  // rescued at the edge
+    beat_first.sweep(cfg.dead_after);
+    EXPECT_EQ(beat_first.health(0), ShardHealth::Alive);
+
+    FailureDetector sweep_first(1, cfg);
+    sweep_first.observe(0, true, 0.0, 1);
+    sweep_first.sweep(cfg.suspect_after);
+    sweep_first.sweep(cfg.dead_after);  // -> Dead at the edge
+    ASSERT_EQ(sweep_first.health(0), ShardHealth::Dead);
+    sweep_first.observe(0, true, cfg.dead_after, 1);  // same life: fenced out
+    EXPECT_EQ(sweep_first.health(0), ShardHealth::Dead);
+    sweep_first.observe(0, true, cfg.dead_after + 0.01, 1);
+    EXPECT_EQ(sweep_first.health(0), ShardHealth::Dead);  // forever
+}
+
+// Boundary: a stale-incarnation beat landing in the middle of readmission
+// counting must neither advance nor reset the count.
+TEST(FailureDetectorTest, StaleBeatDuringReadmissionCountingIsInert) {
+    MembershipConfig cfg = fast_cfg();
+    cfg.readmit_oks = 3;
+    FailureDetector fd(1, cfg);
+    fd.observe(0, true, 0.0, 1);
+    fd.sweep(0.10);
+    ASSERT_EQ(fd.health(0), ShardHealth::Dead);
+
+    fd.observe(0, true, 0.20, 2);  // 1 of 3 toward the new life
+    fd.observe(0, true, 0.21, 1);  // straggler from the dead life: inert
+    EXPECT_EQ(fd.health(0), ShardHealth::Dead);
+    fd.observe(0, true, 0.22, 2);  // 2 of 3 — the count was not reset
+    fd.observe(0, true, 0.23, 2);  // 3 of 3
+    EXPECT_EQ(fd.health(0), ShardHealth::Alive);
+    EXPECT_EQ(fd.incarnation(0), 2U);
+}
+
+// merge_entry: relayed duplicates of one beat (same incarnation, same
+// last_ok) count at most once no matter how many peers relay them, a
+// strictly newer last_ok counts as one fresh beat, and an older
+// incarnation is a previous life.
+TEST(FailureDetectorTest, MergeEntryFreshnessFenceDedupesRelayedBeats) {
+    MembershipConfig cfg = fast_cfg();
+    cfg.readmit_oks = 2;
+    FailureDetector fd(1, cfg);
+    fd.observe(0, true, 0.0, 1);
+    fd.sweep(0.10);
+    ASSERT_EQ(fd.health(0), ShardHealth::Dead);
+
+    // Three peers relay the same (inc 2, last_ok 0.20) beat: one counts.
+    EXPECT_TRUE(fd.merge_entry(0, 2, 0.20, 0.20));
+    EXPECT_FALSE(fd.merge_entry(0, 2, 0.20, 0.20));
+    EXPECT_FALSE(fd.merge_entry(0, 2, 0.20, 0.21));
+    EXPECT_EQ(fd.health(0), ShardHealth::Dead);  // still 1 of 2
+
+    EXPECT_FALSE(fd.merge_entry(0, 1, 0.25, 0.25));  // previous life
+    EXPECT_TRUE(fd.merge_entry(0, 2, 0.22, 0.22));   // genuinely fresh
+    EXPECT_EQ(fd.health(0), ShardHealth::Alive);
+    EXPECT_EQ(fd.incarnation(0), 2U);
+}
+
+// merge_entry clamps a peer's timestamp against the local clock: an entry
+// from a peer whose clock runs ahead cannot push last_ok into this
+// detector's future and mask real silence.
+TEST(FailureDetectorTest, MergeEntryClampsFutureTimestampsToLocalNow) {
+    FailureDetector fd(1, fast_cfg());
+    EXPECT_TRUE(fd.merge_entry(0, 1, 5.0, 0.01));  // peer claims t=5 at our t=0.01
+    EXPECT_EQ(fd.snapshot()[0].last_ok, 0.01);
+    fd.sweep(0.10);  // real silence since 0.01 -> Dead, not masked until t=5
+    EXPECT_EQ(fd.health(0), ShardHealth::Dead);
+}
+
 TEST(FailureDetectorTest, EpochIsMonotonicAndTransitionsDrainInOrder) {
     FailureDetector fd(1, fast_cfg());
     fd.observe(0, true, 0.0, 1);
@@ -173,6 +279,45 @@ TEST(MeshGossipTest, SurvivorsConvergeOnOneRosterUnderAnySchedule) {
             EXPECT_EQ(r.views[rank].health[1], ShardHealth::Dead);
             EXPECT_EQ(r.views[rank].health[4], ShardHealth::Dead);
             EXPECT_EQ(r.views[rank].health[rank], ShardHealth::Alive);
+        }
+    }
+}
+
+// Asymmetric partition drill on the mesh leg: rank 2's *outgoing* gossip
+// is dropped for a window (peers stop hearing it and mark it Dead) while
+// its *incoming* links stay clean (it keeps hearing their rosters — and
+// their stale Dead claims about itself). The victim must refute by bumping
+// its incarnation, and after the window heals every rank — victim included
+// — must converge back to one roster with everyone Alive, under several
+// engine schedules.
+TEST(MeshGossipTest, AsymmetricPartitionHealsThroughRefutation) {
+    for (const std::uint64_t schedule_seed : {1ULL, 7ULL, 1996ULL}) {
+        MeshGossipParams p;
+        p.ranks = 5;
+        p.run_seconds = 1.2;
+        p.membership = fast_cfg();
+        wavehpc::mesh::LinkFault mute;  // victim -> everyone, beats only
+        mute.src = 2;
+        mute.dst = -1;
+        mute.tag = wavehpc::svc::shard::wire::kGossipTag;
+        mute.t_begin = 0.20;
+        mute.t_end = 0.50;
+        mute.drop_probability = 1.0;
+        p.link_faults = {mute};
+        p.schedule_seed = schedule_seed;
+
+        const MeshGossipResult r = run_mesh_gossip(p);
+        ASSERT_EQ(r.views.size(), 5U);
+        EXPECT_TRUE(r.converged) << "schedule seed " << schedule_seed;
+        EXPECT_GE(r.views[2].refutations, 1U) << "schedule seed " << schedule_seed;
+        EXPECT_GE(r.views[2].incarnation, 2U);
+        for (std::size_t rank = 0; rank < r.views.size(); ++rank) {
+            EXPECT_FALSE(r.views[rank].fail_stopped);
+            EXPECT_EQ(r.views[rank].roster_hash, r.survivor_roster_hash)
+                << "rank " << rank << " seed " << schedule_seed;
+            for (const ShardHealth h : r.views[rank].health) {
+                EXPECT_EQ(h, ShardHealth::Alive);
+            }
         }
     }
 }
